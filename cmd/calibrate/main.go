@@ -1,0 +1,32 @@
+// Command calibrate runs the training-sets calibration of Section 4 on
+// the simulated CM-5 and prints Tables 1-2 and the Figure 3/5
+// actual-versus-predicted series.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"paradigm/internal/experiments"
+)
+
+func main() {
+	env, err := experiments.NewEnv()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "calibrate:", err)
+		os.Exit(1)
+	}
+	for _, step := range []func(*experiments.Env) (fmt.Stringer, error){
+		func(e *experiments.Env) (fmt.Stringer, error) { return experiments.Table1(e) },
+		func(e *experiments.Env) (fmt.Stringer, error) { return experiments.Fig3(e) },
+		func(e *experiments.Env) (fmt.Stringer, error) { return experiments.Table2(e) },
+		func(e *experiments.Env) (fmt.Stringer, error) { return experiments.Fig5(e) },
+	} {
+		r, err := step(env)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "calibrate:", err)
+			os.Exit(1)
+		}
+		fmt.Println(r)
+	}
+}

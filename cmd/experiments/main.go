@@ -1,0 +1,55 @@
+// Command experiments runs every paper experiment (tables, figures,
+// ablations, extensions) on the simulated CM-5.
+//
+// Output modes:
+//
+//	experiments              # paper-format text, every artifact in order
+//	experiments -json        # machine-readable full report
+//	experiments -markdown    # live paper-vs-measured markdown report
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"paradigm/internal/experiments"
+)
+
+func main() {
+	asJSON := flag.Bool("json", false, "emit the machine-readable report as JSON")
+	asMarkdown := flag.Bool("markdown", false, "emit the live paper-vs-measured markdown report")
+	flag.Parse()
+
+	env, err := experiments.NewEnv()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "calibration failed:", err)
+		os.Exit(1)
+	}
+	switch {
+	case *asJSON, *asMarkdown:
+		rep, err := experiments.FullReport(env)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiment failed:", err)
+			os.Exit(1)
+		}
+		if *asJSON {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(rep); err != nil {
+				fmt.Fprintln(os.Stderr, "encode failed:", err)
+				os.Exit(1)
+			}
+			return
+		}
+		fmt.Print(rep.Markdown())
+	default:
+		out, err := experiments.All(env)
+		fmt.Print(out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiment failed:", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,230 @@
+// Command paradigm runs the allocation-and-scheduling pipeline on one of
+// the built-in test programs or on an MDG loaded from JSON.
+//
+// Usage:
+//
+//	paradigm -program cmm      -procs 16            # full pipeline + simulation
+//	paradigm -program strassen -procs 64 -spmd      # pure data-parallel baseline
+//	paradigm -program example  -procs 4             # the Figure 1-2 example
+//	paradigm -mdg graph.json   -procs 32 -dot       # allocate/schedule a raw MDG
+//
+// Output: the allocation, the PSA schedule (table + Gantt), the Theorem
+// 1-3 bounds, and — for executable programs — the simulated execution
+// time and numerical verification.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"paradigm"
+	"paradigm/internal/mdg"
+	"paradigm/internal/sched"
+	"paradigm/internal/trace"
+)
+
+func main() {
+	var (
+		progName = flag.String("program", "", "built-in program: cmm | strassen | pipeline | example")
+		mdgPath  = flag.String("mdg", "", "path to an MDG JSON file (alternative to -program)")
+		srcPath  = flag.String("src", "", "path to a matrix-program source file (alternative to -program)")
+		procs    = flag.Int("procs", 16, "system size p")
+		size     = flag.Int("size", 64, "matrix size for built-in programs (Strassen doubles it)")
+		spmd     = flag.Bool("spmd", false, "use the pure data-parallel baseline instead of the convex pipeline")
+		dot      = flag.Bool("dot", false, "print the MDG in Graphviz DOT and exit")
+		pb       = flag.Int("pb", 0, "processor bound PB override (0 = Corollary 1)")
+		traceOut = flag.String("trace", "", "write a Chrome trace (predicted vs actual) to this file")
+		machName = flag.String("machine", "cm5", "machine profile: cm5 | paragon")
+		policy   = flag.String("policy", "est", "ready-queue policy: est | fifo | hlf")
+		depth    = flag.Int("depth", 1, "Strassen recursion depth (program strassen only)")
+	)
+	flag.Parse()
+	if err := run(*progName, *mdgPath, *srcPath, *traceOut, *machName, *policy, *procs, *size, *depth, *spmd, *dot, *pb); err != nil {
+		fmt.Fprintln(os.Stderr, "paradigm:", err)
+		os.Exit(1)
+	}
+}
+
+func run(progName, mdgPath, srcPath, traceOut, machName, policy string, procs, size, depth int, spmd, dot bool, pb int) error {
+	var pol sched.Policy
+	switch policy {
+	case "est":
+		pol = sched.LowestEST
+	case "fifo":
+		pol = sched.FIFO
+	case "hlf":
+		pol = sched.HLF
+	default:
+		return fmt.Errorf("unknown policy %q (want est, fifo or hlf)", policy)
+	}
+	profile := paradigm.NewCM5
+	switch machName {
+	case "cm5":
+	case "paragon":
+		profile = paradigm.NewParagon
+	default:
+		return fmt.Errorf("unknown machine %q (want cm5 or paragon)", machName)
+	}
+	m := profile(procs)
+	cal, err := paradigm.Calibrate(profile(64))
+	if err != nil {
+		return err
+	}
+
+	// Raw-MDG mode: allocate and schedule only (no kernels to simulate).
+	if mdgPath != "" {
+		data, err := os.ReadFile(mdgPath)
+		if err != nil {
+			return err
+		}
+		var g mdg.Graph
+		if err := json.Unmarshal(data, &g); err != nil {
+			return err
+		}
+		if _, _, err := g.EnsureStartStop(); err != nil {
+			return err
+		}
+		if dot {
+			fmt.Print(g.DOT(mdgPath))
+			return nil
+		}
+		return allocateAndSchedule(&g, cal.Model(), procs, pb)
+	}
+
+	var p *paradigm.Program
+	if srcPath != "" {
+		src, err := os.ReadFile(srcPath)
+		if err != nil {
+			return err
+		}
+		p, err = paradigm.CompileSource(srcPath, string(src), cal)
+		if err != nil {
+			return err
+		}
+	}
+	switch progName {
+	case "":
+		if p != nil {
+			break // compiled from -src above
+		}
+		return fmt.Errorf("one of -program, -src or -mdg is required (see -h)")
+	case "cmm":
+		p, err = paradigm.ComplexMatMul(size, cal)
+	case "strassen":
+		p, err = paradigm.StrassenRecursive(2*size, depth, cal)
+	case "pipeline":
+		p, err = paradigm.SyntheticPipeline(size, 4, 3, cal)
+	case "example":
+		g := paradigm.FigureOneMDG()
+		if dot {
+			fmt.Print(g.DOT("figure-1"))
+			return nil
+		}
+		return allocateAndSchedule(g, paradigm.Model{}, procs, pb)
+	default:
+		return fmt.Errorf("unknown program %q", progName)
+	}
+	if err != nil {
+		return err
+	}
+	if dot {
+		fmt.Print(p.G.DOT(p.Name))
+		return nil
+	}
+
+	var res *paradigm.Result
+	if spmd {
+		res, err = paradigm.RunSPMD(p, m, cal, procs)
+	} else {
+		model := cal.Model()
+		ar, aerr := paradigm.Allocate(p.G, model, procs)
+		if aerr != nil {
+			return aerr
+		}
+		s, serr := paradigm.BuildSchedule(p.G, model, ar.P, procs,
+			paradigm.ScheduleOptions{PB: pb, Policy: pol})
+		if serr != nil {
+			return serr
+		}
+		sim, xerr := paradigm.Execute(p, s, m.WithProcs(procs))
+		if xerr != nil {
+			return xerr
+		}
+		res = &paradigm.Result{Alloc: ar, Sched: s, Sim: sim,
+			Predicted: s.Makespan, Actual: sim.Makespan}
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("program: %s on %d processors (%s)\n\n", p.Name, procs, mode(spmd))
+	fmt.Printf("allocation: Phi = %.6f s (A_p = %.6f, C_p = %.6f)\n", res.Alloc.Phi, res.Alloc.Ap, res.Alloc.Cp)
+	fmt.Printf("continuous p_i: %s\n\n", formatAlloc(res.Alloc.P))
+	fmt.Print(res.Sched.Table(p.G))
+	fmt.Println()
+	fmt.Print(res.Sched.Gantt(p.G, 80))
+	if !spmd {
+		t1, t2, t3, err := paradigm.TheoremBounds(procs, res.Sched.PB)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\nbounds: PB = %d; Theorem 1 = %.2f, Theorem 2 = %.2f, Theorem 3 = %.2f (T_psa <= %.4f s)\n",
+			res.Sched.PB, t1, t2, t3, t3*res.Alloc.Phi)
+	}
+	fmt.Printf("\npredicted T_psa = %.6f s, simulated actual = %.6f s (ratio %.3f)\n",
+		res.Predicted, res.Actual, res.Predicted/res.Actual)
+	worst, err := paradigm.Verify(p, res.Sim)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("numerical verification: max |deviation| from sequential reference = %.3g\n", worst)
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := trace.WriteRun(f, p.G, res.Sched, res.Sim); err != nil {
+			return err
+		}
+		fmt.Printf("trace written to %s (open in chrome://tracing or Perfetto)\n", traceOut)
+	}
+	return nil
+}
+
+func mode(spmd bool) string {
+	if spmd {
+		return "SPMD baseline"
+	}
+	return "MPMD via convex allocation + PSA"
+}
+
+func allocateAndSchedule(g *paradigm.Graph, model paradigm.Model, procs, pb int) error {
+	ar, err := paradigm.Allocate(g, model, procs)
+	if err != nil {
+		return err
+	}
+	s, err := paradigm.BuildSchedule(g, model, ar.P, procs, paradigm.ScheduleOptions{PB: pb})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("allocation: Phi = %.6f s (A_p = %.6f, C_p = %.6f)\n", ar.Phi, ar.Ap, ar.Cp)
+	fmt.Printf("continuous p_i: %s\n\n", formatAlloc(ar.P))
+	fmt.Print(s.Table(g))
+	fmt.Println()
+	fmt.Print(s.Gantt(g, 80))
+	fmt.Printf("\nT_psa = %.6f s (deviation from Phi: %+.1f%%)\n", s.Makespan, 100*(s.Makespan-ar.Phi)/ar.Phi)
+	return nil
+}
+
+func formatAlloc(p []float64) string {
+	out := ""
+	for i, v := range p {
+		if i > 0 {
+			out += " "
+		}
+		out += fmt.Sprintf("%.2f", v)
+	}
+	return out
+}

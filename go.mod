@@ -1,0 +1,3 @@
+module paradigm
+
+go 1.22

@@ -1,0 +1,200 @@
+// Package alloc implements the MDG allocation algorithm of Section 2.
+//
+// Given an MDG with n nodes and a p-processor system, it chooses
+// continuous processor counts p_i ∈ [1, p] minimizing
+//
+//	Φ = max(A_p, C_p)
+//
+// where A_p = (1/p)·Σ T_i·p_i is the processor-time-area lower bound and
+// C_p = y_STOP with y_i = max over predecessors m of (y_m + t^D_mi) + T_i
+// is the critical-path time; T_i combines the receive costs from all
+// predecessors, the Amdahl processing cost, and the send costs to all
+// successors (internal/costmodel).
+//
+// Because every cost term is posynomial (Lemmas 1-2), the substitution
+// x_i = ln p_i makes the problem convex, so the minimum found is global —
+// the property that distinguishes this paper from its heuristic
+// predecessors. The max terms are smoothed by log-sum-exp and annealed to
+// the exact max (internal/convex.MinimizeAnnealed); the reported Φ, A_p
+// and C_p are re-evaluated with exact (hard-max) arithmetic at the
+// solution point.
+package alloc
+
+import (
+	"fmt"
+	"math"
+
+	"paradigm/internal/convex"
+	"paradigm/internal/costmodel"
+	"paradigm/internal/expr"
+	"paradigm/internal/mdg"
+)
+
+// Options tunes Solve. The zero value selects robust defaults.
+type Options struct {
+	// Anneal configures the temperature schedule and inner minimizer.
+	// The start temperature is additionally scaled by the magnitude of
+	// the objective at the start point so that problems measured in
+	// milliseconds and in hours anneal alike.
+	Anneal convex.AnnealOptions
+	// IgnoreTransfers zeroes the data-transfer costs in the objective
+	// (the Prasanna-Agarwal-style ablation A3 of DESIGN.md). The reported
+	// Φ/A_p/C_p still use the full model.
+	IgnoreTransfers bool
+}
+
+// Result reports one allocation.
+type Result struct {
+	// P holds the continuous per-node allocations, indexed by NodeID.
+	P []float64
+	// Phi, Ap, Cp are the exact objective values at P under the full
+	// cost model: Phi = max(Ap, Cp).
+	Phi, Ap, Cp float64
+	// Solver carries the final-stage convex solver diagnostics.
+	Solver convex.Result
+}
+
+// Solve runs the convex programming formulation for g on a procs-processor
+// system. The graph must be a valid DAG; a unique START/STOP is not
+// required for allocation (C_p is taken as the max finish time over all
+// nodes, which equals y_STOP when a STOP exists).
+func Solve(g *mdg.Graph, model costmodel.Model, procs int, opts Options) (Result, error) {
+	if procs < 1 {
+		return Result{}, fmt.Errorf("alloc: procs = %d, want >= 1", procs)
+	}
+	if err := g.Validate(); err != nil {
+		return Result{}, fmt.Errorf("alloc: invalid MDG: %w", err)
+	}
+	n := g.NumNodes()
+	order, err := g.TopoOrder()
+	if err != nil {
+		return Result{}, err
+	}
+
+	objTP := model.Transfer
+	if opts.IgnoreTransfers {
+		objTP = costmodel.TransferParams{}
+	}
+
+	// --- Build the objective expression DAG ---------------------------
+	var eg expr.Graph
+	// Per-edge cost components, keyed by edge index.
+	sendE := make([]expr.ID, len(g.Edges))
+	netE := make([]expr.ID, len(g.Edges))
+	recvE := make([]expr.ID, len(g.Edges))
+	edgeIdx := make(map[[2]mdg.NodeID]int, len(g.Edges))
+	for i, e := range g.Edges {
+		sendE[i], netE[i], recvE[i] = costmodel.EdgeTransferExprs(&eg, objTP, e, int(e.From), int(e.To))
+		edgeIdx[[2]mdg.NodeID{e.From, e.To}] = i
+	}
+	// Node weights T_i.
+	weight := make([]expr.ID, n)
+	for i := 0; i < n; i++ {
+		id := mdg.NodeID(i)
+		terms := []expr.ID{costmodel.ProcessingExpr(&eg, costmodel.LoopParams{
+			Alpha: g.Nodes[i].Alpha, Tau: g.Nodes[i].Tau,
+		}, i)}
+		for _, m := range g.Preds(id) {
+			terms = append(terms, recvE[edgeIdx[[2]mdg.NodeID{m, id}]])
+		}
+		for _, s := range g.Succs(id) {
+			terms = append(terms, sendE[edgeIdx[[2]mdg.NodeID{id, s}]])
+		}
+		weight[i] = eg.Sum(terms...)
+	}
+	// A_p = (1/p)·Σ T_i·p_i.
+	areas := make([]expr.ID, n)
+	for i := 0; i < n; i++ {
+		areas[i] = eg.Mul(weight[i], eg.Var(i))
+	}
+	ap := eg.Scale(1/float64(procs), eg.Sum(areas...))
+	// C_p via the y_i recursion in topological order.
+	y := make([]expr.ID, n)
+	for _, v := range order {
+		preds := g.Preds(v)
+		if len(preds) == 0 {
+			y[v] = weight[v]
+			continue
+		}
+		arrivals := make([]expr.ID, 0, len(preds))
+		for _, m := range preds {
+			ei := edgeIdx[[2]mdg.NodeID{m, v}]
+			arrivals = append(arrivals, eg.Sum(y[m], netE[ei]))
+		}
+		y[v] = eg.Sum(eg.SmoothMax(arrivals...), weight[v])
+	}
+	sinks := make([]expr.ID, 0, 1)
+	for i := 0; i < n; i++ {
+		if len(g.Succs(mdg.NodeID(i))) == 0 {
+			sinks = append(sinks, y[i])
+		}
+	}
+	cp := eg.SmoothMax(sinks...)
+	phi := eg.SmoothMax(ap, cp)
+
+	// --- Solve ----------------------------------------------------------
+	ev := expr.NewEvaluator(&eg)
+	lower := make([]float64, n)
+	upper := make([]float64, n)
+	x0 := make([]float64, n)
+	for i := range upper {
+		upper[i] = math.Log(float64(procs))
+		x0[i] = upper[i] / 2
+	}
+	obj := convex.TempFunc(func(temp float64, x, grad []float64) float64 {
+		if grad == nil {
+			return ev.Eval(phi, x, temp)
+		}
+		return ev.EvalGrad(phi, x, temp, grad)
+	})
+	anneal := opts.Anneal
+	if anneal.StartTemp <= 0 {
+		// Scale with the problem: ~5% of the objective at the start point.
+		anneal.StartTemp = 0.05 * ev.Eval(phi, x0, 0)
+		if anneal.StartTemp <= 0 {
+			anneal.StartTemp = 1
+		}
+	}
+	if anneal.EndTemp <= 0 {
+		anneal.EndTemp = anneal.StartTemp * 1e-5
+	}
+	if anneal.Inner.MaxIter == 0 {
+		anneal.Inner.MaxIter = 4000
+	}
+	sol, err := convex.MinimizeAnnealed(obj, lower, upper, x0, anneal)
+	if err != nil {
+		return Result{}, fmt.Errorf("alloc: solver failed: %w", err)
+	}
+
+	res := Result{P: make([]float64, n), Solver: sol}
+	for i := range res.P {
+		res.P[i] = math.Exp(sol.X[i])
+	}
+	res.Phi, res.Ap, res.Cp, err = model.Phi(g, res.P, procs)
+	if err != nil {
+		return Result{}, err
+	}
+	return res, nil
+}
+
+// SPMD returns the pure data-parallel allocation — every node on all
+// procs processors — with its exact Φ/A_p/C_p, the baseline the paper's
+// Figure 8 compares against.
+func SPMD(g *mdg.Graph, model costmodel.Model, procs int) (Result, error) {
+	if procs < 1 {
+		return Result{}, fmt.Errorf("alloc: procs = %d, want >= 1", procs)
+	}
+	if err := g.Validate(); err != nil {
+		return Result{}, fmt.Errorf("alloc: invalid MDG: %w", err)
+	}
+	res := Result{P: make([]float64, g.NumNodes())}
+	for i := range res.P {
+		res.P[i] = float64(procs)
+	}
+	var err error
+	res.Phi, res.Ap, res.Cp, err = model.Phi(g, res.P, procs)
+	if err != nil {
+		return Result{}, err
+	}
+	return res, nil
+}

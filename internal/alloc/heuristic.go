@@ -1,0 +1,130 @@
+package alloc
+
+import (
+	"fmt"
+	"math"
+
+	"paradigm/internal/costmodel"
+	"paradigm/internal/mdg"
+)
+
+// SolveHeuristic is a reconstruction of the pre-convex allocation
+// heuristics the paper supersedes (Ramaswamy-Banerjee ICPP'93 [6],
+// Belkhale-Banerjee [17,18], in the spirit of Prasanna-Agarwal [8]):
+// critical-path-driven greedy doubling over power-of-two allocations.
+//
+// All nodes start at one processor. Each step recomputes the critical
+// path under the current allocation, tries doubling each node on it
+// (capped at procs), and commits the doubling with the lowest objective
+// Φ = max(A_p, C_p), accepting non-worsening moves (symmetric parallel
+// branches need several equal-Φ doublings before the objective drops).
+// Doublings are monotone and capped at n·log₂(p), so termination is
+// guaranteed. The result carries no global-optimality guarantee —
+// precisely the gap the convex formulation closes, which ablation A5
+// quantifies.
+func SolveHeuristic(g *mdg.Graph, model costmodel.Model, procs int) (Result, error) {
+	if procs < 1 {
+		return Result{}, fmt.Errorf("alloc: procs = %d, want >= 1", procs)
+	}
+	if err := g.Validate(); err != nil {
+		return Result{}, fmt.Errorf("alloc: invalid MDG: %w", err)
+	}
+	n := g.NumNodes()
+	p := make([]float64, n)
+	for i := range p {
+		p[i] = 1
+	}
+	phi, _, _, err := model.Phi(g, p, procs)
+	if err != nil {
+		return Result{}, err
+	}
+
+	evals := 0
+	maxSteps := 1
+	for q := 1; q < procs; q *= 2 {
+		maxSteps += n
+	}
+	// Exploration tolerance: a doubling may transiently lengthen sibling
+	// paths (extra send startups at shared predecessors) before parallel
+	// branches catch up, so moves within 5% of the incumbent are
+	// accepted while the best allocation seen is remembered.
+	const tolerance = 1.05
+	bestP := append([]float64(nil), p...)
+	bestPhi := phi
+	for step := 0; step < maxSteps; step++ {
+		cand := criticalNodes(g, model, p)
+		moveNode := -1
+		movePhi := math.Inf(1)
+		for _, i := range cand {
+			if p[i]*2 > float64(procs) {
+				continue
+			}
+			p[i] *= 2
+			v, _, _, err := model.Phi(g, p, procs)
+			evals++
+			if err != nil {
+				return Result{}, err
+			}
+			p[i] /= 2
+			if v < movePhi {
+				movePhi = v
+				moveNode = int(i)
+			}
+		}
+		if moveNode < 0 || movePhi > phi*tolerance {
+			break // every critical-path doubling worsens Φ too much
+		}
+		p[moveNode] *= 2
+		phi = movePhi
+		if phi < bestPhi {
+			bestPhi = phi
+			copy(bestP, p)
+		}
+	}
+
+	res := Result{P: bestP}
+	res.Phi, res.Ap, res.Cp, err = model.Phi(g, bestP, procs)
+	if err != nil {
+		return Result{}, err
+	}
+	res.Solver.Evals = evals
+	return res, nil
+}
+
+// criticalNodes returns the nodes on one critical path under allocation p
+// (the argmax chain of the y_i recursion).
+func criticalNodes(g *mdg.Graph, model costmodel.Model, p []float64) []mdg.NodeID {
+	y, _, err := g.CriticalPath(
+		func(i mdg.NodeID) float64 { return model.NodeWeight(g, i, p) },
+		func(e mdg.Edge) float64 { return model.EdgeDelay(g, e, p) },
+	)
+	if err != nil {
+		return nil
+	}
+	// Walk back from the max-finish node through the binding predecessor.
+	cur := mdg.NodeID(0)
+	for i := range y {
+		if y[i] > y[cur] {
+			cur = mdg.NodeID(i)
+		}
+	}
+	var path []mdg.NodeID
+	for {
+		path = append(path, cur)
+		preds := g.Preds(cur)
+		if len(preds) == 0 {
+			break
+		}
+		best := preds[0]
+		bestT := math.Inf(-1)
+		for _, m := range preds {
+			e, _ := g.EdgeBetween(m, cur)
+			if t := y[m] + model.EdgeDelay(g, e, p); t > bestT {
+				bestT = t
+				best = m
+			}
+		}
+		cur = best
+	}
+	return path
+}

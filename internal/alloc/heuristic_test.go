@@ -1,0 +1,85 @@
+package alloc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"paradigm/internal/costmodel"
+	"paradigm/internal/mdg"
+)
+
+func TestHeuristicForkJoinReasonable(t *testing.T) {
+	g := forkJoin(0.25)
+	res, err := SolveHeuristic(g, costmodel.Model{}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range res.P {
+		if v < 1 || v > 4 {
+			t.Fatalf("node %d allocation %v outside [1,4]", i, v)
+		}
+	}
+	// It must beat the trivial all-ones start.
+	ones := []float64{1, 1, 1, 1}
+	phiOnes, _, _, err := costmodel.Model{}.Phi(g, ones, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Phi > phiOnes {
+		t.Fatalf("heuristic Phi %v worse than all-ones %v", res.Phi, phiOnes)
+	}
+}
+
+func TestHeuristicNeverBeatsConvex(t *testing.T) {
+	// The convex solution is globally optimal: on random MDGs the greedy
+	// heuristic can tie but never win (beyond solver tolerance).
+	f := func(seed uint16) bool {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		var g mdg.Graph
+		n := 3 + rng.Intn(5)
+		for i := 0; i < n; i++ {
+			g.AddNode(mdg.Node{Alpha: rng.Float64() * 0.4, Tau: 0.05 + rng.Float64()})
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.35 {
+					kind := mdg.Transfer1D
+					if rng.Intn(2) == 1 {
+						kind = mdg.Transfer2D
+					}
+					g.AddEdge(mdg.NodeID(i), mdg.NodeID(j),
+						mdg.Transfer{Bytes: 1024 + rng.Intn(32768), Kind: kind})
+				}
+			}
+		}
+		const procs = 16
+		conv, err := Solve(&g, cm5Fit, procs, Options{})
+		if err != nil {
+			return false
+		}
+		heur, err := SolveHeuristic(&g, cm5Fit, procs)
+		if err != nil {
+			return false
+		}
+		return heur.Phi >= conv.Phi*(1-5e-3)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeuristicErrors(t *testing.T) {
+	g := forkJoin(0.2)
+	if _, err := SolveHeuristic(g, cm5Fit, 0); err == nil {
+		t.Fatal("want procs error")
+	}
+	var cyc mdg.Graph
+	a := cyc.AddNode(mdg.Node{})
+	b := cyc.AddNode(mdg.Node{})
+	cyc.AddEdge(a, b)
+	cyc.AddEdge(b, a)
+	if _, err := SolveHeuristic(&cyc, cm5Fit, 4); err == nil {
+		t.Fatal("want cycle error")
+	}
+}

@@ -1,0 +1,121 @@
+// Package bounds implements the optimality analysis of Section 5:
+// Theorem 1 (list-scheduling factor under a processor bound PB), Theorem 2
+// (cost of the rounding and bounding steps), Theorem 3 (their product) and
+// Corollary 1 (the power-of-two PB minimizing the Theorem 3 factor).
+package bounds
+
+import (
+	"fmt"
+	"math"
+)
+
+// validate checks 1 <= PB <= p.
+func validate(p, pb int) error {
+	if p < 1 {
+		return fmt.Errorf("bounds: system size p = %d, want >= 1", p)
+	}
+	if pb < 1 || pb > p {
+		return fmt.Errorf("bounds: PB = %d outside [1, %d]", pb, p)
+	}
+	return nil
+}
+
+// Theorem1Factor bounds T_psa / T_opt^PB for the PSA on a p-processor
+// system when no node uses more than PB processors (Equation 5):
+// 1 + p/(p - PB + 1).
+func Theorem1Factor(p, pb int) (float64, error) {
+	if err := validate(p, pb); err != nil {
+		return 0, err
+	}
+	return 1 + float64(p)/float64(p-pb+1), nil
+}
+
+// Theorem2Factor bounds T_opt^PB / Φ after the rounding-off and bounding
+// steps (Equation 11): (3/2)²·(p/PB)².
+func Theorem2Factor(p, pb int) (float64, error) {
+	if err := validate(p, pb); err != nil {
+		return 0, err
+	}
+	r := float64(p) / float64(pb)
+	return 2.25 * r * r, nil
+}
+
+// Theorem3Factor bounds T_psa / Φ overall (Equation 17): the product of
+// the Theorem 1 and Theorem 2 factors.
+func Theorem3Factor(p, pb int) (float64, error) {
+	f1, err := Theorem1Factor(p, pb)
+	if err != nil {
+		return 0, err
+	}
+	f2, err := Theorem2Factor(p, pb)
+	if err != nil {
+		return 0, err
+	}
+	return f1 * f2, nil
+}
+
+// OptimalPB returns the power of two PB ∈ [1, p] minimizing the Theorem 3
+// factor (Corollary 1), together with that factor. Ties resolve to the
+// larger PB (more parallelism per node at equal theoretical cost).
+func OptimalPB(p int) (pb int, factor float64, err error) {
+	if p < 1 {
+		return 0, 0, fmt.Errorf("bounds: system size p = %d, want >= 1", p)
+	}
+	best, bestF := 0, math.Inf(1)
+	for cand := 1; cand <= p; cand *= 2 {
+		f, err := Theorem3Factor(p, cand)
+		if err != nil {
+			return 0, 0, err
+		}
+		if f <= bestF {
+			best, bestF = cand, f
+		}
+	}
+	return best, bestF, nil
+}
+
+// RoundPow2 rounds a positive real processor allocation to the arithmetic
+// nearest power of two, clamped to [1, limit] (limit <= 0 means no upper
+// clamp). Arithmetic-nearest rounding changes the value by a factor in
+// [2/3, 4/3] — the constants Theorem 2's proof uses: for p ∈ [2^k, 2^(k+1)]
+// the midpoint 1.5·2^k splits the interval, so the worst increase is
+// 1.5·2^k → 2^(k+1) (factor 4/3) and the worst decrease is 1.5·2^k → 2^k
+// (factor 2/3).
+func RoundPow2(p float64, limit int) int {
+	if p < 1 || math.IsNaN(p) || math.IsInf(p, 0) {
+		p = 1
+	}
+	lower := 1
+	for lower*2 <= int(p) {
+		lower *= 2
+	}
+	upper := lower
+	if float64(lower) < p {
+		upper = lower * 2
+	}
+	rounded := lower
+	if p-float64(lower) > float64(upper)-p {
+		rounded = upper
+	}
+	if limit > 0 && rounded > limit {
+		rounded = largestPow2AtMost(limit)
+	}
+	return rounded
+}
+
+// largestPow2AtMost returns the largest power of two <= n (n >= 1).
+func largestPow2AtMost(n int) int {
+	if n < 1 {
+		panic(fmt.Sprintf("bounds: largestPow2AtMost(%d)", n))
+	}
+	v := 1
+	for v*2 <= n {
+		v *= 2
+	}
+	return v
+}
+
+// IsPow2 reports whether n is a positive power of two.
+func IsPow2(n int) bool {
+	return n > 0 && n&(n-1) == 0
+}

@@ -1,0 +1,198 @@
+package bounds
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTheorem1KnownValues(t *testing.T) {
+	// p=64, PB=64: 1 + 64/1 = 65. p=64, PB=1: 1 + 64/64 = 2.
+	f, err := Theorem1Factor(64, 64)
+	if err != nil || f != 65 {
+		t.Fatalf("f = %v err = %v, want 65", f, err)
+	}
+	f, err = Theorem1Factor(64, 1)
+	if err != nil || f != 2 {
+		t.Fatalf("f = %v err = %v, want 2", f, err)
+	}
+}
+
+func TestTheorem2KnownValues(t *testing.T) {
+	// PB=p: (3/2)² = 2.25. PB=p/2: 2.25·4 = 9.
+	f, err := Theorem2Factor(64, 64)
+	if err != nil || f != 2.25 {
+		t.Fatalf("f = %v err = %v, want 2.25", f, err)
+	}
+	f, err = Theorem2Factor(64, 32)
+	if err != nil || f != 9 {
+		t.Fatalf("f = %v err = %v, want 9", f, err)
+	}
+}
+
+func TestTheorem3IsProduct(t *testing.T) {
+	for _, pb := range []int{1, 2, 4, 8, 16, 32, 64} {
+		f1, _ := Theorem1Factor(64, pb)
+		f2, _ := Theorem2Factor(64, pb)
+		f3, err := Theorem3Factor(64, pb)
+		if err != nil || f3 != f1*f2 {
+			t.Fatalf("PB=%d: f3 = %v, want %v", pb, f3, f1*f2)
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Theorem1Factor(0, 1); err == nil {
+		t.Fatal("want error for p=0")
+	}
+	if _, err := Theorem1Factor(8, 0); err == nil {
+		t.Fatal("want error for PB=0")
+	}
+	if _, err := Theorem1Factor(8, 9); err == nil {
+		t.Fatal("want error for PB>p")
+	}
+	if _, err := Theorem3Factor(8, 0); err == nil {
+		t.Fatal("want error from Theorem3")
+	}
+	if _, _, err := OptimalPB(0); err == nil {
+		t.Fatal("want error from OptimalPB(0)")
+	}
+}
+
+func TestOptimalPBIsPow2AndBeatsAllPow2(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 4, 7, 8, 16, 31, 32, 64, 100, 128} {
+		pb, f, err := OptimalPB(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !IsPow2(pb) || pb > p {
+			t.Fatalf("p=%d: PB=%d not a power of two within range", p, pb)
+		}
+		for cand := 1; cand <= p; cand *= 2 {
+			cf, _ := Theorem3Factor(p, cand)
+			if cf < f-1e-12 {
+				t.Fatalf("p=%d: PB=%d (f=%v) beaten by %d (f=%v)", p, pb, f, cand, cf)
+			}
+		}
+	}
+}
+
+func TestOptimalPB64(t *testing.T) {
+	// For p=64 the factor (1 + p/(p-PB+1))·2.25·(p/PB)² strictly favors
+	// the largest PB until the Theorem-1 term blows up at PB = p.
+	pb, _, err := OptimalPB(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f32, _ := Theorem3Factor(64, 32)
+	f64, _ := Theorem3Factor(64, 64)
+	want := 32
+	if f64 < f32 {
+		want = 64
+	}
+	if pb != want {
+		t.Fatalf("OptimalPB(64) = %d, want %d (f32=%v f64=%v)", pb, want, f32, f64)
+	}
+}
+
+func TestRoundPow2KnownCases(t *testing.T) {
+	cases := []struct {
+		in    float64
+		limit int
+		want  int
+	}{
+		{1, 0, 1},
+		{1.4, 0, 1},
+		{1.6, 0, 2},
+		{2, 0, 2},
+		{2.9, 0, 2},
+		{3.1, 0, 4},
+		{3, 0, 2},     // tie at exact midpoint resolves down
+		{6, 0, 4},     // midpoint of [4,8]
+		{6.01, 0, 8},  // just past midpoint
+		{47.9, 0, 32}, // below midpoint 48
+		{48.1, 0, 64},
+		{100, 64, 64},
+		{100, 48, 32}, // clamp to largest pow2 <= limit
+		{0.3, 0, 1},   // below 1 clamps to 1
+		{math.NaN(), 0, 1},
+		{math.Inf(1), 0, 1},
+	}
+	for _, c := range cases {
+		if got := RoundPow2(c.in, c.limit); got != c.want {
+			t.Fatalf("RoundPow2(%v, %d) = %d, want %d", c.in, c.limit, got, c.want)
+		}
+	}
+}
+
+// TestRoundPow2FactorBounds: the Theorem-2 premise — rounding changes the
+// allocation by a factor within [2/3, 4/3].
+func TestRoundPow2FactorBounds(t *testing.T) {
+	f := func(raw uint16) bool {
+		p := 1 + float64(raw)/512 // p in [1, 129)
+		r := float64(RoundPow2(p, 0))
+		ratio := r / p
+		return ratio >= 2.0/3-1e-12 && ratio <= 4.0/3+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRoundPow2AlwaysPow2WithinLimit under random inputs.
+func TestRoundPow2AlwaysPow2WithinLimit(t *testing.T) {
+	f := func(raw uint16, limRaw uint8) bool {
+		p := float64(raw) / 100
+		limit := int(limRaw)%100 + 1
+		r := RoundPow2(p, limit)
+		return IsPow2(r) && r <= limit
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIsPow2(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8, 1024} {
+		if !IsPow2(n) {
+			t.Fatalf("IsPow2(%d) = false", n)
+		}
+	}
+	for _, n := range []int{0, -1, 3, 6, 12, 1000} {
+		if IsPow2(n) {
+			t.Fatalf("IsPow2(%d) = true", n)
+		}
+	}
+}
+
+// TestTheorem1Monotonicity: the factor grows with PB (less slack for the
+// list scheduler).
+func TestTheorem1Monotonicity(t *testing.T) {
+	prev := 0.0
+	for pb := 1; pb <= 64; pb++ {
+		f, err := Theorem1Factor(64, pb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f <= prev {
+			t.Fatalf("Theorem1 factor not increasing at PB=%d", pb)
+		}
+		prev = f
+	}
+}
+
+// TestTheorem2Monotonicity: the factor shrinks as PB grows (less clamping
+// damage).
+func TestTheorem2Monotonicity(t *testing.T) {
+	prev := math.Inf(1)
+	for pb := 1; pb <= 64; pb *= 2 {
+		f, err := Theorem2Factor(64, pb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f >= prev {
+			t.Fatalf("Theorem2 factor not decreasing at PB=%d", pb)
+		}
+		prev = f
+	}
+}

@@ -1,0 +1,313 @@
+// Package codegen lowers a (program, schedule) pair into true MPMD code:
+// one instruction stream per physical processor, mixing data
+// redistribution (SEND/RECV/MOVE) with kernel execution (EXEC). This is
+// Step 5 of the paper's pipeline — the per-processor programs the authors
+// hand-wrote for the CM-5 — generated mechanically.
+//
+// Stream construction follows the cost model's accounting: a node's
+// receives precede its EXEC and the sends to *all* of its successors
+// follow it, exactly the decomposition T_i = Σt^R + t^C + Σt^S of
+// Section 2. Per-processor instruction order follows the schedule's start
+// times, which (for a valid schedule) makes the cross-processor
+// dependency graph acyclic — the generated programs cannot deadlock.
+package codegen
+
+import (
+	"fmt"
+	"sort"
+
+	"paradigm/internal/dist"
+	"paradigm/internal/kernels"
+	"paradigm/internal/mdg"
+	"paradigm/internal/prog"
+	"paradigm/internal/sched"
+)
+
+// Rect is a half-open matrix rectangle rows [R0,R1) × cols [C0,C1).
+type Rect struct {
+	R0, R1, C0, C1 int
+}
+
+// Empty reports whether the rectangle has no elements.
+func (r Rect) Empty() bool { return r.R0 >= r.R1 || r.C0 >= r.C1 }
+
+// Bytes is the payload size of the rectangle.
+func (r Rect) Bytes() int {
+	if r.Empty() {
+		return 0
+	}
+	return (r.R1 - r.R0) * (r.C1 - r.C0) * dist.ElemBytes
+}
+
+// Instance names one array instance in processor-local stores: the
+// producing node's copy or a consumer's redistributed copy.
+func Instance(array string, node mdg.NodeID) string {
+	return fmt.Sprintf("%s@%d", array, node)
+}
+
+// Instr is one MPMD instruction. Exactly one of the concrete types below.
+type Instr interface{ isInstr() }
+
+// Send transmits the rectangle Payload of SrcInstance to processor To.
+type Send struct {
+	Tag         string
+	To          int
+	Payload     Rect
+	SrcInstance string
+}
+
+// Recv blocks for the message Tag from processor From and stores its
+// rectangle into DstInstance, whose full local block is Block.
+type Recv struct {
+	Tag         string
+	From        int
+	Payload     Rect
+	DstInstance string
+	Block       Rect
+}
+
+// Move copies a rectangle between two instances on the same processor
+// (a redistribution overlap that stayed local).
+type Move struct {
+	Payload     Rect
+	SrcInstance string
+	DstInstance string
+	Block       Rect
+}
+
+// Exec runs node Node's kernel as a group barrier across Group; MySlot is
+// this processor's block index within the group.
+type Exec struct {
+	Node   mdg.NodeID
+	Group  []int
+	MySlot int
+}
+
+func (Send) isInstr() {}
+func (Recv) isInstr() {}
+func (Move) isInstr() {}
+func (Exec) isInstr() {}
+
+// Streams is the generated MPMD program.
+type Streams struct {
+	Procs   int
+	PerProc [][]Instr
+}
+
+// Stats summarizes the communication volume of the program.
+type Stats struct {
+	Sends, Recvs, Moves, Execs int
+	NetworkBytes               int
+	LocalBytes                 int
+}
+
+// Stats tallies instruction counts and byte volumes.
+func (s *Streams) Stats() Stats {
+	var st Stats
+	for _, stream := range s.PerProc {
+		for _, in := range stream {
+			switch v := in.(type) {
+			case Send:
+				st.Sends++
+				st.NetworkBytes += v.Payload.Bytes()
+			case Recv:
+				st.Recvs++
+			case Move:
+				st.Moves++
+				st.LocalBytes += v.Payload.Bytes()
+			case Exec:
+				st.Execs++
+			}
+		}
+	}
+	return st
+}
+
+// GroupDist builds the blocked 1D distribution of an array over a node's
+// processor group along a linear axis.
+func GroupDist(arr prog.Array, axis dist.Axis, group []int) (dist.Dist, error) {
+	return dist.New(arr.Rows, arr.Cols, axis, group)
+}
+
+// PlacementFor builds the block map of an array over a node's processor
+// group for any axis, including the grid extension. Block order follows
+// the group order: Blocks[slot].Proc == group[slot].
+func PlacementFor(arr prog.Array, axis dist.Axis, group []int) (dist.Placement, error) {
+	if axis == dist.ByGrid {
+		g, err := dist.NewGrid(arr.Rows, arr.Cols, group)
+		if err != nil {
+			return dist.Placement{}, err
+		}
+		return g.Placement(), nil
+	}
+	d, err := dist.New(arr.Rows, arr.Cols, axis, group)
+	if err != nil {
+		return dist.Placement{}, err
+	}
+	return d.Placement(), nil
+}
+
+// Generate lowers the program under the given schedule. The schedule must
+// cover exactly the program's MDG (same node count) and be valid for its
+// processor count.
+func Generate(p *prog.Program, s *sched.Schedule) (*Streams, error) {
+	n := p.G.NumNodes()
+	if len(s.Entries) != n {
+		return nil, fmt.Errorf("codegen: schedule covers %d nodes, program has %d", len(s.Entries), n)
+	}
+	out := &Streams{Procs: s.ProcsTotal, PerProc: make([][]Instr, s.ProcsTotal)}
+
+	// Process nodes in schedule order so each processor's stream is
+	// ordered by start time (ties: node id, matching sched determinism).
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ea, eb := s.Entries[order[a]], s.Entries[order[b]]
+		if ea.Start != eb.Start {
+			return ea.Start < eb.Start
+		}
+		return order[a] < order[b]
+	})
+
+	emit := func(proc int, in Instr) error {
+		if proc < 0 || proc >= out.Procs {
+			return fmt.Errorf("codegen: processor %d outside [0,%d)", proc, out.Procs)
+		}
+		out.PerProc[proc] = append(out.PerProc[proc], in)
+		return nil
+	}
+
+	// Precompute every redistribution: one per distinct (consumer, input
+	// array) pair. Sends and local moves are emitted in the *producer's*
+	// phase (the model accounts t^S inside T_m), receives in the
+	// consumer's (t^R inside T_j).
+	type redist struct {
+		consumer mdg.NodeID
+		srcInst  string
+		dstInst  string
+		msgs     []dist.Msg
+		dstPlace dist.Placement
+	}
+	byProducer := make([][]redist, n)
+	byConsumer := make([][]redist, n)
+	for ci := 0; ci < n; ci++ {
+		consumer := mdg.NodeID(ci)
+		spec := p.Specs[consumer]
+		if spec.Kernel.Op == kernels.OpNone {
+			continue
+		}
+		if len(s.Entries[consumer].Procs) == 0 {
+			return nil, fmt.Errorf("codegen: node %d has no processors", consumer)
+		}
+		seen := map[string]bool{}
+		for _, in := range spec.Inputs {
+			if seen[in] {
+				continue // same array used as both operands: one copy
+			}
+			seen[in] = true
+			src, ok := p.Producer(in)
+			if !ok {
+				return nil, fmt.Errorf("codegen: node %d consumes unproduced array %q", consumer, in)
+			}
+			arr := p.Arrays[in]
+			srcPlace, err := PlacementFor(arr, p.Specs[src].Axis, s.Entries[src].Procs)
+			if err != nil {
+				return nil, fmt.Errorf("codegen: node %d source dist: %w", consumer, err)
+			}
+			dstPlace, err := PlacementFor(arr, spec.Axis, s.Entries[consumer].Procs)
+			if err != nil {
+				return nil, fmt.Errorf("codegen: node %d dest dist: %w", consumer, err)
+			}
+			msgs, err := dist.MessagesBetween(srcPlace, dstPlace)
+			if err != nil {
+				return nil, fmt.Errorf("codegen: node %d redistribution of %q: %w", consumer, in, err)
+			}
+			r := redist{
+				consumer: consumer,
+				srcInst:  Instance(in, src),
+				dstInst:  Instance(in, consumer),
+				msgs:     msgs,
+				dstPlace: dstPlace,
+			}
+			byProducer[src] = append(byProducer[src], r)
+			byConsumer[consumer] = append(byConsumer[consumer], r)
+		}
+	}
+
+	blockRect := func(pl dist.Placement, proc int) (Rect, error) {
+		b, ok := pl.BlockFor(proc)
+		if !ok {
+			return Rect{}, fmt.Errorf("codegen: processor %d not in destination group", proc)
+		}
+		return Rect{R0: b.R0, R1: b.R1, C0: b.C0, C1: b.C1}, nil
+	}
+	tagOf := func(r redist, mi int) string {
+		return fmt.Sprintf("%s->%d#%d", r.srcInst, r.consumer, mi)
+	}
+
+	for _, ni := range order {
+		node := mdg.NodeID(ni)
+		spec := p.Specs[node]
+		if spec.Kernel.Op == kernels.OpNone {
+			continue // dummy START/STOP: no data, no compute
+		}
+		group := s.Entries[node].Procs
+
+		// Receive phase (t^R side of this node's weight).
+		for _, r := range byConsumer[node] {
+			for mi, m := range r.msgs {
+				if m.From == m.To {
+					continue // local move: emitted in the producer phase
+				}
+				block, err := blockRect(r.dstPlace, m.To)
+				if err != nil {
+					return nil, err
+				}
+				rect := Rect{R0: m.R0, R1: m.R1, C0: m.C0, C1: m.C1}
+				if err := emit(m.To, Recv{Tag: tagOf(r, mi), From: m.From, Payload: rect, DstInstance: r.dstInst, Block: block}); err != nil {
+					return nil, err
+				}
+			}
+		}
+
+		// Execute phase: one barrier EXEC per group member.
+		for slot, proc := range group {
+			if err := emit(proc, Exec{Node: node, Group: group, MySlot: slot}); err != nil {
+				return nil, err
+			}
+		}
+
+		// Send phase (t^S side): deliver this node's output toward every
+		// consumer, in consumer order.
+		for _, r := range byProducer[node] {
+			for mi, m := range r.msgs {
+				rect := Rect{R0: m.R0, R1: m.R1, C0: m.C0, C1: m.C1}
+				if m.From == m.To {
+					block, err := blockRect(r.dstPlace, m.To)
+					if err != nil {
+						return nil, err
+					}
+					if err := emit(m.From, Move{Payload: rect, SrcInstance: r.srcInst, DstInstance: r.dstInst, Block: block}); err != nil {
+						return nil, err
+					}
+					continue
+				}
+				if err := emit(m.From, Send{Tag: tagOf(r, mi), To: m.To, Payload: rect, SrcInstance: r.srcInst}); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+func indexOf(xs []int, v int) int {
+	for i, x := range xs {
+		if x == v {
+			return i
+		}
+	}
+	return -1
+}

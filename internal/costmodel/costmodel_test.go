@@ -1,0 +1,376 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"paradigm/internal/expr"
+	"paradigm/internal/mdg"
+	"paradigm/internal/posy"
+)
+
+func approx(a, b, tol float64) bool {
+	diff := math.Abs(a - b)
+	scale := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return diff <= tol*scale
+}
+
+var paperTransfer = TransferParams{
+	Tss: 777.56e-6,
+	Tps: 486.98e-9,
+	Tsr: 465.58e-6,
+	Tpr: 426.25e-9,
+	Tn:  0,
+}
+
+func TestProcessingAmdahlEndpoints(t *testing.T) {
+	lp := LoopParams{Alpha: 0.121, Tau: 0.29847}
+	if got := lp.Processing(1); !approx(got, lp.Tau, 1e-12) {
+		t.Fatalf("t^C(1) = %v, want τ = %v", got, lp.Tau)
+	}
+	// As p -> ∞ the cost approaches α·τ.
+	if got := lp.Processing(1e9); !approx(got, lp.Alpha*lp.Tau, 1e-6) {
+		t.Fatalf("t^C(inf) = %v, want ατ = %v", got, lp.Alpha*lp.Tau)
+	}
+	// Monotone decreasing in p.
+	prev := math.Inf(1)
+	for p := 1.0; p <= 64; p *= 2 {
+		v := lp.Processing(p)
+		if v >= prev {
+			t.Fatalf("t^C not decreasing at p=%v: %v >= %v", p, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestProcessingPanicsBelowOne(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	LoopParams{Tau: 1}.Processing(0.5)
+}
+
+func TestTransfer1DSymmetricGroups(t *testing.T) {
+	// Equal group sizes: max(pi,pj)/pi = 1; exactly one message per
+	// processor pair in the model's terms.
+	c := paperTransfer.Transfer(mdg.Transfer1D, 32768, 8, 8)
+	wantSend := paperTransfer.Tss + 32768.0/8*paperTransfer.Tps
+	wantRecv := paperTransfer.Tsr + 32768.0/8*paperTransfer.Tpr
+	if !approx(c.Send, wantSend, 1e-12) || !approx(c.Recv, wantRecv, 1e-12) {
+		t.Fatalf("1D cost = %+v, want send %v recv %v", c, wantSend, wantRecv)
+	}
+	if c.Net != 0 {
+		t.Fatalf("CM-5 t_n = 0 must give zero net cost, got %v", c.Net)
+	}
+}
+
+func TestTransfer1DAsymmetricGroups(t *testing.T) {
+	// pi=2 sending to pj=8: each sender serves 4 receivers' worth of
+	// startups: max/pi = 4.
+	c := paperTransfer.Transfer(mdg.Transfer1D, 1024, 2, 8)
+	if !approx(c.Send, 4*paperTransfer.Tss+512*paperTransfer.Tps, 1e-12) {
+		t.Fatalf("send = %v", c.Send)
+	}
+	if !approx(c.Recv, paperTransfer.Tsr+128*paperTransfer.Tpr, 1e-12) {
+		t.Fatalf("recv = %v", c.Recv)
+	}
+}
+
+func TestTransfer2DAllToAll(t *testing.T) {
+	// 2D: every sender talks to every receiver: pj startups at senders.
+	c := paperTransfer.Transfer(mdg.Transfer2D, 32768, 4, 8)
+	if !approx(c.Send, 8*paperTransfer.Tss+32768.0/4*paperTransfer.Tps, 1e-12) {
+		t.Fatalf("2D send = %v", c.Send)
+	}
+	if !approx(c.Recv, 4*paperTransfer.Tsr+32768.0/8*paperTransfer.Tpr, 1e-12) {
+		t.Fatalf("2D recv = %v", c.Recv)
+	}
+}
+
+func TestTransfer2DCostsExceed1DForLargeGroups(t *testing.T) {
+	// The 2D redistribution pays O(p) startups; 1D pays O(1) for equal
+	// groups — the reason the paper distinguishes the regimes.
+	for _, p := range []float64{4, 8, 16, 32} {
+		c1 := paperTransfer.Transfer(mdg.Transfer1D, 32768, p, p)
+		c2 := paperTransfer.Transfer(mdg.Transfer2D, 32768, p, p)
+		if c2.Send <= c1.Send || c2.Recv <= c1.Recv {
+			t.Fatalf("at p=%v: 2D (%v,%v) should exceed 1D (%v,%v)",
+				p, c2.Send, c2.Recv, c1.Send, c1.Recv)
+		}
+	}
+}
+
+func TestTransferPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"pi<1":      func() { paperTransfer.Transfer(mdg.Transfer1D, 1, 0.5, 1) },
+		"negL":      func() { paperTransfer.Transfer(mdg.Transfer1D, -1, 1, 1) },
+		"badKind":   func() { paperTransfer.Transfer(mdg.TransferKind(9), 1, 1, 1) },
+		"exprBadKd": func() { var eg expr.Graph; TransferExprs(&eg, paperTransfer, mdg.TransferKind(9), 1, 0, 1) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		})
+	}
+}
+
+// chainGraph builds a 3-node chain with one 1D transfer per edge.
+func chainGraph() *mdg.Graph {
+	var g mdg.Graph
+	a := g.AddNode(mdg.Node{Name: "a", Alpha: 0.067, Tau: 3.73e-3})
+	b := g.AddNode(mdg.Node{Name: "b", Alpha: 0.121, Tau: 0.29847})
+	c := g.AddNode(mdg.Node{Name: "c", Alpha: 0.067, Tau: 3.73e-3})
+	g.AddEdge(a, b, mdg.Transfer{Bytes: 32768, Kind: mdg.Transfer1D})
+	g.AddEdge(b, c, mdg.Transfer{Bytes: 32768, Kind: mdg.Transfer2D})
+	return &g
+}
+
+func TestNodeWeightComposition(t *testing.T) {
+	g := chainGraph()
+	m := Model{Transfer: paperTransfer}
+	p := []float64{4, 8, 2}
+	// Node b: recv from a at (4->8), processing at 8, send to c at (8->2).
+	eAB, _ := g.EdgeBetween(0, 1)
+	eBC, _ := g.EdgeBetween(1, 2)
+	want := paperTransfer.EdgeTransfer(eAB, 4, 8).Recv +
+		LoopParams{Alpha: 0.121, Tau: 0.29847}.Processing(8) +
+		paperTransfer.EdgeTransfer(eBC, 8, 2).Send
+	if got := m.NodeWeight(g, 1, p); !approx(got, want, 1e-12) {
+		t.Fatalf("NodeWeight = %v, want %v", got, want)
+	}
+}
+
+func TestPhiIsMaxOfApCp(t *testing.T) {
+	g := chainGraph()
+	m := Model{Transfer: paperTransfer}
+	p := []float64{2, 4, 2}
+	phi, ap, cp, err := m.Phi(g, p, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if phi != math.Max(ap, cp) {
+		t.Fatalf("phi = %v, max(ap,cp) = %v", phi, math.Max(ap, cp))
+	}
+	// A chain has no functional parallelism: critical path includes every
+	// node weight, so C_p >= any single node weight.
+	if cp < m.NodeWeight(g, 1, p) {
+		t.Fatalf("cp = %v < node weight", cp)
+	}
+}
+
+// TestExprMatchesFloat: the expression-DAG forms evaluate to the same
+// values as the float forms at hard max (temperature 0).
+func TestExprMatchesFloat(t *testing.T) {
+	f := func(piRaw, pjRaw uint8, kindRaw bool, lRaw uint16) bool {
+		pi := 1 + float64(piRaw)/4
+		pj := 1 + float64(pjRaw)/4
+		bytes := int(lRaw) + 1
+		kind := mdg.Transfer1D
+		if kindRaw {
+			kind = mdg.Transfer2D
+		}
+		var eg expr.Graph
+		s, n, r := TransferExprs(&eg, paperTransfer, kind, bytes, 0, 1)
+		ev := expr.NewEvaluator(&eg)
+		x := []float64{math.Log(pi), math.Log(pj)}
+		c := paperTransfer.Transfer(kind, bytes, pi, pj)
+		if !approx(ev.Eval(s, x, 0), c.Send, 1e-9) {
+			return false
+		}
+		if !approx(ev.Eval(r, x, 0), c.Recv, 1e-9) {
+			return false
+		}
+		// Net: 1D expr charges the sender denominator (upper bound); with
+		// Tn = 0 both are zero. 2D matches exactly.
+		if kind == mdg.Transfer2D && !approx(ev.Eval(n, x, 0), c.Net, 1e-9) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProcessingExprMatchesFloat(t *testing.T) {
+	f := func(aRaw, pRaw uint8, tRaw uint16) bool {
+		lp := LoopParams{Alpha: float64(aRaw) / 255, Tau: float64(tRaw) / 100}
+		p := 1 + float64(pRaw)/4
+		var eg expr.Graph
+		id := ProcessingExpr(&eg, lp, 0)
+		idp := ProcessingTimesPExpr(&eg, lp, 0)
+		ev := expr.NewEvaluator(&eg)
+		x := []float64{math.Log(p)}
+		if !approx(ev.Eval(id, x, 0), lp.Processing(p), 1e-9) {
+			return false
+		}
+		return approx(ev.Eval(idp, x, 0), lp.Processing(p)*p, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLemma1: t^C and t^C·p are posynomials (mechanical check of the
+// paper's Lemma 1).
+func TestLemma1(t *testing.T) {
+	f := func(aRaw uint8, tRaw uint16) bool {
+		lp := LoopParams{Alpha: float64(aRaw) / 255, Tau: 0.001 + float64(tRaw)/100}
+		return ProcessingPosy(lp).IsPosynomial() && ProcessingTimesPPosy(lp).IsPosynomial()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLemma2For2D: every 2D component, and the products t^R·p_j and
+// t^S·p_i, are posynomials (Lemma 2 + the Section 2 conditions).
+func TestLemma2For2D(t *testing.T) {
+	f := func(lRaw uint16) bool {
+		s, n, r := Transfer2DPosy(paperTransfer, int(lRaw)+1)
+		if !(s.IsPosynomial() && n.IsPosynomial() && r.IsPosynomial()) {
+			return false
+		}
+		sp := s.MulMono(1, map[string]float64{"pi": 1})
+		rp := r.MulMono(1, map[string]float64{"pj": 1})
+		return sp.IsPosynomial() && rp.IsPosynomial()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLemma2For1D: each 1D component is the max of two posynomial
+// branches (a generalized posynomial), the branches agree with the float
+// evaluation, and the max selects branch A when p_i >= p_j.
+func TestLemma2For1D(t *testing.T) {
+	f := func(piRaw, pjRaw uint8, lRaw uint16) bool {
+		pi := 1 + float64(piRaw)/4
+		pj := 1 + float64(pjRaw)/4
+		bytes := int(lRaw) + 1
+		sa, sb, na, nb, ra, rb := Transfer1DPosyBranches(paperTransfer, bytes)
+		for _, p := range []interface{ IsPosynomial() bool }{sa, sb, na, nb, ra, rb} {
+			if !p.IsPosynomial() {
+				return false
+			}
+		}
+		vals := map[string]float64{"pi": pi, "pj": pj}
+		c := paperTransfer.Transfer(mdg.Transfer1D, bytes, pi, pj)
+		send := math.Max(sa.Eval(vals), sb.Eval(vals))
+		recv := math.Max(ra.Eval(vals), rb.Eval(vals))
+		return approx(send, c.Send, 1e-9) && approx(recv, c.Recv, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEdgeTransferSumsArrays: an edge carrying two arrays costs the sum of
+// the individual transfers.
+func TestEdgeTransferSumsArrays(t *testing.T) {
+	e := mdg.Edge{Transfers: []mdg.Transfer{
+		{Bytes: 1000, Kind: mdg.Transfer1D},
+		{Bytes: 2000, Kind: mdg.Transfer2D},
+	}}
+	got := paperTransfer.EdgeTransfer(e, 4, 8)
+	c1 := paperTransfer.Transfer(mdg.Transfer1D, 1000, 4, 8)
+	c2 := paperTransfer.Transfer(mdg.Transfer2D, 2000, 4, 8)
+	if !approx(got.Send, c1.Send+c2.Send, 1e-12) ||
+		!approx(got.Recv, c1.Recv+c2.Recv, 1e-12) ||
+		!approx(got.Net, c1.Net+c2.Net, 1e-12) {
+		t.Fatalf("EdgeTransfer = %+v, want sum of %+v and %+v", got, c1, c2)
+	}
+}
+
+func TestEdgeTransferExprsEmptyEdge(t *testing.T) {
+	var eg expr.Graph
+	s, n, r := EdgeTransferExprs(&eg, paperTransfer, mdg.Edge{}, 0, 1)
+	ev := expr.NewEvaluator(&eg)
+	x := []float64{0, 0}
+	if ev.Eval(s, x, 0) != 0 || ev.Eval(n, x, 0) != 0 || ev.Eval(r, x, 0) != 0 {
+		t.Fatal("transfer-free edge must cost zero")
+	}
+}
+
+func BenchmarkNodeWeightChain(b *testing.B) {
+	g := chainGraph()
+	m := Model{Transfer: paperTransfer}
+	p := []float64{4, 8, 2}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.NodeWeight(g, 1, p)
+	}
+}
+
+// TestGridTransferExprMatchesFloat: the extended-kind expression forms
+// agree with the float forms at hard max.
+func TestGridTransferExprMatchesFloat(t *testing.T) {
+	kinds := []mdg.TransferKind{mdg.TransferG2L, mdg.TransferL2G, mdg.TransferG2G}
+	f := func(piRaw, pjRaw uint8, kRaw uint8, lRaw uint16) bool {
+		pi := 1 + float64(piRaw)/4
+		pj := 1 + float64(pjRaw)/4
+		bytes := int(lRaw) + 1
+		kind := kinds[int(kRaw)%3]
+		var eg expr.Graph
+		s, _, r := TransferExprs(&eg, paperTransfer, kind, bytes, 0, 1)
+		ev := expr.NewEvaluator(&eg)
+		x := []float64{math.Log(pi), math.Log(pj)}
+		c := paperTransfer.Transfer(kind, bytes, pi, pj)
+		return approx(ev.Eval(s, x, 0), c.Send, 1e-9) && approx(ev.Eval(r, x, 0), c.Recv, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGridPosyBranchesAreGeneralizedPosynomials: every branch is a
+// posynomial and their max reproduces the float costs (the Lemma-2
+// extension for grid kinds).
+func TestGridPosyBranchesAreGeneralizedPosynomials(t *testing.T) {
+	kinds := []mdg.TransferKind{mdg.TransferG2L, mdg.TransferL2G, mdg.TransferG2G}
+	f := func(piRaw, pjRaw uint8, kRaw uint8, lRaw uint16) bool {
+		pi := 1 + float64(piRaw)/4
+		pj := 1 + float64(pjRaw)/4
+		bytes := int(lRaw) + 1
+		kind := kinds[int(kRaw)%3]
+		sb, rb := GridPosyBranches(paperTransfer, kind, bytes)
+		vals := map[string]float64{"pi": pi, "pj": pj}
+		maxOf := func(ps []posy.Posynomial) float64 {
+			best := math.Inf(-1)
+			for _, p := range ps {
+				if !p.IsPosynomial() {
+					return math.NaN()
+				}
+				if v := p.Eval(vals); v > best {
+					best = v
+				}
+			}
+			return best
+		}
+		c := paperTransfer.Transfer(kind, bytes, pi, pj)
+		return approx(maxOf(sb), c.Send, 1e-9) && approx(maxOf(rb), c.Recv, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGridG2GMatches1DForm: grid-to-grid redistribution costs exactly the
+// 1D formula (row and column overlap factors multiply back together).
+func TestGridG2GMatches1DForm(t *testing.T) {
+	for _, pq := range [][2]float64{{4, 16}, {16, 4}, {8, 8}, {1, 64}} {
+		g := paperTransfer.Transfer(mdg.TransferG2G, 32768, pq[0], pq[1])
+		d := paperTransfer.Transfer(mdg.Transfer1D, 32768, pq[0], pq[1])
+		if !approx(g.Send, d.Send, 1e-12) || !approx(g.Recv, d.Recv, 1e-12) {
+			t.Fatalf("G2G at %v != 1D: %+v vs %+v", pq, g, d)
+		}
+	}
+}

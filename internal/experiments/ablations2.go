@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"paradigm/internal/alloc"
+	"paradigm/internal/kernels"
+	"paradigm/internal/tables"
+	"paradigm/internal/trainsets"
+)
+
+// AblationHeuristicRow compares the convex allocator with the greedy
+// doubling heuristic of the pre-convex prior work.
+type AblationHeuristicRow struct {
+	Program      string
+	Procs        int
+	PhiConvex    float64
+	PhiHeuristic float64
+	GapPct       float64 // (heuristic - convex) / convex
+}
+
+// AblationHeuristicResult carries all rows (ablation A5).
+type AblationHeuristicResult struct{ Rows []AblationHeuristicRow }
+
+// AblationHeuristic runs A5: the convex program against the greedy
+// power-of-two doubling heuristic on both test programs.
+func AblationHeuristic(env *Env) (*AblationHeuristicResult, error) {
+	progs, err := testPrograms(env)
+	if err != nil {
+		return nil, err
+	}
+	model := env.Cal.Model()
+	out := &AblationHeuristicResult{}
+	for _, name := range ProgramNames() {
+		p := progs[name]
+		for _, procs := range SystemSizes() {
+			conv, err := alloc.Solve(p.G, model, procs, alloc.Options{})
+			if err != nil {
+				return nil, err
+			}
+			heur, err := alloc.SolveHeuristic(p.G, model, procs)
+			if err != nil {
+				return nil, err
+			}
+			out.Rows = append(out.Rows, AblationHeuristicRow{
+				Program:      name,
+				Procs:        procs,
+				PhiConvex:    conv.Phi,
+				PhiHeuristic: heur.Phi,
+				GapPct:       100 * (heur.Phi - conv.Phi) / conv.Phi,
+			})
+		}
+	}
+	return out, nil
+}
+
+// String renders ablation A5.
+func (r *AblationHeuristicResult) String() string {
+	t := tables.New("Ablation A5: convex allocation vs greedy doubling heuristic (prior work)",
+		"program", "p", "Phi convex (s)", "Phi heuristic (s)", "gap (%)")
+	for _, row := range r.Rows {
+		t.Row(row.Program, row.Procs,
+			fmt.Sprintf("%.4f", row.PhiConvex),
+			fmt.Sprintf("%.4f", row.PhiHeuristic),
+			fmt.Sprintf("%+.1f", row.GapPct))
+	}
+	return t.String()
+}
+
+// AblationStaticRow compares trained and static cost-model parameters.
+type AblationStaticRow struct {
+	Loop                      string
+	TrainedAlpha, StaticAlpha float64
+	TrainedTau, StaticTau     float64
+	// WorstErrPct is the worst relative prediction error over the
+	// processor sweep for each parameter source.
+	TrainedWorstErrPct, StaticWorstErrPct float64
+}
+
+// AblationStaticResult carries all rows (ablation A6).
+type AblationStaticResult struct{ Rows []AblationStaticRow }
+
+// AblationStaticEstimate runs A6: the Gupta-Banerjee-style compile-time
+// estimate against the training-sets regression for the paper's loops.
+func AblationStaticEstimate(env *Env) (*AblationStaticResult, error) {
+	loops := []struct {
+		name string
+		k    kernels.Kernel
+	}{
+		{"Matrix Addition (64x64)", kernels.Kernel{Op: kernels.OpAdd, M: 64, N: 64}},
+		{"Matrix Multiply (64x64)", kernels.Kernel{Op: kernels.OpMul, M: 64, N: 64, K: 64}},
+	}
+	out := &AblationStaticResult{}
+	for _, l := range loops {
+		trained, err := env.Cal.LoopFit(l.name, l.k)
+		if err != nil {
+			return nil, err
+		}
+		static, err := trainsets.StaticLoopParams(env.Machine, l.k, env.Machine.Procs)
+		if err != nil {
+			return nil, err
+		}
+		row := AblationStaticRow{
+			Loop:         l.name,
+			TrainedAlpha: trained.Params.Alpha, StaticAlpha: static.Alpha,
+			TrainedTau: trained.Params.Tau, StaticTau: static.Tau,
+		}
+		for _, s := range trained.Samples {
+			q := float64(s.Procs)
+			te := math.Abs(trained.Params.Processing(q)-s.Measured) / s.Measured
+			se := math.Abs(static.Processing(q)-s.Measured) / s.Measured
+			row.TrainedWorstErrPct = math.Max(row.TrainedWorstErrPct, 100*te)
+			row.StaticWorstErrPct = math.Max(row.StaticWorstErrPct, 100*se)
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// String renders ablation A6.
+func (r *AblationStaticResult) String() string {
+	t := tables.New("Ablation A6: training-sets regression vs compile-time static estimate",
+		"loop", "alpha trained", "alpha static", "tau trained (ms)", "tau static (ms)",
+		"worst err trained (%)", "worst err static (%)")
+	for _, row := range r.Rows {
+		t.Row(row.Loop,
+			fmt.Sprintf("%.3f", row.TrainedAlpha), fmt.Sprintf("%.3f", row.StaticAlpha),
+			fmt.Sprintf("%.2f", row.TrainedTau*1e3), fmt.Sprintf("%.2f", row.StaticTau*1e3),
+			fmt.Sprintf("%.1f", row.TrainedWorstErrPct), fmt.Sprintf("%.1f", row.StaticWorstErrPct))
+	}
+	return t.String()
+}

@@ -1,0 +1,498 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	envOnce sync.Once
+	envVal  *Env
+	envErr  error
+)
+
+func testEnv(t *testing.T) *Env {
+	t.Helper()
+	envOnce.Do(func() { envVal, envErr = NewEnv() })
+	if envErr != nil {
+		t.Fatal(envErr)
+	}
+	return envVal
+}
+
+func TestExample3MatchesPaperNumbers(t *testing.T) {
+	r, err := Example3Node(testEnv(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.NaiveTime-15.6) > 0.05 {
+		t.Fatalf("naive = %v, want 15.6", r.NaiveTime)
+	}
+	if math.Abs(r.MixedTime-14.3) > 0.1 {
+		t.Fatalf("mixed = %v, want 14.3", r.MixedTime)
+	}
+	if r.MixedTime >= r.NaiveTime {
+		t.Fatal("mixed must beat naive")
+	}
+	if !strings.Contains(r.String(), "14.3") && !strings.Contains(r.String(), "mixed") {
+		t.Fatal("render missing content")
+	}
+}
+
+func TestTable1PaperShape(t *testing.T) {
+	r, err := Table1(testEnv(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Fits) != 2 {
+		t.Fatalf("rows = %d", len(r.Fits))
+	}
+	add, mul := r.Fits[0], r.Fits[1]
+	if !strings.Contains(add.Name, "Addition") || !strings.Contains(mul.Name, "Multiply") {
+		t.Fatalf("row order: %q, %q", add.Name, mul.Name)
+	}
+	// Paper: α_add = 6.7% < α_mul = 12.1%; τ_add ≈ 3.7 ms, τ_mul ≈ 298 ms.
+	if add.Params.Alpha >= mul.Params.Alpha {
+		t.Fatalf("α ordering violated: %v vs %v", add.Params.Alpha, mul.Params.Alpha)
+	}
+	if mul.Params.Tau < 0.15 || mul.Params.Tau > 0.45 {
+		t.Fatalf("τ_mul = %v", mul.Params.Tau)
+	}
+	if add.Params.Tau < 1.5e-3 || add.Params.Tau > 8e-3 {
+		t.Fatalf("τ_add = %v", add.Params.Tau)
+	}
+	if add.R2 < 0.95 || mul.R2 < 0.95 {
+		t.Fatalf("R² too low: %v / %v", add.R2, mul.R2)
+	}
+	if !strings.Contains(r.String(), "Table 1") {
+		t.Fatal("render missing title")
+	}
+}
+
+func TestFig3PredictionsTrackMeasurements(t *testing.T) {
+	r, err := Fig3(testEnv(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range r.Fits {
+		if len(f.Samples) < 5 {
+			t.Fatalf("%s: only %d samples", f.Name, len(f.Samples))
+		}
+		for _, s := range f.Samples {
+			if rel := math.Abs(s.Predicted-s.Measured) / s.Measured; rel > 0.35 {
+				t.Fatalf("%s at p=%d: rel error %v", f.Name, s.Procs, rel)
+			}
+		}
+	}
+	if !strings.Contains(r.String(), "Figure 3") {
+		t.Fatal("render missing title")
+	}
+}
+
+func TestTable2PaperMagnitudes(t *testing.T) {
+	r, err := Table2(testEnv(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := r.Fit.Params
+	// Paper magnitudes: t_ss 778 µs, t_ps 487 ns, t_sr 466 µs, t_pr 426 ns.
+	check := func(name string, got, paper float64) {
+		if got < paper/3 || got > paper*3 {
+			t.Fatalf("%s = %v, outside 3x of paper's %v", name, got, paper)
+		}
+	}
+	check("t_ss", p.Tss, 777.56e-6)
+	check("t_ps", p.Tps, 486.98e-9)
+	check("t_sr", p.Tsr, 465.58e-6)
+	check("t_pr", p.Tpr, 426.25e-9)
+	if p.Tn != 0 {
+		t.Fatalf("t_n = %v, want 0", p.Tn)
+	}
+	if r.Fit.SendR2 < 0.97 || r.Fit.RecvR2 < 0.97 {
+		t.Fatalf("R² = %v/%v", r.Fit.SendR2, r.Fit.RecvR2)
+	}
+}
+
+func TestFig5SamplesCoverBothKinds(t *testing.T) {
+	r, err := Fig5(testEnv(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[string]bool{}
+	for _, s := range r.Fit.Samples {
+		kinds[s.Kind.String()] = true
+	}
+	if !kinds["1D"] || !kinds["2D"] {
+		t.Fatalf("kinds covered: %v", kinds)
+	}
+	if !strings.Contains(r.String(), "Figure 5") {
+		t.Fatal("render missing title")
+	}
+}
+
+func TestFig6Structure(t *testing.T) {
+	r, err := Fig6(testEnv(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.CMMNodes != 12 { // 10 computation + START + STOP
+		t.Fatalf("CMM nodes = %d", r.CMMNodes)
+	}
+	if r.StrassenNodes != 35 { // 33 computation + START + STOP
+		t.Fatalf("Strassen nodes = %d", r.StrassenNodes)
+	}
+	if !strings.Contains(r.CMMDOT, "digraph") || !strings.Contains(r.StrassenDOT, "M7") {
+		t.Fatal("DOT output incomplete")
+	}
+}
+
+func TestFig7MixedSchedule(t *testing.T) {
+	r, err := Fig7(testEnv(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Makespan <= 0 {
+		t.Fatal("empty schedule")
+	}
+	// The 4 multiplies should run concurrently (the Figure 7 shape):
+	// at least two multiplies share a start time.
+	if !strings.Contains(r.SchedTab, "mul_ArBr") {
+		t.Fatalf("schedule table missing nodes:\n%s", r.SchedTab)
+	}
+}
+
+func TestFig8MPMDBeatsSPMD(t *testing.T) {
+	r, err := Fig8(testEnv(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(r.Rows))
+	}
+	gap := map[string][]float64{}
+	for _, row := range r.Rows {
+		if row.MPMDSpeedup < row.SPMDSpeedup {
+			t.Fatalf("%s p=%d: MPMD %v below SPMD %v",
+				row.Program, row.Procs, row.MPMDSpeedup, row.SPMDSpeedup)
+		}
+		gap[row.Program] = append(gap[row.Program], row.MPMDSpeedup/row.SPMDSpeedup)
+	}
+	// Paper: the advantage grows with system size.
+	for prog, gs := range gap {
+		if gs[len(gs)-1] <= gs[0] {
+			t.Fatalf("%s: MPMD advantage should grow with p: %v", prog, gs)
+		}
+	}
+}
+
+func TestFig9PredictionsClose(t *testing.T) {
+	r, err := Fig9(testEnv(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range r.Rows {
+		if row.Normalized < 0.75 || row.Normalized > 1.30 {
+			t.Fatalf("%s p=%d: predicted/actual = %v, model too loose",
+				row.Program, row.Procs, row.Normalized)
+		}
+	}
+}
+
+func TestTable3DeviationsSmall(t *testing.T) {
+	r, err := Table3(testEnv(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 6 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		// Paper range: -2.6% to +15.6%. Allow a wider but same-regime
+		// window: the PSA must stay near the convex optimum, never at
+		// the Theorem-3 worst case (tens of times Φ).
+		if row.PercentChange < -15 || row.PercentChange > 35 {
+			t.Fatalf("%s p=%d: deviation %v%%", row.Program, row.Procs, row.PercentChange)
+		}
+	}
+	// CMM (simple MDG) deviates less than Strassen (deep MDG) — the
+	// paper's pattern.
+	var cmmMax, strMax float64
+	for _, row := range r.Rows {
+		d := math.Abs(row.PercentChange)
+		if strings.Contains(row.Program, "Complex") {
+			cmmMax = math.Max(cmmMax, d)
+		} else {
+			strMax = math.Max(strMax, d)
+		}
+	}
+	if cmmMax >= strMax {
+		t.Fatalf("deviation pattern inverted: CMM %v vs Strassen %v", cmmMax, strMax)
+	}
+}
+
+func TestAblationRoundingWithinBounds(t *testing.T) {
+	r, err := AblationRounding(testEnv(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range r.Rows {
+		if !row.RoundedWithinBound {
+			t.Fatalf("%s p=%d: T_psa %v exceeds Theorem 3 bound %v",
+				row.Program, row.Procs, row.TpsaRounded, row.Theorem3Bound)
+		}
+		if row.TpsaRounded < row.Phi*(1-1e-9) && row.TpsaRounded < row.Phi*0.5 {
+			t.Fatalf("rounded schedule impossibly fast: %v vs Phi %v", row.TpsaRounded, row.Phi)
+		}
+	}
+}
+
+func TestAblationPBSweepShape(t *testing.T) {
+	r, err := AblationPBSweep(testEnv(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := math.Inf(1)
+	var chosen float64
+	sawChoice := false
+	for _, row := range r.Rows {
+		if row.Tpsa < best {
+			best = row.Tpsa
+		}
+		if row.IsCorollary {
+			chosen = row.Tpsa
+			sawChoice = true
+		}
+	}
+	if !sawChoice {
+		t.Fatal("Corollary 1 choice not in sweep")
+	}
+	// The theory-guided choice should be near the empirical best.
+	if chosen > best*1.25 {
+		t.Fatalf("Corollary choice %v far from best %v", chosen, best)
+	}
+}
+
+func TestAblationNoTransferCostsNeverHelps(t *testing.T) {
+	r, err := AblationNoTransferCosts(testEnv(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range r.Rows {
+		if row.PenaltyPct < -1 {
+			t.Fatalf("%s p=%d: transfer-blind allocation beat aware by %v%%",
+				row.Program, row.Procs, -row.PenaltyPct)
+		}
+	}
+}
+
+func TestAblationSchedulerRuns(t *testing.T) {
+	r, err := AblationScheduler(testEnv(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.PSATime <= 0 || row.FIFOTime <= 0 || row.HLFTime <= 0 {
+			t.Fatalf("times: %+v", row)
+		}
+		// All three policies schedule the same allocation: makespans stay
+		// within the same regime (no policy catastrophically worse).
+		worst := math.Max(row.PSATime, math.Max(row.FIFOTime, row.HLFTime))
+		best := math.Min(row.PSATime, math.Min(row.FIFOTime, row.HLFTime))
+		if worst > 3*best {
+			t.Fatalf("%s: policy spread too wide: %v", row.Workload, row)
+		}
+	}
+	if !strings.Contains(r.String(), "Ablation A4") {
+		t.Fatal("render missing title")
+	}
+}
+
+func TestRunPipelineRejectsUnknownKind(t *testing.T) {
+	env := testEnv(t)
+	p, err := Fig6(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = p
+	if _, err := RunPipeline(env, nil, 4, RunKind(9)); err == nil {
+		t.Fatal("want unknown-kind error")
+	}
+}
+
+func TestAblationHeuristicConvexWins(t *testing.T) {
+	r, err := AblationHeuristic(testEnv(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 6 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		// Global optimality: the heuristic can tie but never beat the
+		// convex solution (beyond solver tolerance).
+		if row.GapPct < -0.5 {
+			t.Fatalf("%s p=%d: heuristic beat convex by %v%%", row.Program, row.Procs, -row.GapPct)
+		}
+	}
+}
+
+func TestAblationStaticEstimate(t *testing.T) {
+	r, err := AblationStaticEstimate(testEnv(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.StaticTau <= 0 {
+			t.Fatalf("%s: static tau %v", row.Loop, row.StaticTau)
+		}
+		// The static two-point estimate must stay in the same regime as
+		// the trained fit (taus within 20%, alphas within a factor of 3).
+		if math.Abs(row.StaticTau-row.TrainedTau) > 0.2*row.TrainedTau {
+			t.Fatalf("%s: tau static %v vs trained %v", row.Loop, row.StaticTau, row.TrainedTau)
+		}
+	}
+}
+
+func TestPortabilityParagon(t *testing.T) {
+	r, err := Portability(testEnv(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The Paragon has a real wire: the calibration must recover t_n > 0
+	// close to the ground truth (the CM-5 path pins it at 0).
+	if r.FittedTnNs <= 0 {
+		t.Fatal("fitted t_n must be positive on the Paragon")
+	}
+	if math.Abs(r.FittedTnNs-r.TruthTnNs) > 0.3*r.TruthTnNs {
+		t.Fatalf("fitted t_n %v ns vs truth %v ns", r.FittedTnNs, r.TruthTnNs)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.DevPct < -15 || row.DevPct > 45 {
+			t.Fatalf("%s p=%d: deviation %v%%", row.Program, row.Procs, row.DevPct)
+		}
+		if row.RatioPredActual < 0.6 || row.RatioPredActual > 1.7 {
+			t.Fatalf("%s p=%d: pred/actual %v", row.Program, row.Procs, row.RatioPredActual)
+		}
+	}
+	if r.WorstNumDiff > 1e-6 {
+		t.Fatalf("numerical deviation %v on Paragon runs", r.WorstNumDiff)
+	}
+}
+
+func TestAblationJitter(t *testing.T) {
+	r, err := AblationJitter(testEnv(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	if r.Rows[0].JitterPct != 0 {
+		t.Fatal("first row must be the noiseless baseline")
+	}
+	base := r.Rows[0].Actual
+	for i, row := range r.Rows {
+		// Jitter only stretches execution: actual never below baseline,
+		// data never corrupted.
+		if row.Actual < base-1e-12 {
+			t.Fatalf("row %d: jittered run faster than noiseless baseline", i)
+		}
+		if row.NumDiff > 1e-9 {
+			t.Fatalf("row %d: jitter corrupted data (%v)", i, row.NumDiff)
+		}
+	}
+	// At 30% noise the stretch stays bounded by the noise magnitude.
+	worst := r.Rows[len(r.Rows)-1].Actual
+	if worst > base*1.5 {
+		t.Fatalf("30%% jitter stretched makespan by %vx", worst/base)
+	}
+}
+
+func TestGridDistributionExtension(t *testing.T) {
+	r, err := GridDistribution(testEnv(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The SUMMA-style grid multiply must fit a lower serial fraction.
+	if r.AlphaGridPct >= r.Alpha1DPct {
+		t.Fatalf("grid alpha %v%% should be below 1D alpha %v%%", r.AlphaGridPct, r.Alpha1DPct)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	// At the largest system the grid layout must win; numerics must hold.
+	last := r.Rows[len(r.Rows)-1]
+	if last.ActualGrid >= last.Actual1D {
+		t.Fatalf("at p=%d grid (%v) should beat 1D (%v)", last.Procs, last.ActualGrid, last.Actual1D)
+	}
+	if r.WorstNumDiff > 1e-9 {
+		t.Fatalf("grid runs corrupted data: %v", r.WorstNumDiff)
+	}
+}
+
+func TestScalability(t *testing.T) {
+	r, err := Scalability(testEnv(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	prevNodes := 0
+	for _, row := range r.Rows {
+		if row.Nodes <= prevNodes {
+			t.Fatalf("sizes must grow: %d after %d", row.Nodes, prevNodes)
+		}
+		prevNodes = row.Nodes
+		// Global optimality at every size.
+		if row.PhiHeuristic < row.PhiConvex*(1-5e-3) {
+			t.Fatalf("%d nodes: heuristic %v beat convex %v", row.Nodes, row.PhiHeuristic, row.PhiConvex)
+		}
+		// The schedule exists and is sane.
+		if row.Tpsa < row.PhiConvex*(1-1e-9) {
+			t.Fatalf("%d nodes: T_psa %v below Phi %v", row.Nodes, row.Tpsa, row.PhiConvex)
+		}
+	}
+	// Largest instance: 100+ nodes must still solve.
+	if last := r.Rows[len(r.Rows)-1]; last.Nodes < 100 {
+		t.Fatalf("largest instance only %d nodes", last.Nodes)
+	}
+}
+
+func TestStrassenRecursion(t *testing.T) {
+	r, err := StrassenRecursion(testEnv(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	wantMuls := []int{1, 7, 49}
+	for i, row := range r.Rows {
+		if row.Depth != i || row.Multiplies != wantMuls[i] {
+			t.Fatalf("row %d: depth %d with %d multiplies", i, row.Depth, row.Multiplies)
+		}
+		if row.Actual <= 0 || row.Phi <= 0 {
+			t.Fatalf("row %d: empty results %+v", i, row)
+		}
+	}
+	if r.WorstNumDiff > 1e-9 {
+		t.Fatalf("recursion corrupted data: %v", r.WorstNumDiff)
+	}
+	// Depth 1 (the paper's program) must beat the single monolithic
+	// multiply at p=64 — the functional-parallelism payoff.
+	if r.Rows[1].Actual >= r.Rows[0].Actual {
+		t.Fatalf("depth 1 (%v) should beat depth 0 (%v)", r.Rows[1].Actual, r.Rows[0].Actual)
+	}
+}

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"fmt"
+
+	"paradigm/internal/programs"
+	"paradigm/internal/tables"
+)
+
+// JitterRow is one noise-level outcome.
+type JitterRow struct {
+	JitterPct       float64
+	Actual          float64
+	RatioPredActual float64
+	NumDiff         float64
+}
+
+// JitterResult carries the ablation A7 sweep.
+type JitterResult struct {
+	Program   string
+	Procs     int
+	Predicted float64
+	Rows      []JitterRow
+}
+
+// AblationJitter runs A7: the same MPMD program and schedule executed on
+// machines with increasing execution-time noise. The schedule is static,
+// so jitter cannot deadlock it or corrupt data — only stretch the actual
+// makespan; this quantifies how gracefully prediction accuracy degrades
+// on a noisy machine.
+func AblationJitter(env *Env) (*JitterResult, error) {
+	p, err := programs.ComplexMatMul(64, env.Cal)
+	if err != nil {
+		return nil, err
+	}
+	const procs = 32
+	out := &JitterResult{Program: "Complex Matrix Multiply (64x64)", Procs: procs}
+	for _, frac := range []float64{0, 0.05, 0.15, 0.30} {
+		noisy := env.Machine
+		noisy.JitterFrac = frac
+		noisy.JitterSeed = 0xC0FFEE
+		jEnv := &Env{Machine: noisy, Cal: env.Cal}
+		run, err := RunPipeline(jEnv, p, procs, MPMD)
+		if err != nil {
+			return nil, fmt.Errorf("jitter %.0f%%: %w", frac*100, err)
+		}
+		numDiff, err := VerifyNumerics(p, run.Sim)
+		if err != nil {
+			return nil, err
+		}
+		if out.Predicted == 0 {
+			out.Predicted = run.Predicted
+		}
+		out.Rows = append(out.Rows, JitterRow{
+			JitterPct:       frac * 100,
+			Actual:          run.Actual,
+			RatioPredActual: run.Predicted / run.Actual,
+			NumDiff:         numDiff,
+		})
+	}
+	return out, nil
+}
+
+// String renders ablation A7.
+func (r *JitterResult) String() string {
+	t := tables.New(
+		fmt.Sprintf("Ablation A7: execution jitter robustness — %s, p = %d, predicted %.4f s",
+			r.Program, r.Procs, r.Predicted),
+		"jitter (%)", "actual (s)", "pred/actual", "numeric deviation")
+	for _, row := range r.Rows {
+		t.Row(fmt.Sprintf("%.0f", row.JitterPct),
+			fmt.Sprintf("%.4f", row.Actual),
+			fmt.Sprintf("%.3f", row.RatioPredActual),
+			fmt.Sprintf("%.2g", row.NumDiff))
+	}
+	return t.String()
+}

@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"fmt"
+
+	"paradigm/internal/kernels"
+	"paradigm/internal/machine"
+	"paradigm/internal/prog"
+	"paradigm/internal/programs"
+	"paradigm/internal/tables"
+	"paradigm/internal/trainsets"
+)
+
+// PortabilityRow is one (program, procs) pipeline outcome on the Paragon
+// profile.
+type PortabilityRow struct {
+	Program           string
+	Procs             int
+	Phi               float64
+	Predicted, Actual float64
+	DevPct            float64 // T_psa vs Phi
+	RatioPredActual   float64
+}
+
+// PortabilityResult carries the Paragon calibration summary and rows
+// (experiment E11).
+type PortabilityResult struct {
+	FittedTnNs   float64 // must be > 0 on the Paragon, unlike the CM-5
+	TruthTnNs    float64
+	FittedTssUs  float64
+	MulAlphaPct  float64
+	MulTauMs     float64
+	Rows         []PortabilityRow
+	WorstNumDiff float64
+}
+
+// Portability runs E11: calibrate an Intel-Paragon-like profile from
+// scratch (including the nonzero t_n the CM-5 lacks) and push both test
+// programs through the full pipeline on it. The methodology — not the
+// CM-5 constants — is what must survive the machine change.
+func Portability(env *Env) (*PortabilityResult, error) {
+	mp := machine.Paragon(64)
+	cal, err := trainsets.Calibrate(mp)
+	if err != nil {
+		return nil, err
+	}
+	out := &PortabilityResult{
+		FittedTnNs:  cal.Transfer.Params.Tn * 1e9,
+		TruthTnNs:   mp.NetPerByte * 1e9,
+		FittedTssUs: cal.Transfer.Params.Tss * 1e6,
+	}
+	mulFit, err := cal.LoopFit("Matrix Multiply (64x64)",
+		kernels.Kernel{Op: kernels.OpMul, M: 64, N: 64, K: 64})
+	if err != nil {
+		return nil, err
+	}
+	out.MulAlphaPct = mulFit.Params.Alpha * 100
+	out.MulTauMs = mulFit.Params.Tau * 1e3
+
+	paragonEnv := &Env{Machine: mp, Cal: cal}
+	cmm, err := programs.ComplexMatMul(64, cal)
+	if err != nil {
+		return nil, err
+	}
+	str, err := programs.Strassen(128, cal)
+	if err != nil {
+		return nil, err
+	}
+	for _, item := range []struct {
+		name string
+		prog *prog.Program
+	}{
+		{"Complex Matrix Multiply (64x64)", cmm},
+		{"Strassen's Matrix Multiply (128x128)", str},
+	} {
+		for _, procs := range []int{16, 64} {
+			run, err := RunPipeline(paragonEnv, item.prog, procs, MPMD)
+			if err != nil {
+				return nil, fmt.Errorf("paragon %s p=%d: %w", item.name, procs, err)
+			}
+			worst, err := VerifyNumerics(item.prog, run.Sim)
+			if err != nil {
+				return nil, err
+			}
+			if worst > out.WorstNumDiff {
+				out.WorstNumDiff = worst
+			}
+			out.Rows = append(out.Rows, PortabilityRow{
+				Program:         item.name,
+				Procs:           procs,
+				Phi:             run.Alloc.Phi,
+				Predicted:       run.Predicted,
+				Actual:          run.Actual,
+				DevPct:          100 * (run.Predicted - run.Alloc.Phi) / run.Alloc.Phi,
+				RatioPredActual: run.Predicted / run.Actual,
+			})
+		}
+	}
+	return out, nil
+}
+
+// String renders E11.
+func (r *PortabilityResult) String() string {
+	t := tables.New(
+		fmt.Sprintf("E11 portability: Intel-Paragon-like profile (fitted t_n = %.2f nS, truth %.2f nS; t_ss = %.1f uS; mul alpha = %.1f%%, tau = %.2f ms)",
+			r.FittedTnNs, r.TruthTnNs, r.FittedTssUs, r.MulAlphaPct, r.MulTauMs),
+		"program", "p", "Phi (s)", "T_psa (s)", "actual (s)", "dev (%)", "pred/actual")
+	for _, row := range r.Rows {
+		t.Row(row.Program, row.Procs,
+			fmt.Sprintf("%.5f", row.Phi),
+			fmt.Sprintf("%.5f", row.Predicted),
+			fmt.Sprintf("%.5f", row.Actual),
+			fmt.Sprintf("%+.1f", row.DevPct),
+			fmt.Sprintf("%.3f", row.RatioPredActual))
+	}
+	return t.String()
+}

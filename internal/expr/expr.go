@@ -1,0 +1,334 @@
+// Package expr implements a small expression DAG over log-space variables
+// with memoized forward evaluation and exact reverse-mode gradients.
+//
+// The allocation formulation of the paper (Section 2) minimizes
+// Φ = max(A_p, C_p) where every term is a posynomial in the processor
+// counts p_i. Under the substitution x_i = ln p_i a posynomial
+// Σ c_k·Π p_i^{a_ki} becomes Σ c_k·exp(a_k·x), which is convex, and the
+// max/plus recursion defining the critical path C_p preserves convexity.
+// This package represents exactly that class of expressions:
+//
+//   - Monomial: c·exp(Σ a_j·x_j), the log-space image of c·Π p_j^{a_j}
+//   - Sum and Scale (with nonnegative factors)
+//   - Mul of two expressions (used for processor-time products T_i·p_i)
+//   - SmoothMax: a temperature-µ log-sum-exp softening of max, annealed
+//     toward the exact max by the convex solver
+//
+// Nodes are created through a Graph builder and refer to children by ID,
+// so shared subexpressions (a node weight appearing in both A_p and C_p)
+// are evaluated once per sweep. Children always have smaller IDs than
+// their parents, which makes a single reverse sweep a valid reverse-mode
+// differentiation order.
+package expr
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ID names a node inside a Graph.
+type ID int32
+
+type kind uint8
+
+const (
+	kConst kind = iota
+	kMonomial
+	kSum
+	kScale
+	kMul
+	kSmoothMax
+)
+
+// node is one vertex of the expression DAG.
+type node struct {
+	kind     kind
+	coeff    float64   // kConst: value; kMonomial: c; kScale: factor
+	varIdx   []int32   // kMonomial: variable indices
+	varExp   []float64 // kMonomial: exponents a_j (parallel to varIdx)
+	children []ID
+}
+
+// Graph is an append-only expression DAG. The zero value is ready to use.
+// A Graph is not safe for concurrent mutation; evaluation through an
+// Evaluator is safe as long as each goroutine uses its own Evaluator.
+type Graph struct {
+	nodes   []node
+	numVars int
+}
+
+// NumNodes reports how many nodes have been created.
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// NumVars reports the number of variables referenced (max index + 1).
+func (g *Graph) NumVars() int { return g.numVars }
+
+func (g *Graph) add(n node) ID {
+	g.nodes = append(g.nodes, n)
+	return ID(len(g.nodes) - 1)
+}
+
+// Const creates a constant node. Constants must be finite.
+func (g *Graph) Const(c float64) ID {
+	if math.IsNaN(c) || math.IsInf(c, 0) {
+		panic(fmt.Sprintf("expr: non-finite constant %v", c))
+	}
+	return g.add(node{kind: kConst, coeff: c})
+}
+
+// Monomial creates c·exp(Σ exps[v]·x_v), the log-space form of
+// c·Π p_v^{exps[v]}. The coefficient must be positive and finite for the
+// expression to remain convex (posynomial); zero is allowed and collapses
+// to a constant.
+func (g *Graph) Monomial(c float64, exps map[int]float64) ID {
+	if math.IsNaN(c) || math.IsInf(c, 0) || c < 0 {
+		panic(fmt.Sprintf("expr: monomial coefficient %v must be finite and >= 0", c))
+	}
+	if c == 0 || len(exps) == 0 {
+		// Degenerate: a pure constant (including c·p^0).
+		if len(exps) == 0 {
+			return g.add(node{kind: kConst, coeff: c})
+		}
+	}
+	vars := make([]int, 0, len(exps))
+	for v, a := range exps {
+		if v < 0 {
+			panic(fmt.Sprintf("expr: negative variable index %d", v))
+		}
+		if a != 0 {
+			vars = append(vars, v)
+		}
+	}
+	sort.Ints(vars)
+	n := node{kind: kMonomial, coeff: c}
+	for _, v := range vars {
+		n.varIdx = append(n.varIdx, int32(v))
+		n.varExp = append(n.varExp, exps[v])
+		if v+1 > g.numVars {
+			g.numVars = v + 1
+		}
+	}
+	if len(n.varIdx) == 0 {
+		return g.add(node{kind: kConst, coeff: c})
+	}
+	return g.add(n)
+}
+
+// Var creates the expression p_v, i.e. exp(x_v).
+func (g *Graph) Var(v int) ID {
+	return g.Monomial(1, map[int]float64{v: 1})
+}
+
+func (g *Graph) checkChildren(ids []ID) {
+	for _, id := range ids {
+		if int(id) < 0 || int(id) >= len(g.nodes) {
+			panic(fmt.Sprintf("expr: child id %d out of range [0,%d)", id, len(g.nodes)))
+		}
+	}
+}
+
+// Sum creates Σ children. At least one child is required.
+func (g *Graph) Sum(ids ...ID) ID {
+	if len(ids) == 0 {
+		panic("expr: Sum requires at least one child")
+	}
+	g.checkChildren(ids)
+	if len(ids) == 1 {
+		return ids[0]
+	}
+	return g.add(node{kind: kSum, children: append([]ID(nil), ids...)})
+}
+
+// Scale creates c·child with c >= 0 (preserving convexity).
+func (g *Graph) Scale(c float64, id ID) ID {
+	if math.IsNaN(c) || math.IsInf(c, 0) || c < 0 {
+		panic(fmt.Sprintf("expr: scale factor %v must be finite and >= 0", c))
+	}
+	g.checkChildren([]ID{id})
+	if c == 1 {
+		return id
+	}
+	return g.add(node{kind: kScale, coeff: c, children: []ID{id}})
+}
+
+// Mul creates a·b. Multiplication of two posynomials is again a
+// posynomial, so convexity in log-space is preserved.
+func (g *Graph) Mul(a, b ID) ID {
+	g.checkChildren([]ID{a, b})
+	return g.add(node{kind: kMul, children: []ID{a, b}})
+}
+
+// SmoothMax creates the temperature-smoothed maximum of its children:
+// µ·log Σ exp(v_k/µ) at temperature µ > 0, and the exact max at µ <= 0.
+// The temperature is supplied at evaluation time so the solver can anneal
+// without rebuilding the graph.
+func (g *Graph) SmoothMax(ids ...ID) ID {
+	if len(ids) == 0 {
+		panic("expr: SmoothMax requires at least one child")
+	}
+	g.checkChildren(ids)
+	if len(ids) == 1 {
+		return ids[0]
+	}
+	return g.add(node{kind: kSmoothMax, children: append([]ID(nil), ids...)})
+}
+
+// Evaluator holds per-evaluation scratch space for one Graph. Create one
+// per goroutine with NewEvaluator; reuse across calls to avoid allocation.
+type Evaluator struct {
+	g   *Graph
+	val []float64
+	adj []float64
+}
+
+// NewEvaluator creates an Evaluator bound to g. The evaluator remains
+// valid if more nodes are appended to g later (scratch space regrows).
+func NewEvaluator(g *Graph) *Evaluator {
+	return &Evaluator{g: g}
+}
+
+func (e *Evaluator) grow() {
+	n := len(e.g.nodes)
+	if cap(e.val) < n {
+		e.val = make([]float64, n)
+		e.adj = make([]float64, n)
+	}
+	e.val = e.val[:n]
+	e.adj = e.adj[:n]
+}
+
+// forward computes values for every node (the DAG is append-ordered, so a
+// single pass suffices). Temperature temp controls SmoothMax nodes.
+func (e *Evaluator) forward(x []float64, temp float64) {
+	e.grow()
+	if len(x) < e.g.numVars {
+		panic(fmt.Sprintf("expr: got %d variables, graph references %d", len(x), e.g.numVars))
+	}
+	for i := range e.g.nodes {
+		n := &e.g.nodes[i]
+		switch n.kind {
+		case kConst:
+			e.val[i] = n.coeff
+		case kMonomial:
+			dot := 0.0
+			for k, v := range n.varIdx {
+				dot += n.varExp[k] * x[v]
+			}
+			e.val[i] = n.coeff * math.Exp(dot)
+		case kSum:
+			s := 0.0
+			for _, c := range n.children {
+				s += e.val[c]
+			}
+			e.val[i] = s
+		case kScale:
+			e.val[i] = n.coeff * e.val[n.children[0]]
+		case kMul:
+			e.val[i] = e.val[n.children[0]] * e.val[n.children[1]]
+		case kSmoothMax:
+			e.val[i] = e.smoothMaxValue(n, temp)
+		}
+	}
+}
+
+func (e *Evaluator) smoothMaxValue(n *node, temp float64) float64 {
+	m := math.Inf(-1)
+	for _, c := range n.children {
+		if e.val[c] > m {
+			m = e.val[c]
+		}
+	}
+	if temp <= 0 {
+		return m
+	}
+	s := 0.0
+	for _, c := range n.children {
+		s += math.Exp((e.val[c] - m) / temp)
+	}
+	return m + temp*math.Log(s)
+}
+
+// Eval computes the value of root at log-space point x with SmoothMax
+// temperature temp (temp <= 0 gives the exact max).
+func (e *Evaluator) Eval(root ID, x []float64, temp float64) float64 {
+	e.g.checkChildren([]ID{root})
+	e.forward(x, temp)
+	return e.val[root]
+}
+
+// EvalGrad computes the value of root and writes ∂root/∂x into grad,
+// which must have length >= Graph.NumVars(). Reverse-mode: one forward
+// sweep and one backward sweep over the DAG. At temp <= 0 the max nodes
+// propagate a subgradient through the (first) argmax child.
+func (e *Evaluator) EvalGrad(root ID, x []float64, temp float64, grad []float64) float64 {
+	e.g.checkChildren([]ID{root})
+	if len(grad) < e.g.numVars {
+		panic(fmt.Sprintf("expr: gradient buffer %d too small for %d variables", len(grad), e.g.numVars))
+	}
+	e.forward(x, temp)
+	for i := range e.adj {
+		e.adj[i] = 0
+	}
+	for i := range grad {
+		grad[i] = 0
+	}
+	e.adj[root] = 1
+	for i := len(e.g.nodes) - 1; i >= 0; i-- {
+		a := e.adj[i]
+		if a == 0 {
+			continue
+		}
+		n := &e.g.nodes[i]
+		switch n.kind {
+		case kConst:
+			// no dependence
+		case kMonomial:
+			v := e.val[i]
+			for k, vi := range n.varIdx {
+				grad[vi] += a * v * n.varExp[k]
+			}
+		case kSum:
+			for _, c := range n.children {
+				e.adj[c] += a
+			}
+		case kScale:
+			e.adj[n.children[0]] += a * n.coeff
+		case kMul:
+			l, r := n.children[0], n.children[1]
+			e.adj[l] += a * e.val[r]
+			e.adj[r] += a * e.val[l]
+		case kSmoothMax:
+			e.backpropSmoothMax(n, a, temp)
+		}
+	}
+	return e.val[root]
+}
+
+func (e *Evaluator) backpropSmoothMax(n *node, a, temp float64) {
+	if temp <= 0 {
+		// Subgradient: all weight on the first argmax child.
+		best, bi := math.Inf(-1), ID(-1)
+		for _, c := range n.children {
+			if e.val[c] > best {
+				best, bi = e.val[c], c
+			}
+		}
+		e.adj[bi] += a
+		return
+	}
+	m := math.Inf(-1)
+	for _, c := range n.children {
+		if e.val[c] > m {
+			m = e.val[c]
+		}
+	}
+	s := 0.0
+	for _, c := range n.children {
+		s += math.Exp((e.val[c] - m) / temp)
+	}
+	for _, c := range n.children {
+		w := math.Exp((e.val[c]-m)/temp) / s
+		e.adj[c] += a * w
+	}
+}

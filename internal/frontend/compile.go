@@ -1,0 +1,203 @@
+package frontend
+
+import (
+	"fmt"
+
+	"paradigm/internal/dist"
+	"paradigm/internal/kernels"
+	"paradigm/internal/prog"
+	"paradigm/internal/trainsets"
+)
+
+// Compile parses source text and lowers it to an executable MDG program,
+// calibrating each distinct loop shape through cal (the training-sets
+// path a real PARADIGM front-end would take).
+func Compile(name, src string, cal *trainsets.Calibration) (*prog.Program, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	stmts, err := parse(toks)
+	if err != nil {
+		return nil, err
+	}
+	return compile(name, stmts, cal)
+}
+
+// matInfo tracks a defined matrix during semantic analysis.
+type matInfo struct {
+	rows, cols int
+	line       int
+	axis       dist.Axis
+}
+
+func compile(name string, stmts []stmt, cal *trainsets.Calibration) (*prog.Program, error) {
+	params := map[string]int{}
+	mats := map[string]matInfo{}
+	b := prog.NewBuilder(name)
+	genPhase := 0
+
+	resolve := func(o operand, line int) (int, error) {
+		if !o.isRef {
+			return o.lit, nil
+		}
+		v, ok := params[o.ref]
+		if !ok {
+			return 0, fmt.Errorf("frontend: line %d: undefined param %q", line, o.ref)
+		}
+		return v, nil
+	}
+	axisOf := func(s stmt, def dist.Axis) dist.Axis {
+		if !s.axisExplicit {
+			// Binary nodes inherit their left operand's axis by default,
+			// avoiding gratuitous redistribution; inits default to rows.
+			return def
+		}
+		switch {
+		case s.axisGrid:
+			return dist.ByGrid
+		case s.axisCol:
+			return dist.ByCol
+		default:
+			return dist.ByRow
+		}
+	}
+
+	for _, s := range stmts {
+		switch s.kind {
+		case stmtParam:
+			if _, dup := params[s.name]; dup {
+				return nil, fmt.Errorf("frontend: line %d: param %q redefined", s.line, s.name)
+			}
+			if _, dup := mats[s.name]; dup {
+				return nil, fmt.Errorf("frontend: line %d: %q already names a matrix", s.line, s.name)
+			}
+			params[s.name] = s.value
+
+		case stmtInit:
+			if _, dup := mats[s.name]; dup {
+				return nil, fmt.Errorf("frontend: line %d: matrix %q redefined", s.line, s.name)
+			}
+			if _, dup := params[s.name]; dup {
+				return nil, fmt.Errorf("frontend: line %d: %q already names a param", s.line, s.name)
+			}
+			rows, err := resolve(s.rows, s.line)
+			if err != nil {
+				return nil, err
+			}
+			cols, err := resolve(s.cols, s.line)
+			if err != nil {
+				return nil, err
+			}
+			k := kernels.Kernel{Op: kernels.OpInit, M: rows, N: cols, Init: s.gen.generator(genPhase)}
+			genPhase++
+			lp, err := cal.Loop(fmt.Sprintf("Matrix Init (%dx%d)", rows, cols), k)
+			if err != nil {
+				return nil, err
+			}
+			axis := axisOf(s, dist.ByRow)
+			b.AddNode("init_"+s.name, prog.NodeSpec{
+				Kernel: k, Output: s.name, Axis: axis,
+			}, lp)
+			mats[s.name] = matInfo{rows: rows, cols: cols, line: s.line, axis: axis}
+
+		case stmtExpr:
+			if _, dup := mats[s.name]; dup {
+				return nil, fmt.Errorf("frontend: line %d: matrix %q redefined", s.line, s.name)
+			}
+			if _, dup := params[s.name]; dup {
+				return nil, fmt.Errorf("frontend: line %d: %q already names a param", s.line, s.name)
+			}
+			temps := 0
+			// addBinary creates one computation node for l <op> r.
+			addBinary := func(op opKind, leftName, rightName string, l, r matInfo, out string, axis dist.Axis, line int) (matInfo, error) {
+				var k kernels.Kernel
+				var rows, cols int
+				var label string
+				switch op {
+				case opAdd, opSub:
+					if l.rows != r.rows || l.cols != r.cols {
+						return matInfo{}, fmt.Errorf("frontend: line %d: shape mismatch %dx%d vs %dx%d",
+							line, l.rows, l.cols, r.rows, r.cols)
+					}
+					rows, cols = l.rows, l.cols
+					kop := kernels.OpAdd
+					label = "add"
+					if op == opSub {
+						kop = kernels.OpSub
+						label = "sub"
+					}
+					k = kernels.Kernel{Op: kop, M: rows, N: cols}
+				case opMul:
+					if l.cols != r.rows {
+						return matInfo{}, fmt.Errorf("frontend: line %d: inner dimensions %d vs %d", line, l.cols, r.rows)
+					}
+					rows, cols = l.rows, r.cols
+					k = kernels.Kernel{Op: kernels.OpMul, M: rows, N: cols, K: l.cols}
+					label = "mul"
+				}
+				costK := k
+				calName := fmt.Sprintf("Matrix %s (%dx%d)", label, rows, cols)
+				if costK.Op == kernels.OpSub {
+					costK.Op = kernels.OpAdd // subtraction costs what addition costs
+					calName = fmt.Sprintf("Matrix add (%dx%d)", rows, cols)
+				}
+				if axis == dist.ByGrid {
+					costK.Grid = true
+					calName += " grid"
+				}
+				lp, err := cal.Loop(calName, costK)
+				if err != nil {
+					return matInfo{}, err
+				}
+				b.AddNode(label+"_"+out, prog.NodeSpec{
+					Kernel: k, Inputs: []string{leftName, rightName}, Output: out, Axis: axis,
+				}, lp)
+				return matInfo{rows: rows, cols: cols, line: line, axis: axis}, nil
+			}
+			// emit lowers an expression tree, returning its array name.
+			var emit func(e exprNode, isRoot bool) (string, matInfo, error)
+			emit = func(e exprNode, isRoot bool) (string, matInfo, error) {
+				switch v := e.(type) {
+				case exprName:
+					info, ok := mats[v.name]
+					if !ok {
+						return "", matInfo{}, fmt.Errorf("frontend: line %d: undefined matrix %q", v.line, v.name)
+					}
+					return v.name, info, nil
+				case exprBin:
+					leftName, l, err := emit(v.l, false)
+					if err != nil {
+						return "", matInfo{}, err
+					}
+					rightName, r, err := emit(v.r, false)
+					if err != nil {
+						return "", matInfo{}, err
+					}
+					out := s.name
+					axis := axisOf(s, l.axis)
+					if !isRoot {
+						temps++
+						out = fmt.Sprintf("%s__t%d", s.name, temps)
+						axis = l.axis // temporaries inherit the left operand's layout
+					}
+					info, err := addBinary(v.op, leftName, rightName, l, r, out, axis, v.line)
+					if err != nil {
+						return "", matInfo{}, err
+					}
+					mats[out] = info
+					return out, info, nil
+				default:
+					return "", matInfo{}, fmt.Errorf("frontend: line %d: unsupported expression", s.line)
+				}
+			}
+			if _, _, err := emit(s.expr, true); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if len(mats) == 0 {
+		return nil, fmt.Errorf("frontend: program defines no matrices")
+	}
+	return b.Finish()
+}

@@ -1,0 +1,181 @@
+// Package frontend compiles a small matrix-program language into an
+// executable MDG program — the role PARADIGM's compiler front-end plays
+// before the allocation and scheduling steps this repository reproduces
+// (the paper's Step 1, for which the authors "do not have any methods
+// developed yet" and cite Girkar-Polychronopoulos; this is the minimal
+// equivalent for the regular matrix computations the paper targets).
+//
+// The language:
+//
+//	# comments run to end of line
+//	param n = 64                 # integer constants
+//	matrix A = init(n, n, ramp)  # generators: ramp | wave | ones | ident
+//	matrix B = init(n, n, wave)
+//	matrix C = A * B @ col       # optional distribution axis (default row)
+//	matrix D = C + A
+//	matrix E = D - B
+//
+// Each `matrix` statement becomes one MDG node (a loop nest); data
+// dependences become edges with transfer kinds derived from the operand
+// axes. The result is a prog.Program ready for the full pipeline.
+package frontend
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind enumerates lexical classes.
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokEquals
+	tokLParen
+	tokRParen
+	tokComma
+	tokPlus
+	tokMinus
+	tokStar
+	tokAt
+	tokNewline
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokNumber:
+		return "number"
+	case tokEquals:
+		return "'='"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokComma:
+		return "','"
+	case tokPlus:
+		return "'+'"
+	case tokMinus:
+		return "'-'"
+	case tokStar:
+		return "'*'"
+	case tokAt:
+		return "'@'"
+	case tokNewline:
+		return "newline"
+	default:
+		return fmt.Sprintf("token(%d)", uint8(k))
+	}
+}
+
+// token is one lexeme with its source line (1-based).
+type token struct {
+	kind tokenKind
+	text string
+	line int
+}
+
+// lex splits source text into tokens. Newlines are significant (they
+// terminate statements); comments and blank lines are skipped.
+func lex(src string) ([]token, error) {
+	var toks []token
+	line := 1
+	i := 0
+	emit := func(k tokenKind, text string) {
+		toks = append(toks, token{kind: k, text: text, line: line})
+	}
+	lastWasNewline := true // collapse leading/duplicate newlines
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\n':
+			if !lastWasNewline {
+				emit(tokNewline, "\\n")
+				lastWasNewline = true
+			}
+			line++
+			i++
+			continue
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+			continue
+		case c == '#':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+			continue
+		}
+		lastWasNewline = false
+		switch {
+		case c == '=':
+			emit(tokEquals, "=")
+			i++
+		case c == '(':
+			emit(tokLParen, "(")
+			i++
+		case c == ')':
+			emit(tokRParen, ")")
+			i++
+		case c == ',':
+			emit(tokComma, ",")
+			i++
+		case c == '+':
+			emit(tokPlus, "+")
+			i++
+		case c == '-':
+			emit(tokMinus, "-")
+			i++
+		case c == '*':
+			emit(tokStar, "*")
+			i++
+		case c == '@':
+			emit(tokAt, "@")
+			i++
+		case unicode.IsDigit(rune(c)):
+			j := i
+			for j < len(src) && unicode.IsDigit(rune(src[j])) {
+				j++
+			}
+			emit(tokNumber, src[i:j])
+			i = j
+		case unicode.IsLetter(rune(c)) || c == '_':
+			j := i
+			for j < len(src) && (unicode.IsLetter(rune(src[j])) || unicode.IsDigit(rune(src[j])) || src[j] == '_') {
+				j++
+			}
+			emit(tokIdent, src[i:j])
+			i = j
+		default:
+			return nil, fmt.Errorf("frontend: line %d: unexpected character %q", line, string(c))
+		}
+	}
+	if len(toks) > 0 && toks[len(toks)-1].kind != tokNewline {
+		emit(tokNewline, "\\n")
+	}
+	emit(tokEOF, "")
+	return toks, nil
+}
+
+// describe renders a token for error messages.
+func describe(t token) string {
+	if t.kind == tokIdent || t.kind == tokNumber {
+		return fmt.Sprintf("%s %q", t.kind, t.text)
+	}
+	return t.kind.String()
+}
+
+// isKeyword reports reserved words that cannot name matrices or params.
+func isKeyword(s string) bool {
+	switch strings.ToLower(s) {
+	case "param", "matrix", "init", "row", "col", "grid", "ramp", "wave", "ones", "ident":
+		return true
+	}
+	return false
+}

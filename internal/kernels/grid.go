@@ -1,0 +1,96 @@
+package kernels
+
+import (
+	"fmt"
+	"math"
+
+	"paradigm/internal/dist"
+	"paradigm/internal/machine"
+)
+
+// This file extends the kernel cost rules to grid (blocked 2D) data
+// layouts. The headline effect is on the multiply: with the output on a
+// near-square pr×pc grid, each processor gathers only a row panel of A
+// (across its pc grid-row peers) and a column panel of B (across its pr
+// grid-column peers) — SUMMA-style — instead of the full second operand.
+// Communication volume per processor shrinks from O(K·N) to
+// O((M·K + K·N)/√q), so the effective Amdahl serial fraction α of the
+// loop drops and the multiply keeps scaling where the 1D layout
+// saturates (experiment E12).
+
+// Grid reports whether the kernel is costed for a grid layout. It is set
+// by prog.Builder from the node's distribution axis so the calibration
+// and the simulator always agree on the layout.
+//
+// The field lives on Kernel (rather than being passed per call) so that
+// the training-sets cache distinguishes grid and linear fits of the same
+// loop shape.
+
+// GridProcTime is the machine ground-truth time one processor spends
+// executing its myRows×myCols output block of the kernel on a pr×pc grid.
+func (k Kernel) GridProcTime(mp machine.Params, pr, pc, myRows, myCols int) float64 {
+	if pr < 1 || pc < 1 {
+		panic(fmt.Sprintf("kernels: grid %dx%d", pr, pc))
+	}
+	if myRows < 0 || myCols < 0 {
+		panic(fmt.Sprintf("kernels: negative block %dx%d", myRows, myCols))
+	}
+	switch k.Op {
+	case OpNone:
+		return 0
+	case OpInit:
+		return mp.LoopOverhead + float64(myRows*myCols)*mp.InitElemTime
+	case OpAdd, OpSub:
+		return mp.LoopOverhead + float64(myRows*myCols)*mp.AddElemTime
+	case OpExtract, OpAssemble4:
+		return reshapeProcTime(mp, pr*pc, myRows*myCols)
+	case OpMul:
+		t := mp.LoopOverhead + float64(myRows*myCols*k.K)*mp.FMATime
+		// Row panel of A: gathered across the pc processors of my grid
+		// row; column panel of B: across the pr processors of my column.
+		if pc > 1 {
+			stages := math.Ceil(math.Log2(float64(pc)))
+			bytes := float64(myRows * k.K * 8)
+			t += stages * (mp.CollStartup + bytes*mp.CollPerByte)
+		}
+		if pr > 1 {
+			stages := math.Ceil(math.Log2(float64(pr)))
+			bytes := float64(k.K * myCols * 8)
+			t += stages * (mp.CollStartup + bytes*mp.CollPerByte)
+		}
+		return t
+	default:
+		panic(fmt.Sprintf("kernels: unknown op %d", k.Op))
+	}
+}
+
+// MaxGridProcTime returns the slowest grid member's time on a q-processor
+// near-square grid — the grid loop's observable execution time.
+func (k Kernel) MaxGridProcTime(mp machine.Params, q int) float64 {
+	pr, pc := dist.GridShape(q)
+	worst := 0.0
+	for i := 0; i < pr; i++ {
+		for j := 0; j < pc; j++ {
+			rows := spanOf(k.M, pr, i)
+			cols := spanOf(k.N, pc, j)
+			if t := k.GridProcTime(mp, pr, pc, rows, cols); t > worst {
+				worst = t
+			}
+		}
+	}
+	return worst
+}
+
+// spanOf returns the length of ceil-block i of extent over n blocks.
+func spanOf(extent, n, i int) int {
+	bs := (extent + n - 1) / n
+	lo := i * bs
+	hi := lo + bs
+	if hi > extent {
+		hi = extent
+	}
+	if lo > hi {
+		lo = hi
+	}
+	return hi - lo
+}

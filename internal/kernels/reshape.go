@@ -1,0 +1,106 @@
+package kernels
+
+import (
+	"fmt"
+
+	"paradigm/internal/machine"
+	"paradigm/internal/matrix"
+)
+
+// This file adds the two data-reshaping loop types needed to express
+// *recursive* Strassen multiplication at the MDG level (each half-size
+// product expands into its own Strassen subgraph):
+//
+//   - OpExtract copies a rectangle out of a larger matrix (quadrant
+//     extraction);
+//   - OpAssemble4 tiles four equal quadrants into one matrix.
+//
+// Both are memory-bound copy loops. Their machine cost is a per-element
+// copy plus, on multi-processor groups, one collective stage: the
+// extraction rectangle generally misaligns with the owning blocks, so the
+// group must shuffle rows internally — the same style of intra-node
+// communication the multiply's gathers model.
+
+// Extract returns an OpExtract kernel producing the m×n rectangle of the
+// (srcRows×srcCols) input anchored at (offR, offC).
+func Extract(m, n, srcRows, srcCols, offR, offC int) Kernel {
+	return Kernel{Op: OpExtract, M: m, N: n,
+		SrcRows: srcRows, SrcCols: srcCols, OffR: offR, OffC: offC}
+}
+
+// Assemble4 returns an OpAssemble4 kernel producing an m×n matrix from
+// four (m/2)×(n/2) quadrants given in row-major order (q11, q12, q21,
+// q22). m and n must be even.
+func Assemble4(m, n int) Kernel {
+	return Kernel{Op: OpAssemble4, M: m, N: n}
+}
+
+// validateReshape extends Kernel.Validate for the reshape ops.
+func (k Kernel) validateReshape() error {
+	switch k.Op {
+	case OpExtract:
+		if k.M <= 0 || k.N <= 0 {
+			return fmt.Errorf("kernels: invalid extract shape %dx%d", k.M, k.N)
+		}
+		if k.SrcRows <= 0 || k.SrcCols <= 0 {
+			return fmt.Errorf("kernels: invalid extract source %dx%d", k.SrcRows, k.SrcCols)
+		}
+		if k.OffR < 0 || k.OffC < 0 || k.OffR+k.M > k.SrcRows || k.OffC+k.N > k.SrcCols {
+			return fmt.Errorf("kernels: extract %dx%d at (%d,%d) outside %dx%d",
+				k.M, k.N, k.OffR, k.OffC, k.SrcRows, k.SrcCols)
+		}
+	case OpAssemble4:
+		if k.M <= 0 || k.N <= 0 || k.M%2 != 0 || k.N%2 != 0 {
+			return fmt.Errorf("kernels: assemble4 needs even positive shape, got %dx%d", k.M, k.N)
+		}
+	}
+	return nil
+}
+
+// executeReshape extends Kernel.Execute for the reshape ops.
+func (k Kernel) executeReshape(dst *matrix.Matrix, inputs []*matrix.Matrix) error {
+	switch k.Op {
+	case OpExtract:
+		if len(inputs) != 1 {
+			return fmt.Errorf("kernels: extract needs 1 input, got %d", len(inputs))
+		}
+		if dst.Rows != k.M || dst.Cols != k.N {
+			return fmt.Errorf("kernels: extract dst %dx%d, want %dx%d", dst.Rows, dst.Cols, k.M, k.N)
+		}
+		src := inputs[0]
+		if src.Rows != k.SrcRows || src.Cols != k.SrcCols {
+			return fmt.Errorf("kernels: extract src %dx%d, want %dx%d", src.Rows, src.Cols, k.SrcRows, k.SrcCols)
+		}
+		dst.SetBlock(0, 0, src.Block(k.OffR, k.OffR+k.M, k.OffC, k.OffC+k.N))
+		return nil
+	case OpAssemble4:
+		if len(inputs) != 4 {
+			return fmt.Errorf("kernels: assemble4 needs 4 inputs, got %d", len(inputs))
+		}
+		if dst.Rows != k.M || dst.Cols != k.N {
+			return fmt.Errorf("kernels: assemble4 dst %dx%d, want %dx%d", dst.Rows, dst.Cols, k.M, k.N)
+		}
+		hr, hc := k.M/2, k.N/2
+		for idx, anchor := range [][2]int{{0, 0}, {0, hc}, {hr, 0}, {hr, hc}} {
+			q := inputs[idx]
+			if q.Rows != hr || q.Cols != hc {
+				return fmt.Errorf("kernels: assemble4 quadrant %d is %dx%d, want %dx%d", idx, q.Rows, q.Cols, hr, hc)
+			}
+			dst.SetBlock(anchor[0], anchor[1], q)
+		}
+		return nil
+	}
+	return fmt.Errorf("kernels: not a reshape op %v", k.Op)
+}
+
+// reshapeProcTime is the per-processor cost of a reshape op over myElems
+// output elements on a q-processor group.
+func reshapeProcTime(mp machine.Params, q, myElems int) float64 {
+	t := mp.LoopOverhead + float64(myElems*8)*mp.CopyPerByte
+	if q > 1 {
+		// One shuffle stage: misaligned blocks exchange rows inside the
+		// group.
+		t += mp.CollStartup + float64(myElems*8)*mp.CollPerByte
+	}
+	return t
+}

@@ -1,0 +1,178 @@
+// Package matrix implements dense row-major float64 matrices: the data
+// the test programs (Complex Matrix Multiply, Strassen) actually compute
+// on. Every simulated program run moves and transforms real values, so
+// scheduling and code-generation bugs surface as wrong numbers, not just
+// wrong times.
+package matrix
+
+import (
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len Rows*Cols, row-major
+}
+
+// New returns a zeroed r×c matrix.
+func New(r, c int) *Matrix {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("matrix: invalid shape %dx%d", r, c))
+	}
+	return &Matrix{Rows: r, Cols: c, Data: make([]float64, r*c)}
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 {
+	m.check(i, j)
+	return m.Data[i*m.Cols+j]
+}
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) {
+	m.check(i, j)
+	m.Data[i*m.Cols+j] = v
+}
+
+func (m *Matrix) check(i, j int) {
+	if i < 0 || i >= m.Rows || j < 0 || j >= m.Cols {
+		panic(fmt.Sprintf("matrix: index (%d,%d) outside %dx%d", i, j, m.Rows, m.Cols))
+	}
+}
+
+// Fill assigns every element from f(i, j).
+func (m *Matrix) Fill(f func(i, j int) float64) {
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j := range row {
+			row[j] = f(i, j)
+		}
+	}
+}
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	out := New(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+func sameShape(a, b *Matrix) error {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return fmt.Errorf("matrix: shape mismatch %dx%d vs %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	return nil
+}
+
+// Add computes dst = a + b. dst may alias a or b.
+func Add(dst, a, b *Matrix) error {
+	if err := sameShape(a, b); err != nil {
+		return err
+	}
+	if err := sameShape(dst, a); err != nil {
+		return err
+	}
+	for i := range dst.Data {
+		dst.Data[i] = a.Data[i] + b.Data[i]
+	}
+	return nil
+}
+
+// Sub computes dst = a - b. dst may alias a or b.
+func Sub(dst, a, b *Matrix) error {
+	if err := sameShape(a, b); err != nil {
+		return err
+	}
+	if err := sameShape(dst, a); err != nil {
+		return err
+	}
+	for i := range dst.Data {
+		dst.Data[i] = a.Data[i] - b.Data[i]
+	}
+	return nil
+}
+
+// Mul computes dst = a·b with the classical triple loop (ikj order for
+// cache friendliness). dst must not alias a or b.
+func Mul(dst, a, b *Matrix) error {
+	if a.Cols != b.Rows {
+		return fmt.Errorf("matrix: inner dimensions %d vs %d", a.Cols, b.Rows)
+	}
+	if dst.Rows != a.Rows || dst.Cols != b.Cols {
+		return fmt.Errorf("matrix: dst shape %dx%d, want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Cols)
+	}
+	for i := range dst.Data {
+		dst.Data[i] = 0
+	}
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+		drow := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[k*b.Cols : (k+1)*b.Cols]
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+	return nil
+}
+
+// Scale computes dst = c·a. dst may alias a.
+func Scale(dst *Matrix, c float64, a *Matrix) error {
+	if err := sameShape(dst, a); err != nil {
+		return err
+	}
+	for i := range dst.Data {
+		dst.Data[i] = c * a.Data[i]
+	}
+	return nil
+}
+
+// Block returns a copy of the rectangle rows [r0,r1) × cols [c0,c1).
+func (m *Matrix) Block(r0, r1, c0, c1 int) *Matrix {
+	if r0 < 0 || r1 > m.Rows || c0 < 0 || c1 > m.Cols || r0 > r1 || c0 > c1 {
+		panic(fmt.Sprintf("matrix: block [%d:%d,%d:%d] outside %dx%d", r0, r1, c0, c1, m.Rows, m.Cols))
+	}
+	out := New(r1-r0, c1-c0)
+	for i := r0; i < r1; i++ {
+		copy(out.Data[(i-r0)*out.Cols:(i-r0+1)*out.Cols], m.Data[i*m.Cols+c0:i*m.Cols+c1])
+	}
+	return out
+}
+
+// SetBlock copies src into the rectangle anchored at (r0, c0).
+func (m *Matrix) SetBlock(r0, c0 int, src *Matrix) {
+	if r0 < 0 || r0+src.Rows > m.Rows || c0 < 0 || c0+src.Cols > m.Cols {
+		panic(fmt.Sprintf("matrix: block %dx%d at (%d,%d) outside %dx%d",
+			src.Rows, src.Cols, r0, c0, m.Rows, m.Cols))
+	}
+	for i := 0; i < src.Rows; i++ {
+		copy(m.Data[(r0+i)*m.Cols+c0:(r0+i)*m.Cols+c0+src.Cols], src.Data[i*src.Cols:(i+1)*src.Cols])
+	}
+}
+
+// MaxAbsDiff returns the max-norm distance between two same-shaped
+// matrices, for verification against reference results.
+func MaxAbsDiff(a, b *Matrix) (float64, error) {
+	if err := sameShape(a, b); err != nil {
+		return 0, err
+	}
+	d := 0.0
+	for i := range a.Data {
+		if v := math.Abs(a.Data[i] - b.Data[i]); v > d {
+			d = v
+		}
+	}
+	return d, nil
+}
+
+// Equal reports elementwise equality within tol.
+func Equal(a, b *Matrix, tol float64) bool {
+	d, err := MaxAbsDiff(a, b)
+	return err == nil && d <= tol
+}

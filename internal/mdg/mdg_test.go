@@ -1,0 +1,398 @@
+package mdg
+
+import (
+	"encoding/json"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// diamond builds START -> a,b -> STOP with a transfer on each edge.
+func diamond() (*Graph, NodeID, NodeID, NodeID, NodeID) {
+	var g Graph
+	s := g.AddNode(Node{Name: "s", Tau: 1})
+	a := g.AddNode(Node{Name: "a", Tau: 2, Alpha: 0.1})
+	b := g.AddNode(Node{Name: "b", Tau: 3, Alpha: 0.2})
+	t := g.AddNode(Node{Name: "t", Tau: 1})
+	g.AddEdge(s, a, Transfer{Bytes: 100, Kind: Transfer1D})
+	g.AddEdge(s, b, Transfer{Bytes: 200, Kind: Transfer2D})
+	g.AddEdge(a, t, Transfer{Bytes: 100, Kind: Transfer1D})
+	g.AddEdge(b, t, Transfer{Bytes: 200, Kind: Transfer1D})
+	return &g, s, a, b, t
+}
+
+func TestTopoOrderDiamond(t *testing.T) {
+	g, s, a, b, stop := diamond()
+	order, err := g.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := map[NodeID]int{}
+	for i, v := range order {
+		pos[v] = i
+	}
+	if pos[s] != 0 || pos[stop] != 3 || pos[a] > pos[stop] || pos[b] > pos[stop] {
+		t.Fatalf("bad order %v", order)
+	}
+}
+
+func TestCycleDetected(t *testing.T) {
+	var g Graph
+	a := g.AddNode(Node{Name: "a"})
+	b := g.AddNode(Node{Name: "b"})
+	g.AddEdge(a, b)
+	g.AddEdge(b, a)
+	if _, err := g.TopoOrder(); err != ErrCycle {
+		t.Fatalf("err = %v, want ErrCycle", err)
+	}
+	if err := g.Validate(); err == nil {
+		t.Fatal("Validate should reject cycles")
+	}
+}
+
+func TestPredsSuccs(t *testing.T) {
+	g, s, a, b, stop := diamond()
+	if got := g.Preds(stop); len(got) != 2 || got[0] != a || got[1] != b {
+		t.Fatalf("Preds(stop) = %v", got)
+	}
+	if got := g.Succs(s); len(got) != 2 || got[0] != a || got[1] != b {
+		t.Fatalf("Succs(s) = %v", got)
+	}
+	if got := g.Preds(s); len(got) != 0 {
+		t.Fatalf("Preds(s) = %v", got)
+	}
+}
+
+func TestEdgeBetweenAndMerge(t *testing.T) {
+	var g Graph
+	a := g.AddNode(Node{Name: "a"})
+	b := g.AddNode(Node{Name: "b"})
+	g.AddEdge(a, b, Transfer{Bytes: 10, Kind: Transfer1D})
+	g.AddEdge(a, b, Transfer{Bytes: 20, Kind: Transfer2D})
+	e, ok := g.EdgeBetween(a, b)
+	if !ok || len(e.Transfers) != 2 {
+		t.Fatalf("merged edge = %+v ok=%v", e, ok)
+	}
+	if _, ok := g.EdgeBetween(b, a); ok {
+		t.Fatal("reverse edge should not exist")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsBadInput(t *testing.T) {
+	t.Run("out of range edge", func(t *testing.T) {
+		var g Graph
+		g.AddNode(Node{})
+		g.Edges = append(g.Edges, Edge{From: 0, To: 5})
+		if err := g.Validate(); err == nil {
+			t.Fatal("want error")
+		}
+	})
+	t.Run("self loop", func(t *testing.T) {
+		var g Graph
+		a := g.AddNode(Node{})
+		g.Edges = append(g.Edges, Edge{From: a, To: a})
+		if err := g.Validate(); err == nil {
+			t.Fatal("want error")
+		}
+	})
+	t.Run("duplicate edge", func(t *testing.T) {
+		var g Graph
+		a := g.AddNode(Node{})
+		b := g.AddNode(Node{})
+		g.Edges = append(g.Edges, Edge{From: a, To: b}, Edge{From: a, To: b})
+		if err := g.Validate(); err == nil {
+			t.Fatal("want error")
+		}
+	})
+	t.Run("bad alpha", func(t *testing.T) {
+		var g Graph
+		g.AddNode(Node{Alpha: 1.5})
+		if err := g.Validate(); err == nil {
+			t.Fatal("want error")
+		}
+	})
+	t.Run("negative tau", func(t *testing.T) {
+		var g Graph
+		g.AddNode(Node{Tau: -1})
+		if err := g.Validate(); err == nil {
+			t.Fatal("want error")
+		}
+	})
+	t.Run("zero byte transfer", func(t *testing.T) {
+		var g Graph
+		a := g.AddNode(Node{})
+		b := g.AddNode(Node{})
+		g.Edges = append(g.Edges, Edge{From: a, To: b, Transfers: []Transfer{{Bytes: 0}}})
+		if err := g.Validate(); err == nil {
+			t.Fatal("want error")
+		}
+	})
+}
+
+func TestStartStopOnDiamond(t *testing.T) {
+	g, s, _, _, stop := diamond()
+	start, end, err := g.StartStop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if start != s || end != stop {
+		t.Fatalf("start/stop = %d/%d, want %d/%d", start, end, s, stop)
+	}
+}
+
+func TestEnsureStartStopAddsDummies(t *testing.T) {
+	var g Graph
+	a := g.AddNode(Node{Name: "a", Tau: 1})
+	b := g.AddNode(Node{Name: "b", Tau: 1})
+	// Two disconnected nodes: two sources, two sinks.
+	start, stop, err := g.EnsureStartStop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 4 {
+		t.Fatalf("NumNodes = %d, want 4", g.NumNodes())
+	}
+	if g.Nodes[start].Tau != 0 || g.Nodes[stop].Tau != 0 {
+		t.Fatal("dummy nodes must be zero cost")
+	}
+	if len(g.Succs(start)) != 2 || len(g.Preds(stop)) != 2 {
+		t.Fatalf("dummy wiring wrong: succs=%v preds=%v", g.Succs(start), g.Preds(stop))
+	}
+	if _, err := g.TopoOrder(); err != nil {
+		t.Fatal(err)
+	}
+	_ = a
+	_ = b
+}
+
+func TestEnsureStartStopNoOpOnWellFormed(t *testing.T) {
+	g, s, _, _, stop := diamond()
+	n0 := g.NumNodes()
+	start, end, err := g.EnsureStartStop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != n0 || start != s || end != stop {
+		t.Fatalf("EnsureStartStop changed a well-formed graph")
+	}
+}
+
+func TestEnsureStartStopSingleNode(t *testing.T) {
+	var g Graph
+	g.AddNode(Node{Name: "only", Tau: 1})
+	start, stop, err := g.EnsureStartStop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if start == stop {
+		t.Fatal("START and STOP must be distinct")
+	}
+	if _, _, err := g.StartStop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCriticalPathUnitWeights(t *testing.T) {
+	g, _, _, _, stop := diamond()
+	// Node weight = tau, edge weight = 0: longest path s(1) -> b(3) -> t(1) = 5.
+	y, cp, err := g.CriticalPath(
+		func(n NodeID) float64 { return g.Nodes[n].Tau },
+		func(Edge) float64 { return 0 },
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp != 5 {
+		t.Fatalf("cp = %v, want 5", cp)
+	}
+	if y[stop] != 5 {
+		t.Fatalf("y[stop] = %v, want 5", y[stop])
+	}
+}
+
+func TestCriticalPathEdgeWeights(t *testing.T) {
+	g, _, _, b, _ := diamond()
+	// Edge weight = bytes/100: s->b adds 2, b->t adds 2: 1+2+3+2+1 = 9.
+	_, cp, err := g.CriticalPath(
+		func(n NodeID) float64 { return g.Nodes[n].Tau },
+		func(e Edge) float64 {
+			w := 0.0
+			for _, tr := range e.Transfers {
+				w += float64(tr.Bytes) / 100
+			}
+			return w
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp != 9 {
+		t.Fatalf("cp = %v, want 9", cp)
+	}
+	_ = b
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	g, _, _, _, _ := diamond()
+	data, err := json.Marshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var g2 Graph
+	if err := json.Unmarshal(data, &g2); err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumNodes() != g.NumNodes() || len(g2.Edges) != len(g.Edges) {
+		t.Fatalf("round trip mismatch: %d/%d nodes, %d/%d edges",
+			g2.NumNodes(), g.NumNodes(), len(g2.Edges), len(g.Edges))
+	}
+	if g2.Nodes[1].Alpha != g.Nodes[1].Alpha {
+		t.Fatal("node payload lost")
+	}
+	if _, err := g2.TopoOrder(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnmarshalRejectsInvalid(t *testing.T) {
+	bad := `{"nodes":[{"name":"a"},{"name":"b"}],"edges":[{"from":0,"to":1},{"from":1,"to":0}]}`
+	var g Graph
+	if err := json.Unmarshal([]byte(bad), &g); err == nil {
+		t.Fatal("want error for cyclic JSON graph")
+	}
+}
+
+func TestDOTContainsNodesAndEdges(t *testing.T) {
+	g, _, _, _, _ := diamond()
+	dot := g.DOT("diamond")
+	for _, want := range []string{"digraph", "n0 -> n1", "100B", "α="} {
+		if !strings.Contains(dot, want) {
+			t.Fatalf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+// randomDAG builds a random DAG with edges only from lower to higher ids
+// (guaranteeing acyclicity).
+func randomDAG(rng *rand.Rand, n int, pEdge float64) *Graph {
+	var g Graph
+	for i := 0; i < n; i++ {
+		g.AddNode(Node{Name: "n", Tau: rng.Float64(), Alpha: rng.Float64() * 0.5})
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < pEdge {
+				g.AddEdge(NodeID(i), NodeID(j), Transfer{Bytes: 1 + rng.Intn(1000), Kind: TransferKind(rng.Intn(2))})
+			}
+		}
+	}
+	return &g
+}
+
+// TestTopoOrderPropertyRandomDAGs: every edge goes forward in the order,
+// and the order is a permutation of the nodes.
+func TestTopoOrderPropertyRandomDAGs(t *testing.T) {
+	f := func(seed uint16, nRaw uint8, pRaw uint8) bool {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		n := 1 + int(nRaw)%20
+		g := randomDAG(rng, n, float64(pRaw)/255)
+		order, err := g.TopoOrder()
+		if err != nil {
+			return false
+		}
+		if len(order) != n {
+			return false
+		}
+		pos := make(map[NodeID]int, n)
+		for i, v := range order {
+			if _, dup := pos[v]; dup {
+				return false
+			}
+			pos[v] = i
+		}
+		for _, e := range g.Edges {
+			if pos[e.From] >= pos[e.To] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEnsureStartStopProperty: after augmentation every graph has a unique
+// source and sink reachable from/to everything, and Validate passes.
+func TestEnsureStartStopProperty(t *testing.T) {
+	f := func(seed uint16, nRaw uint8, pRaw uint8) bool {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		n := 1 + int(nRaw)%15
+		g := randomDAG(rng, n, float64(pRaw)/255)
+		start, stop, err := g.EnsureStartStop()
+		if err != nil {
+			return false
+		}
+		if s2, t2, err := g.StartStop(); err != nil || s2 != start || t2 != stop {
+			return false
+		}
+		// START reaches everything; everything reaches STOP.
+		reach := map[NodeID]bool{start: true}
+		order, _ := g.TopoOrder()
+		for _, v := range order {
+			if reach[v] {
+				for _, s := range g.Succs(v) {
+					reach[s] = true
+				}
+			}
+		}
+		if len(reach) != g.NumNodes() {
+			return false
+		}
+		coreach := map[NodeID]bool{stop: true}
+		for i := len(order) - 1; i >= 0; i-- {
+			v := order[i]
+			if coreach[v] {
+				for _, m := range g.Preds(v) {
+					coreach[m] = true
+				}
+			}
+		}
+		return len(coreach) == g.NumNodes() && g.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCriticalPathMonotonicity: increasing any node weight cannot decrease
+// the critical path.
+func TestCriticalPathMonotonicity(t *testing.T) {
+	f := func(seed uint16, bump uint8) bool {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		g := randomDAG(rng, 8, 0.3)
+		w := make([]float64, g.NumNodes())
+		for i := range w {
+			w[i] = rng.Float64()
+		}
+		nodeW := func(n NodeID) float64 { return w[n] }
+		edgeW := func(Edge) float64 { return 0 }
+		_, cp1, err := g.CriticalPath(nodeW, edgeW)
+		if err != nil {
+			return false
+		}
+		w[int(bump)%len(w)] += 1.5
+		_, cp2, err := g.CriticalPath(nodeW, edgeW)
+		if err != nil {
+			return false
+		}
+		return cp2 >= cp1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,116 @@
+package mdg
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestComputeMetricsDiamond(t *testing.T) {
+	g, _, _, _, _ := diamond()
+	m, err := g.ComputeMetrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Nodes != 4 || m.Edges != 4 {
+		t.Fatalf("metrics = %+v", m)
+	}
+	if m.Depth != 3 { // s -> a/b -> t
+		t.Fatalf("depth = %d, want 3", m.Depth)
+	}
+	if m.Width != 2 { // a and b share a level
+		t.Fatalf("width = %d, want 2", m.Width)
+	}
+	if m.Transfers != 4 || m.TransferBytes != 100+200+100+200 {
+		t.Fatalf("transfers = %+v", m)
+	}
+	if !strings.Contains(m.String(), "4 nodes") {
+		t.Fatalf("String = %q", m.String())
+	}
+}
+
+func TestComputeMetricsRejectsCycle(t *testing.T) {
+	var g Graph
+	a := g.AddNode(Node{})
+	b := g.AddNode(Node{})
+	g.AddEdge(a, b)
+	g.AddEdge(b, a)
+	if _, err := g.ComputeMetrics(); err == nil {
+		t.Fatal("want cycle error")
+	}
+}
+
+func TestRandomLayeredShape(t *testing.T) {
+	g, err := RandomLayered(7, 4, 5, 2, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	m, err := g.ComputeMetrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 layers × 5 nodes + START/STOP dummies.
+	if m.Nodes < 20 || m.Nodes > 22 {
+		t.Fatalf("nodes = %d", m.Nodes)
+	}
+	// Depth at least the layer count (plus dummies).
+	if m.Depth < 4 {
+		t.Fatalf("depth = %d", m.Depth)
+	}
+	if m.Width < 5 {
+		t.Fatalf("width = %d, want >= layer width", m.Width)
+	}
+	if _, err := RandomLayered(1, 0, 5, 2, 1024); err == nil {
+		t.Fatal("want spec error")
+	}
+}
+
+func TestRandomLayeredDeterministic(t *testing.T) {
+	a, _ := RandomLayered(42, 3, 4, 2, 512)
+	b, _ := RandomLayered(42, 3, 4, 2, 512)
+	if a.NumNodes() != b.NumNodes() || len(a.Edges) != len(b.Edges) {
+		t.Fatal("same seed must give identical graphs")
+	}
+	for i := range a.Edges {
+		if a.Edges[i].From != b.Edges[i].From || a.Edges[i].To != b.Edges[i].To {
+			t.Fatal("edge sets differ")
+		}
+	}
+	c, _ := RandomLayered(43, 3, 4, 2, 512)
+	if len(a.Edges) == len(c.Edges) {
+		// Edge counts can coincide; compare structure loosely.
+		same := true
+		for i := range a.Edges {
+			if a.Edges[i].From != c.Edges[i].From || a.Edges[i].To != c.Edges[i].To {
+				same = false
+				break
+			}
+		}
+		if same && a.Nodes[2].Tau == c.Nodes[2].Tau {
+			t.Fatal("different seeds gave identical graphs")
+		}
+	}
+}
+
+// TestMetricsWidthDepthBounds: width·depth >= nodes on layered graphs.
+func TestMetricsWidthDepthBounds(t *testing.T) {
+	f := func(seed int16, lRaw, wRaw uint8) bool {
+		layers := 1 + int(lRaw)%6
+		width := 1 + int(wRaw)%6
+		g, err := RandomLayered(int64(seed), layers, width, 2, 64)
+		if err != nil {
+			return false
+		}
+		m, err := g.ComputeMetrics()
+		if err != nil {
+			return false
+		}
+		return m.Width*m.Depth >= m.Nodes && m.Depth >= 1 && m.Width >= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,292 @@
+// Package posy implements posynomial functions symbolically.
+//
+// A posynomial is a finite sum of monomials c·Π v^a with strictly positive
+// coefficients c and arbitrary real exponents a over positive variables v.
+// Posynomials are closed under addition, multiplication, positive scaling
+// and positive integer powers, and become convex under the log-variable
+// substitution — the property Section 2 of the paper relies on to make the
+// allocation problem a convex program.
+//
+// The package is used two ways:
+//
+//   - by internal/costmodel to state the paper's cost functions (Equations
+//     1–3) symbolically, so that tests can verify Lemma 1 and Lemma 2
+//     (each cost function, and the products t^C_i·p_i, t^R_ij·p_j,
+//     t^S_ij·p_i, are posynomials) mechanically rather than on paper;
+//   - to cross-check the log-space expression DAG in internal/expr against
+//     an independent evaluation path.
+package posy
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Monomial is c·Π v^Exps[v] with c > 0 over named positive variables.
+type Monomial struct {
+	Coeff float64
+	Exps  map[string]float64
+}
+
+// Posynomial is a sum of monomials. The zero-length posynomial represents
+// the constant 0 (a degenerate but convenient case: 0 is not a posynomial
+// in the strict sense but is absorbed by addition).
+type Posynomial struct {
+	Terms []Monomial
+}
+
+// Const returns the constant posynomial c. c must be >= 0.
+func Const(c float64) Posynomial {
+	if c < 0 || math.IsNaN(c) || math.IsInf(c, 0) {
+		panic(fmt.Sprintf("posy: constant %v must be finite and >= 0", c))
+	}
+	if c == 0 {
+		return Posynomial{}
+	}
+	return Posynomial{Terms: []Monomial{{Coeff: c}}}
+}
+
+// Var returns the posynomial consisting of the single variable name.
+func Var(name string) Posynomial {
+	return Mono(1, map[string]float64{name: 1})
+}
+
+// Mono returns the single-monomial posynomial c·Π v^exps[v]. c must be >= 0;
+// c == 0 yields the zero posynomial.
+func Mono(c float64, exps map[string]float64) Posynomial {
+	if c < 0 || math.IsNaN(c) || math.IsInf(c, 0) {
+		panic(fmt.Sprintf("posy: coefficient %v must be finite and >= 0", c))
+	}
+	if c == 0 {
+		return Posynomial{}
+	}
+	m := Monomial{Coeff: c, Exps: map[string]float64{}}
+	for v, a := range exps {
+		if a != 0 {
+			m.Exps[v] = a
+		}
+	}
+	return Posynomial{Terms: []Monomial{m}}
+}
+
+func (m Monomial) key() string {
+	vars := make([]string, 0, len(m.Exps))
+	for v := range m.Exps {
+		vars = append(vars, v)
+	}
+	sort.Strings(vars)
+	var b strings.Builder
+	for _, v := range vars {
+		fmt.Fprintf(&b, "%s^%g;", v, m.Exps[v])
+	}
+	return b.String()
+}
+
+// normalize merges monomials with identical exponent vectors, drops
+// zero-coefficient terms and zero exponents (p^0 is the constant 1),
+// producing a canonical ordering.
+func normalize(terms []Monomial) []Monomial {
+	byKey := map[string]*Monomial{}
+	order := []string{}
+	for _, t := range terms {
+		if t.Coeff == 0 {
+			continue
+		}
+		cp := Monomial{Coeff: t.Coeff, Exps: map[string]float64{}}
+		for v, a := range t.Exps {
+			if a != 0 {
+				cp.Exps[v] = a
+			}
+		}
+		k := cp.key()
+		if ex, ok := byKey[k]; ok {
+			ex.Coeff += cp.Coeff
+		} else {
+			byKey[k] = &cp
+			order = append(order, k)
+		}
+	}
+	sort.Strings(order)
+	out := make([]Monomial, 0, len(order))
+	for _, k := range order {
+		if byKey[k].Coeff != 0 {
+			out = append(out, *byKey[k])
+		}
+	}
+	return out
+}
+
+// Add returns p + q.
+func (p Posynomial) Add(q Posynomial) Posynomial {
+	return Posynomial{Terms: normalize(append(append([]Monomial{}, p.Terms...), q.Terms...))}
+}
+
+// AddConst returns p + c, c >= 0.
+func (p Posynomial) AddConst(c float64) Posynomial { return p.Add(Const(c)) }
+
+// Scale returns c·p with c >= 0.
+func (p Posynomial) Scale(c float64) Posynomial {
+	if c < 0 || math.IsNaN(c) || math.IsInf(c, 0) {
+		panic(fmt.Sprintf("posy: scale factor %v must be finite and >= 0", c))
+	}
+	out := Posynomial{Terms: make([]Monomial, 0, len(p.Terms))}
+	for _, t := range p.Terms {
+		m := Monomial{Coeff: t.Coeff * c, Exps: map[string]float64{}}
+		for v, a := range t.Exps {
+			m.Exps[v] = a
+		}
+		out.Terms = append(out.Terms, m)
+	}
+	out.Terms = normalize(out.Terms)
+	return out
+}
+
+// Mul returns p·q (the product of posynomials is a posynomial).
+func (p Posynomial) Mul(q Posynomial) Posynomial {
+	out := Posynomial{}
+	for _, a := range p.Terms {
+		for _, b := range q.Terms {
+			m := Monomial{Coeff: a.Coeff * b.Coeff, Exps: map[string]float64{}}
+			for v, e := range a.Exps {
+				m.Exps[v] += e
+			}
+			for v, e := range b.Exps {
+				m.Exps[v] += e
+			}
+			out.Terms = append(out.Terms, m)
+		}
+	}
+	out.Terms = normalize(out.Terms)
+	return out
+}
+
+// MulMono returns p multiplied by the monomial c·Π v^exps[v]. Monomial
+// division (negative exponents) keeps the result a posynomial, which is
+// why T_i/p etc. remain in the class.
+func (p Posynomial) MulMono(c float64, exps map[string]float64) Posynomial {
+	return p.Mul(Mono(c, exps))
+}
+
+// Pow returns p^k for a nonnegative integer k (p^0 = 1).
+func (p Posynomial) Pow(k int) Posynomial {
+	if k < 0 {
+		panic("posy: negative powers of general posynomials are not posynomials")
+	}
+	out := Const(1)
+	for i := 0; i < k; i++ {
+		out = out.Mul(p)
+	}
+	return out
+}
+
+// Eval evaluates p at the given positive variable assignment. Missing
+// variables panic (they would silently evaluate as 1 otherwise).
+func (p Posynomial) Eval(vals map[string]float64) float64 {
+	s := 0.0
+	for _, t := range p.Terms {
+		term := t.Coeff
+		for v, a := range t.Exps {
+			val, ok := vals[v]
+			if !ok {
+				panic(fmt.Sprintf("posy: variable %q not assigned", v))
+			}
+			if val <= 0 {
+				panic(fmt.Sprintf("posy: variable %q = %v must be positive", v, val))
+			}
+			term *= math.Pow(val, a)
+		}
+		s += term
+	}
+	return s
+}
+
+// Vars returns the sorted set of variable names appearing in p.
+func (p Posynomial) Vars() []string {
+	set := map[string]bool{}
+	for _, t := range p.Terms {
+		for v := range t.Exps {
+			set[v] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// IsPosynomial reports whether every term has a strictly positive finite
+// coefficient — the defining property. The zero posynomial reports true
+// (it is the additive identity of the class).
+func (p Posynomial) IsPosynomial() bool {
+	for _, t := range p.Terms {
+		if !(t.Coeff > 0) || math.IsInf(t.Coeff, 0) {
+			return false
+		}
+		for _, a := range t.Exps {
+			if math.IsNaN(a) || math.IsInf(a, 0) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Substitute replaces variable name with the monomial c·Π v^exps[v]
+// everywhere it occurs. Substituting a monomial into a posynomial yields a
+// posynomial (used e.g. to pin p_j to a constant).
+func (p Posynomial) Substitute(name string, c float64, exps map[string]float64) Posynomial {
+	if c <= 0 || math.IsNaN(c) || math.IsInf(c, 0) {
+		panic(fmt.Sprintf("posy: substitution value %v must be finite and > 0", c))
+	}
+	out := Posynomial{}
+	for _, t := range p.Terms {
+		a, has := t.Exps[name]
+		if !has {
+			out.Terms = append(out.Terms, t)
+			continue
+		}
+		m := Monomial{Coeff: t.Coeff * math.Pow(c, a), Exps: map[string]float64{}}
+		for v, e := range t.Exps {
+			if v != name {
+				m.Exps[v] = e
+			}
+		}
+		for v, e := range exps {
+			m.Exps[v] += e * a
+		}
+		out.Terms = append(out.Terms, m)
+	}
+	out.Terms = normalize(out.Terms)
+	return out
+}
+
+// String renders the posynomial in a stable human-readable form.
+func (p Posynomial) String() string {
+	if len(p.Terms) == 0 {
+		return "0"
+	}
+	parts := make([]string, 0, len(p.Terms))
+	for _, t := range p.Terms {
+		vars := make([]string, 0, len(t.Exps))
+		for v := range t.Exps {
+			vars = append(vars, v)
+		}
+		sort.Strings(vars)
+		var b strings.Builder
+		fmt.Fprintf(&b, "%.6g", t.Coeff)
+		for _, v := range vars {
+			a := t.Exps[v]
+			if a == 1 {
+				fmt.Fprintf(&b, "·%s", v)
+			} else {
+				fmt.Fprintf(&b, "·%s^%g", v, a)
+			}
+		}
+		parts = append(parts, b.String())
+	}
+	return strings.Join(parts, " + ")
+}

@@ -1,0 +1,226 @@
+package posy
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, tol float64) bool {
+	diff := math.Abs(a - b)
+	scale := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return diff <= tol*scale
+}
+
+func TestConstAndVar(t *testing.T) {
+	c := Const(3)
+	if got := c.Eval(nil); got != 3 {
+		t.Fatalf("Const eval = %v", got)
+	}
+	v := Var("p")
+	if got := v.Eval(map[string]float64{"p": 4}); got != 4 {
+		t.Fatalf("Var eval = %v", got)
+	}
+}
+
+func TestZeroConstIsEmpty(t *testing.T) {
+	z := Const(0)
+	if len(z.Terms) != 0 {
+		t.Fatalf("Const(0) should have no terms")
+	}
+	if got := z.Eval(nil); got != 0 {
+		t.Fatalf("zero eval = %v", got)
+	}
+	if !z.IsPosynomial() {
+		t.Fatalf("zero should report IsPosynomial (additive identity)")
+	}
+}
+
+func TestAddMergesLikeTerms(t *testing.T) {
+	a := Mono(2, map[string]float64{"p": -1})
+	b := Mono(3, map[string]float64{"p": -1})
+	s := a.Add(b)
+	if len(s.Terms) != 1 {
+		t.Fatalf("like terms not merged: %v", s)
+	}
+	if got := s.Eval(map[string]float64{"p": 5}); !approx(got, 1, 1e-12) {
+		t.Fatalf("eval = %v, want 1", got)
+	}
+}
+
+func TestMulDistributes(t *testing.T) {
+	// (1 + p)·(2 + 1/p) = 2 + 1/p + 2p + 1 = 3 + 1/p + 2p
+	a := Const(1).Add(Var("p"))
+	b := Const(2).Add(Mono(1, map[string]float64{"p": -1}))
+	m := a.Mul(b)
+	if len(m.Terms) != 3 {
+		t.Fatalf("expected 3 terms after merge, got %v: %s", len(m.Terms), m)
+	}
+	vals := map[string]float64{"p": 2}
+	if got, want := m.Eval(vals), 3.0+0.5+4.0; !approx(got, want, 1e-12) {
+		t.Fatalf("eval = %v, want %v", got, want)
+	}
+}
+
+func TestPow(t *testing.T) {
+	p := Const(1).Add(Var("x"))
+	sq := p.Pow(2) // 1 + 2x + x^2
+	if len(sq.Terms) != 3 {
+		t.Fatalf("Pow terms = %d, want 3", len(sq.Terms))
+	}
+	if got := sq.Eval(map[string]float64{"x": 3}); !approx(got, 16, 1e-12) {
+		t.Fatalf("eval = %v, want 16", got)
+	}
+	one := p.Pow(0)
+	if got := one.Eval(map[string]float64{"x": 99}); got != 1 {
+		t.Fatalf("p^0 = %v, want 1", got)
+	}
+}
+
+func TestSubstituteMonomial(t *testing.T) {
+	// p = 2q^2 in 3·p^-1: 3/(2q^2) = 1.5·q^-2
+	p := Mono(3, map[string]float64{"p": -1})
+	s := p.Substitute("p", 2, map[string]float64{"q": 2})
+	want := s.Eval(map[string]float64{"q": 3})
+	if !approx(want, 3.0/(2*9), 1e-12) {
+		t.Fatalf("substitute eval = %v", want)
+	}
+	if !s.IsPosynomial() {
+		t.Fatalf("substitution must preserve posynomial form")
+	}
+}
+
+func TestSubstituteConstant(t *testing.T) {
+	p := Var("p").Add(Mono(4, map[string]float64{"p": -1, "q": 1}))
+	s := p.Substitute("p", 2, nil)
+	if got := s.Eval(map[string]float64{"q": 3}); !approx(got, 2+6, 1e-12) {
+		t.Fatalf("eval = %v, want 8", got)
+	}
+	if len(s.Vars()) != 1 || s.Vars()[0] != "q" {
+		t.Fatalf("vars = %v, want [q]", s.Vars())
+	}
+}
+
+func TestVarsSorted(t *testing.T) {
+	p := Mono(1, map[string]float64{"pj": 1, "pi": -1}).Add(Var("a"))
+	got := p.Vars()
+	if len(got) != 3 || got[0] != "a" || got[1] != "pi" || got[2] != "pj" {
+		t.Fatalf("Vars = %v", got)
+	}
+}
+
+func TestStringStable(t *testing.T) {
+	p := Mono(2, map[string]float64{"p": -1}).Add(Const(1))
+	s1, s2 := p.String(), p.String()
+	if s1 != s2 || s1 == "" {
+		t.Fatalf("String unstable: %q vs %q", s1, s2)
+	}
+	if Const(0).String() != "0" {
+		t.Fatalf("zero String = %q", Const(0).String())
+	}
+}
+
+func TestPanics(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"negative const", func() { Const(-1) }},
+		{"negative mono", func() { Mono(-2, nil) }},
+		{"negative scale", func() { Const(1).Scale(-1) }},
+		{"negative pow", func() { Var("p").Pow(-1) }},
+		{"eval missing var", func() { Var("p").Eval(nil) }},
+		{"eval nonpositive var", func() { Var("p").Eval(map[string]float64{"p": 0}) }},
+		{"substitute nonpositive", func() { Var("p").Substitute("p", 0, nil) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			tc.fn()
+		})
+	}
+}
+
+// randomPosy builds a random posynomial over variables p, q.
+func randomPosy(rng *rand.Rand) Posynomial {
+	out := Posynomial{}
+	n := 1 + rng.Intn(4)
+	for i := 0; i < n; i++ {
+		out = out.Add(Mono(0.1+rng.Float64()*3, map[string]float64{
+			"p": float64(rng.Intn(7)-3) / 2,
+			"q": float64(rng.Intn(7)-3) / 2,
+		}))
+	}
+	return out
+}
+
+// TestClosureProperties: posynomials are closed under +, ·, scaling and
+// integer powers (testing/quick over random instances).
+func TestClosureProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	f := func(seed uint16) bool {
+		r := rand.New(rand.NewSource(int64(seed)))
+		a, b := randomPosy(r), randomPosy(r)
+		if !a.Add(b).IsPosynomial() {
+			return false
+		}
+		if !a.Mul(b).IsPosynomial() {
+			return false
+		}
+		if !a.Scale(r.Float64() * 5).IsPosynomial() {
+			return false
+		}
+		return a.Pow(1 + r.Intn(3)).IsPosynomial()
+	}
+	_ = rng
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAlgebraIdentities checks (a+b)(c) == ac + bc and commutativity on
+// random values.
+func TestAlgebraIdentities(t *testing.T) {
+	f := func(seed uint16, pv, qv uint8) bool {
+		r := rand.New(rand.NewSource(int64(seed)))
+		a, b, c := randomPosy(r), randomPosy(r), randomPosy(r)
+		vals := map[string]float64{
+			"p": 0.5 + float64(pv)/16,
+			"q": 0.5 + float64(qv)/16,
+		}
+		lhs := a.Add(b).Mul(c).Eval(vals)
+		rhs := a.Mul(c).Add(b.Mul(c)).Eval(vals)
+		if !approx(lhs, rhs, 1e-9) {
+			return false
+		}
+		return approx(a.Mul(b).Eval(vals), b.Mul(a).Eval(vals), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLogSpaceConvexitySampled: the defining analytic property — a random
+// posynomial is convex in log variables (midpoint inequality).
+func TestLogSpaceConvexitySampled(t *testing.T) {
+	f := func(seed uint16, x0, x1, y0, y1 uint8) bool {
+		r := rand.New(rand.NewSource(int64(seed)))
+		p := randomPosy(r)
+		xa := []float64{float64(x0)/64 - 2, float64(x1)/64 - 2}
+		ya := []float64{float64(y0)/64 - 2, float64(y1)/64 - 2}
+		at := func(x []float64) float64 {
+			return p.Eval(map[string]float64{"p": math.Exp(x[0]), "q": math.Exp(x[1])})
+		}
+		fx, fy := at(xa), at(ya)
+		fm := at([]float64{(xa[0] + ya[0]) / 2, (xa[1] + ya[1]) / 2})
+		return fm <= (fx+fy)/2+1e-9*(1+fx+fy)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

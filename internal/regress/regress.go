@@ -1,0 +1,179 @@
+// Package regress implements linear least squares via Householder QR.
+//
+// The paper's "training sets" methodology (Section 4, following
+// Balasundaram et al.) measures loop and transfer timings on the target
+// machine and fits the free parameters of the posynomial cost models by
+// linear regression: the models are linear in their parameters
+// (τ·α, τ·(1-α), t_ss, t_ps, …) once the processor counts are fixed, so
+// ordinary least squares recovers them directly.
+package regress
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Fit is the result of a least-squares solve.
+type Fit struct {
+	// Coeffs are the fitted parameters, one per design-matrix column.
+	Coeffs []float64
+	// Residuals are y - X·Coeffs, one per observation.
+	Residuals []float64
+	// RSS is the residual sum of squares.
+	RSS float64
+	// R2 is the coefficient of determination (1 - RSS/TSS). If the
+	// response is constant, R2 is reported as 1 when the fit is exact and
+	// 0 otherwise.
+	R2 float64
+}
+
+// ErrRankDeficient is returned when the design matrix does not have full
+// column rank (within a numerical tolerance).
+var ErrRankDeficient = errors.New("regress: design matrix is rank deficient")
+
+// LeastSquares solves min ‖X·β − y‖₂ for β, where X is an m×n design matrix
+// given as m rows, m >= n >= 1. The matrix is not modified.
+func LeastSquares(X [][]float64, y []float64) (Fit, error) {
+	m := len(X)
+	if m == 0 {
+		return Fit{}, errors.New("regress: no observations")
+	}
+	n := len(X[0])
+	if n == 0 {
+		return Fit{}, errors.New("regress: no predictors")
+	}
+	if m < n {
+		return Fit{}, fmt.Errorf("regress: %d observations < %d predictors", m, n)
+	}
+	if len(y) != m {
+		return Fit{}, fmt.Errorf("regress: len(y)=%d, want %d", len(y), m)
+	}
+	// Working copies: A is column-major for cache-friendly Householder
+	// application; b is the transformed response.
+	a := make([]float64, m*n)
+	maxAbs := 0.0
+	for i, row := range X {
+		if len(row) != n {
+			return Fit{}, fmt.Errorf("regress: row %d has %d entries, want %d", i, len(row), n)
+		}
+		for j, v := range row {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return Fit{}, fmt.Errorf("regress: non-finite design entry X[%d][%d]=%v", i, j, v)
+			}
+			a[j*m+i] = v
+			if av := math.Abs(v); av > maxAbs {
+				maxAbs = av
+			}
+		}
+	}
+	b := make([]float64, m)
+	for i, v := range y {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return Fit{}, fmt.Errorf("regress: non-finite response y[%d]=%v", i, v)
+		}
+		b[i] = v
+	}
+
+	// Householder QR: for each column k, build reflector v annihilating
+	// below-diagonal entries, apply to remaining columns and to b.
+	rankTol := float64(m) * 1e-13 * math.Max(maxAbs, 1)
+	v := make([]float64, m)
+	for k := 0; k < n; k++ {
+		col := a[k*m:]
+		// norm of col[k:m]
+		norm := 0.0
+		for i := k; i < m; i++ {
+			norm = math.Hypot(norm, col[i])
+		}
+		if norm <= rankTol {
+			return Fit{}, ErrRankDeficient
+		}
+		alpha := -math.Copysign(norm, col[k])
+		vnorm2 := 0.0
+		for i := k; i < m; i++ {
+			v[i] = col[i]
+			if i == k {
+				v[i] -= alpha
+			}
+			vnorm2 += v[i] * v[i]
+		}
+		if vnorm2 == 0 {
+			return Fit{}, ErrRankDeficient
+		}
+		// Apply H = I - 2vvᵀ/(vᵀv) to columns k..n-1 and to b.
+		for j := k; j < n; j++ {
+			cj := a[j*m:]
+			dot := 0.0
+			for i := k; i < m; i++ {
+				dot += v[i] * cj[i]
+			}
+			f := 2 * dot / vnorm2
+			for i := k; i < m; i++ {
+				cj[i] -= f * v[i]
+			}
+		}
+		dot := 0.0
+		for i := k; i < m; i++ {
+			dot += v[i] * b[i]
+		}
+		f := 2 * dot / vnorm2
+		for i := k; i < m; i++ {
+			b[i] -= f * v[i]
+		}
+	}
+
+	// Back-substitute R·β = b[0:n].
+	beta := make([]float64, n)
+	for j := n - 1; j >= 0; j-- {
+		s := b[j]
+		for k := j + 1; k < n; k++ {
+			s -= a[k*m+j] * beta[k]
+		}
+		d := a[j*m+j]
+		if math.Abs(d) <= rankTol {
+			return Fit{}, ErrRankDeficient
+		}
+		beta[j] = s / d
+	}
+
+	fit := Fit{Coeffs: beta, Residuals: make([]float64, m)}
+	mean := 0.0
+	for _, yi := range y {
+		mean += yi
+	}
+	mean /= float64(m)
+	tss := 0.0
+	for i, row := range X {
+		pred := 0.0
+		for j, v := range row {
+			pred += v * beta[j]
+		}
+		r := y[i] - pred
+		fit.Residuals[i] = r
+		fit.RSS += r * r
+		d := y[i] - mean
+		tss += d * d
+	}
+	switch {
+	case tss > 0:
+		fit.R2 = 1 - fit.RSS/tss
+	case fit.RSS <= 1e-18:
+		fit.R2 = 1
+	default:
+		fit.R2 = 0
+	}
+	return fit, nil
+}
+
+// Predict evaluates the linear model at one design row.
+func (f Fit) Predict(row []float64) float64 {
+	if len(row) != len(f.Coeffs) {
+		panic(fmt.Sprintf("regress: row has %d entries, model has %d", len(row), len(f.Coeffs)))
+	}
+	s := 0.0
+	for j, v := range row {
+		s += v * f.Coeffs[j]
+	}
+	return s
+}

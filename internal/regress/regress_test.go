@@ -1,0 +1,204 @@
+package regress
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, tol float64) bool {
+	diff := math.Abs(a - b)
+	scale := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return diff <= tol*scale
+}
+
+func TestExactLine(t *testing.T) {
+	// y = 2 + 3x, no noise.
+	X := [][]float64{{1, 0}, {1, 1}, {1, 2}, {1, 3}}
+	y := []float64{2, 5, 8, 11}
+	fit, err := LeastSquares(X, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(fit.Coeffs[0], 2, 1e-10) || !approx(fit.Coeffs[1], 3, 1e-10) {
+		t.Fatalf("coeffs = %v, want [2 3]", fit.Coeffs)
+	}
+	if !approx(fit.R2, 1, 1e-12) {
+		t.Fatalf("R2 = %v, want 1", fit.R2)
+	}
+}
+
+func TestOverdeterminedMinimizesRSS(t *testing.T) {
+	// Classic: y over x in {0,1,2} with y = {0, 1, 1}. OLS slope = 0.5,
+	// intercept = 1/6.
+	X := [][]float64{{1, 0}, {1, 1}, {1, 2}}
+	y := []float64{0, 1, 1}
+	fit, err := LeastSquares(X, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(fit.Coeffs[1], 0.5, 1e-10) || !approx(fit.Coeffs[0], 1.0/6, 1e-10) {
+		t.Fatalf("coeffs = %v", fit.Coeffs)
+	}
+}
+
+func TestRankDeficient(t *testing.T) {
+	X := [][]float64{{1, 2}, {2, 4}, {3, 6}}
+	y := []float64{1, 2, 3}
+	_, err := LeastSquares(X, y)
+	if !errors.Is(err, ErrRankDeficient) {
+		t.Fatalf("err = %v, want ErrRankDeficient", err)
+	}
+}
+
+func TestInputValidation(t *testing.T) {
+	if _, err := LeastSquares(nil, nil); err == nil {
+		t.Fatal("want error for empty X")
+	}
+	if _, err := LeastSquares([][]float64{{}}, []float64{1}); err == nil {
+		t.Fatal("want error for zero predictors")
+	}
+	if _, err := LeastSquares([][]float64{{1, 2}}, []float64{1}); err == nil {
+		t.Fatal("want error for m < n")
+	}
+	if _, err := LeastSquares([][]float64{{1}, {2}}, []float64{1}); err == nil {
+		t.Fatal("want error for len(y) mismatch")
+	}
+	if _, err := LeastSquares([][]float64{{1}, {math.NaN()}}, []float64{1, 2}); err == nil {
+		t.Fatal("want error for NaN design entry")
+	}
+	if _, err := LeastSquares([][]float64{{1}, {2}}, []float64{1, math.Inf(1)}); err == nil {
+		t.Fatal("want error for Inf response")
+	}
+	if _, err := LeastSquares([][]float64{{1}, {2, 3}}, []float64{1, 2}); err == nil {
+		t.Fatal("want error for ragged rows")
+	}
+}
+
+// TestRecoverPlantedModel: regression on noiseless synthetic data recovers
+// the planted coefficients for random well-conditioned designs.
+func TestRecoverPlantedModel(t *testing.T) {
+	f := func(seed uint16) bool {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		n := 1 + rng.Intn(4)
+		m := n + 2 + rng.Intn(20)
+		beta := make([]float64, n)
+		for j := range beta {
+			beta[j] = rng.NormFloat64() * 10
+		}
+		X := make([][]float64, m)
+		y := make([]float64, m)
+		for i := range X {
+			X[i] = make([]float64, n)
+			for j := range X[i] {
+				X[i][j] = rng.NormFloat64()
+			}
+			for j := range X[i] {
+				y[i] += X[i][j] * beta[j]
+			}
+		}
+		fit, err := LeastSquares(X, y)
+		if err != nil {
+			// Random Gaussian designs are a.s. full rank; treat failure
+			// as a property violation.
+			return false
+		}
+		for j := range beta {
+			if !approx(fit.Coeffs[j], beta[j], 1e-7) {
+				return false
+			}
+		}
+		return fit.R2 > 1-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNoisyFitBeatsPerturbations: the OLS solution has RSS no larger than
+// nearby perturbed coefficient vectors (first-order optimality, sampled).
+func TestNoisyFitBeatsPerturbations(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	m, n := 40, 3
+	X := make([][]float64, m)
+	y := make([]float64, m)
+	for i := range X {
+		X[i] = []float64{1, rng.Float64() * 10, rng.Float64() * 10}
+		y[i] = 2 + 0.5*X[i][1] - 1.5*X[i][2] + rng.NormFloat64()
+	}
+	fit, err := LeastSquares(X, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rss := func(beta []float64) float64 {
+		s := 0.0
+		for i := range X {
+			pred := 0.0
+			for j := range beta {
+				pred += X[i][j] * beta[j]
+			}
+			d := y[i] - pred
+			s += d * d
+		}
+		return s
+	}
+	base := rss(fit.Coeffs)
+	if !approx(base, fit.RSS, 1e-9) {
+		t.Fatalf("reported RSS %v != recomputed %v", fit.RSS, base)
+	}
+	for trial := 0; trial < 100; trial++ {
+		pert := append([]float64(nil), fit.Coeffs...)
+		pert[rng.Intn(n)] += (rng.Float64() - 0.5) * 0.1
+		if rss(pert) < base-1e-9 {
+			t.Fatalf("perturbation beats OLS: %v < %v", rss(pert), base)
+		}
+	}
+}
+
+func TestConstantResponse(t *testing.T) {
+	X := [][]float64{{1}, {1}, {1}}
+	y := []float64{4, 4, 4}
+	fit, err := LeastSquares(X, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(fit.Coeffs[0], 4, 1e-12) || fit.R2 != 1 {
+		t.Fatalf("fit = %+v", fit)
+	}
+}
+
+func TestPredict(t *testing.T) {
+	fit := Fit{Coeffs: []float64{2, 3}}
+	if got := fit.Predict([]float64{1, 4}); got != 14 {
+		t.Fatalf("Predict = %v, want 14", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on wrong row length")
+		}
+	}()
+	fit.Predict([]float64{1})
+}
+
+func BenchmarkLeastSquares100x5(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	m, n := 100, 5
+	X := make([][]float64, m)
+	y := make([]float64, m)
+	for i := range X {
+		X[i] = make([]float64, n)
+		for j := range X[i] {
+			X[i][j] = rng.NormFloat64()
+		}
+		y[i] = rng.NormFloat64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := LeastSquares(X, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"paradigm/internal/mdg"
+)
+
+// Gantt renders the schedule as an ASCII chart, one row per processor,
+// matching the allocation-and-schedule diagrams of Figure 7. width is the
+// number of character columns for the time axis (minimum 20).
+func (s *Schedule) Gantt(g *mdg.Graph, width int) string {
+	if width < 20 {
+		width = 20
+	}
+	if s.Makespan <= 0 {
+		return "(empty schedule)\n"
+	}
+	scale := float64(width) / s.Makespan
+
+	// Short display labels: first two runes of the name + node id.
+	label := func(n mdg.NodeID) string {
+		name := g.Nodes[n].Name
+		if name == "" {
+			name = "n"
+		}
+		r := []rune(name)
+		if len(r) > 2 {
+			r = r[:2]
+		}
+		return fmt.Sprintf("%s%d", string(r), n)
+	}
+
+	rows := make([][]byte, s.ProcsTotal)
+	for p := range rows {
+		rows[p] = []byte(strings.Repeat(".", width))
+	}
+	// Deterministic paint order: by start time then node id.
+	order := make([]int, len(s.Entries))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ea, eb := s.Entries[order[a]], s.Entries[order[b]]
+		if ea.Start != eb.Start {
+			return ea.Start < eb.Start
+		}
+		return order[a] < order[b]
+	})
+	for _, i := range order {
+		e := s.Entries[i]
+		lo := int(e.Start * scale)
+		hi := int(e.Finish * scale)
+		if hi <= lo {
+			hi = lo + 1
+		}
+		if hi > width {
+			hi = width
+		}
+		lb := label(e.Node)
+		for _, p := range e.Procs {
+			seg := rows[p][lo:hi]
+			for k := range seg {
+				if k < len(lb) {
+					seg[k] = lb[k]
+				} else {
+					seg[k] = '='
+				}
+			}
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "schedule: %d processors, makespan %.4gs, utilization %.1f%% (%s)\n",
+		s.ProcsTotal, s.Makespan, 100*s.Utilization(), s.Policy)
+	for p := 0; p < s.ProcsTotal; p++ {
+		fmt.Fprintf(&b, "P%02d |%s|\n", p, rows[p])
+	}
+	fmt.Fprintf(&b, "     0%s%.4gs\n", strings.Repeat(" ", width-6), s.Makespan)
+	return b.String()
+}
+
+// Table renders the schedule as a per-node text table sorted by start time.
+func (s *Schedule) Table(g *mdg.Graph) string {
+	order := make([]int, len(s.Entries))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ea, eb := s.Entries[order[a]], s.Entries[order[b]]
+		if ea.Start != eb.Start {
+			return ea.Start < eb.Start
+		}
+		return order[a] < order[b]
+	})
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-4s %-18s %-6s %12s %12s  %s\n", "id", "node", "procs", "start(s)", "finish(s)", "processor set")
+	for _, i := range order {
+		e := s.Entries[i]
+		name := g.Nodes[i].Name
+		if name == "" {
+			name = fmt.Sprintf("n%d", i)
+		}
+		fmt.Fprintf(&b, "%-4d %-18s %-6d %12.6f %12.6f  %s\n",
+			i, name, len(e.Procs), e.Start, e.Finish, procRanges(e.Procs))
+	}
+	return b.String()
+}
+
+// procRanges compresses a sorted processor list into "0-3,8,12-15" form.
+func procRanges(procs []int) string {
+	if len(procs) == 0 {
+		return "-"
+	}
+	var parts []string
+	lo, hi := procs[0], procs[0]
+	flush := func() {
+		if lo == hi {
+			parts = append(parts, fmt.Sprintf("%d", lo))
+		} else {
+			parts = append(parts, fmt.Sprintf("%d-%d", lo, hi))
+		}
+	}
+	for _, p := range procs[1:] {
+		if p == hi+1 {
+			hi = p
+			continue
+		}
+		flush()
+		lo, hi = p, p
+	}
+	flush()
+	return strings.Join(parts, ",")
+}

@@ -1,0 +1,515 @@
+package sched
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"paradigm/internal/alloc"
+	"paradigm/internal/bounds"
+	"paradigm/internal/costmodel"
+	"paradigm/internal/mdg"
+)
+
+var cm5Fit = costmodel.Model{Transfer: costmodel.TransferParams{
+	Tss: 777.56e-6, Tps: 486.98e-9, Tsr: 465.58e-6, Tpr: 426.25e-9, Tn: 0,
+}}
+
+// forkJoinGraph: START -> {A, B} -> STOP, all explicit.
+func forkJoinGraph(alpha float64) *mdg.Graph {
+	var g mdg.Graph
+	s := g.AddNode(mdg.Node{Name: "START"})
+	a := g.AddNode(mdg.Node{Name: "A", Alpha: alpha, Tau: 10})
+	b := g.AddNode(mdg.Node{Name: "B", Alpha: alpha, Tau: 10})
+	st := g.AddNode(mdg.Node{Name: "STOP"})
+	g.AddEdge(s, a)
+	g.AddEdge(s, b)
+	g.AddEdge(a, st)
+	g.AddEdge(b, st)
+	return &g
+}
+
+func TestPSAForkJoinConcurrent(t *testing.T) {
+	g := forkJoinGraph(0.3)
+	s, err := PSA(g, costmodel.Model{}, []int{1, 2, 2, 1}, 4, LowestEST)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(g, costmodel.Model{}); err != nil {
+		t.Fatal(err)
+	}
+	a, b := s.Entries[1], s.Entries[2]
+	// Both 2-processor branches fit side by side: same start, disjoint sets.
+	if a.Start != b.Start {
+		t.Fatalf("branches not concurrent: %v vs %v", a.Start, b.Start)
+	}
+	for _, pa := range a.Procs {
+		for _, pb := range b.Procs {
+			if pa == pb {
+				t.Fatalf("branches share processor %d", pa)
+			}
+		}
+	}
+	want := costmodel.LoopParams{Alpha: 0.3, Tau: 10}.Processing(2)
+	if math.Abs(s.Makespan-want) > 1e-9 {
+		t.Fatalf("makespan = %v, want %v", s.Makespan, want)
+	}
+}
+
+func TestPSASerializesWhenProcessorsScarce(t *testing.T) {
+	g := forkJoinGraph(0.3)
+	// Both branches want all 4 processors: they must serialize.
+	s, err := PSA(g, costmodel.Model{}, []int{1, 4, 4, 1}, 4, LowestEST)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(g, costmodel.Model{}); err != nil {
+		t.Fatal(err)
+	}
+	a, b := s.Entries[1], s.Entries[2]
+	if !(a.Finish <= b.Start+1e-12 || b.Finish <= a.Start+1e-12) {
+		t.Fatalf("4-proc branches overlap: A=[%v,%v] B=[%v,%v]", a.Start, a.Finish, b.Start, b.Finish)
+	}
+	w := costmodel.LoopParams{Alpha: 0.3, Tau: 10}.Processing(4)
+	if math.Abs(s.Makespan-2*w) > 1e-9 {
+		t.Fatalf("makespan = %v, want %v", s.Makespan, 2*w)
+	}
+}
+
+func TestPaperExampleShape(t *testing.T) {
+	// Section 1.2: with processing curves like Figure 1, executing N2 and
+	// N3 concurrently on 2 processors each beats running everything on
+	// all 4. Our α=0.25 instance: serial-on-4 = 2·0.4375τ vs split =
+	// 0.625τ per branch.
+	g := forkJoinGraph(0.25)
+	mixed, err := PSA(g, costmodel.Model{}, []int{1, 2, 2, 1}, 4, LowestEST)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spmd, err := SPMD(g, costmodel.Model{}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mixed.Makespan >= spmd.Makespan {
+		t.Fatalf("mixed %v should beat SPMD %v", mixed.Makespan, spmd.Makespan)
+	}
+}
+
+func TestRoundAndBound(t *testing.T) {
+	got, err := RoundAndBound([]float64{1, 1.4, 1.7, 3.3, 6.4, 11, 64}, 64, 8, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 1, 2, 4, 8, 8, 8} // 6.4 -> 8 (midpoint 6), 11 -> 8 (clamped), 64 -> 8
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("RoundAndBound[%d] = %d, want %d (full %v)", i, got[i], want[i], got)
+		}
+	}
+	if _, err := RoundAndBound([]float64{1}, 64, 3, false); err == nil {
+		t.Fatal("want error for non-power-of-two PB")
+	}
+	if _, err := RoundAndBound([]float64{1}, 8, 16, false); err == nil {
+		t.Fatal("want error for PB > procs")
+	}
+}
+
+func TestRoundAndBoundSkipRounding(t *testing.T) {
+	got, err := RoundAndBound([]float64{0.4, 2.9, 5.6, 12}, 16, 8, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 5, 8}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("skip-rounding[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestRunPipelinePicksCorollaryPB(t *testing.T) {
+	g := forkJoinGraph(0.2)
+	s, err := Run(g, cm5Fit, []float64{1, 9.7, 9.7, 1}, 16, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, _, _ := bounds.OptimalPB(16)
+	if s.PB != pb {
+		t.Fatalf("PB = %d, want Corollary-1 choice %d", s.PB, pb)
+	}
+	for i, a := range s.Alloc {
+		if a > pb {
+			t.Fatalf("node %d allocation %d exceeds PB %d", i, a, pb)
+		}
+		if !bounds.IsPow2(a) {
+			t.Fatalf("node %d allocation %d not a power of two", i, a)
+		}
+	}
+	if err := s.Validate(g, cm5Fit); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSPMDRespectsEdgeDelays(t *testing.T) {
+	var g mdg.Graph
+	a := g.AddNode(mdg.Node{Name: "a", Tau: 1})
+	b := g.AddNode(mdg.Node{Name: "b", Tau: 1})
+	g.AddEdge(a, b, mdg.Transfer{Bytes: 1 << 20, Kind: mdg.Transfer1D})
+	m := costmodel.Model{Transfer: costmodel.TransferParams{Tn: 1e-6}}
+	s, err := SPMD(&g, m, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(&g, m); err != nil {
+		t.Fatal(err)
+	}
+	pf := []float64{4, 4}
+	e, _ := g.EdgeBetween(a, b)
+	delay := m.EdgeDelay(&g, e, pf)
+	if delay <= 0 {
+		t.Fatal("test premise: positive delay")
+	}
+	if s.Entries[b].Start < s.Entries[a].Finish+delay-1e-12 {
+		t.Fatalf("SPMD ignored edge delay: start %v, finish+delay %v",
+			s.Entries[b].Start, s.Entries[a].Finish+delay)
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	g := forkJoinGraph(0.3)
+	s, err := PSA(g, costmodel.Model{}, []int{1, 2, 2, 1}, 4, LowestEST)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Run("overlap", func(t *testing.T) {
+		bad := *s
+		bad.Entries = append([]Entry(nil), s.Entries...)
+		bad.Entries[2].Procs = bad.Entries[1].Procs // same procs, same window
+		if bad.Validate(g, costmodel.Model{}) == nil {
+			t.Fatal("want overlap error")
+		}
+	})
+	t.Run("precedence", func(t *testing.T) {
+		bad := *s
+		bad.Entries = append([]Entry(nil), s.Entries...)
+		bad.Entries[3].Start = 0
+		bad.Entries[3].Finish = 0
+		if bad.Validate(g, costmodel.Model{}) == nil {
+			t.Fatal("want precedence error")
+		}
+	})
+	t.Run("wrong proc count", func(t *testing.T) {
+		bad := *s
+		bad.Entries = append([]Entry(nil), s.Entries...)
+		bad.Entries[1].Procs = bad.Entries[1].Procs[:1]
+		if bad.Validate(g, costmodel.Model{}) == nil {
+			t.Fatal("want proc count error")
+		}
+	})
+	t.Run("duration", func(t *testing.T) {
+		bad := *s
+		bad.Entries = append([]Entry(nil), s.Entries...)
+		bad.Entries[1].Finish += 1
+		if bad.Validate(g, costmodel.Model{}) == nil {
+			t.Fatal("want duration error")
+		}
+	})
+}
+
+func TestErrorPaths(t *testing.T) {
+	g := forkJoinGraph(0.3)
+	if _, err := PSA(g, costmodel.Model{}, []int{1, 2, 2}, 4, LowestEST); err == nil {
+		t.Fatal("want error for short allocation")
+	}
+	if _, err := PSA(g, costmodel.Model{}, []int{1, 2, 2, 5}, 4, LowestEST); err == nil {
+		t.Fatal("want error for allocation > procs")
+	}
+	if _, err := PSA(g, costmodel.Model{}, []int{1, 0, 2, 1}, 4, LowestEST); err == nil {
+		t.Fatal("want error for zero allocation")
+	}
+	if _, err := Run(g, cm5Fit, []float64{1, 2}, 4, Options{}); err == nil {
+		t.Fatal("want error for wrong-length continuous allocation")
+	}
+	if _, err := Run(g, cm5Fit, []float64{1, 2, 2, 1}, 0, Options{}); err == nil {
+		t.Fatal("want error for procs=0")
+	}
+	if _, err := SPMD(g, cm5Fit, 0); err == nil {
+		t.Fatal("want error for SPMD procs=0")
+	}
+}
+
+// randomMDG builds a random schedulable MDG with explicit START/STOP.
+func randomMDG(rng *rand.Rand, n int) *mdg.Graph {
+	var g mdg.Graph
+	for i := 0; i < n; i++ {
+		g.AddNode(mdg.Node{
+			Name:  "n",
+			Alpha: rng.Float64() * 0.5,
+			Tau:   0.01 + rng.Float64(),
+		})
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < 0.3 {
+				kind := mdg.Transfer1D
+				if rng.Intn(2) == 1 {
+					kind = mdg.Transfer2D
+				}
+				g.AddEdge(mdg.NodeID(i), mdg.NodeID(j),
+					mdg.Transfer{Bytes: 64 + rng.Intn(32768), Kind: kind})
+			}
+		}
+	}
+	g.EnsureStartStop()
+	return &g
+}
+
+// TestPSAValidOnRandomGraphs: on random MDGs with random power-of-two
+// allocations, the schedule always validates and the makespan is at least
+// the critical path under the same weights.
+func TestPSAValidOnRandomGraphs(t *testing.T) {
+	f := func(seed uint16, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		n := 2 + int(nRaw)%12
+		g := randomMDG(rng, n)
+		const procs = 16
+		allocv := make([]int, g.NumNodes())
+		for i := range allocv {
+			allocv[i] = 1 << rng.Intn(4) // 1..8
+		}
+		s, err := PSA(g, cm5Fit, allocv, procs, LowestEST)
+		if err != nil {
+			return false
+		}
+		if err := s.Validate(g, cm5Fit); err != nil {
+			return false
+		}
+		pf := make([]float64, len(allocv))
+		for i, a := range allocv {
+			pf[i] = float64(a)
+		}
+		cp, err := cm5Fit.CriticalPathTime(g, pf)
+		if err != nil {
+			return false
+		}
+		return s.Makespan >= cp-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTheorem1BoundHolds: T_psa <= (1 + p/(p-PB+1))·T_opt^PB. T_opt^PB is
+// unknown, but it is lower-bounded by max(C_p, A_p) under the bounded
+// allocation, so we check the implied (weaker-is-impossible) inequality
+// T_psa <= factor · max(A_p, C_p)-lower-bound... which Theorem 1 implies.
+func TestTheorem1BoundHolds(t *testing.T) {
+	f := func(seed uint16, nRaw uint8, pbExp uint8) bool {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		n := 2 + int(nRaw)%10
+		g := randomMDG(rng, n)
+		const procs = 16
+		pb := 1 << (int(pbExp) % 5) // 1..16
+		allocv := make([]int, g.NumNodes())
+		for i := range allocv {
+			e := rng.Intn(5)
+			v := 1 << e
+			if v > pb {
+				v = pb
+			}
+			allocv[i] = v
+		}
+		s, err := PSA(g, cm5Fit, allocv, procs, LowestEST)
+		if err != nil {
+			return false
+		}
+		pf := make([]float64, len(allocv))
+		for i, a := range allocv {
+			pf[i] = float64(a)
+		}
+		optLB, _, _, err := cm5Fit.Phi(g, pf, procs) // max(A_p, C_p) <= T_opt^PB
+		if err != nil {
+			return false
+		}
+		factor, err := bounds.Theorem1Factor(procs, pb)
+		if err != nil {
+			return false
+		}
+		return s.Makespan <= factor*optLB+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFullPipelineTheorem3: for the complete alloc+PSA pipeline, T_psa is
+// within the Theorem 3 factor of Φ.
+func TestFullPipelineTheorem3(t *testing.T) {
+	f := func(seed uint16) bool {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		g := randomMDG(rng, 3+rng.Intn(6))
+		const procs = 16
+		ar, err := alloc.Solve(g, cm5Fit, procs, alloc.Options{})
+		if err != nil {
+			return false
+		}
+		s, err := Run(g, cm5Fit, ar.P, procs, Options{})
+		if err != nil {
+			return false
+		}
+		factor, err := bounds.Theorem3Factor(procs, s.PB)
+		if err != nil {
+			return false
+		}
+		return s.Makespan <= factor*ar.Phi+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFIFOPolicyRuns(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := randomMDG(rng, 10)
+	allocv := make([]int, g.NumNodes())
+	for i := range allocv {
+		allocv[i] = 1 << rng.Intn(3)
+	}
+	fifo, err := PSA(g, cm5Fit, allocv, 8, FIFO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fifo.Validate(g, cm5Fit); err != nil {
+		t.Fatal(err)
+	}
+	psa, err := PSA(g, cm5Fit, allocv, 8, LowestEST)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fifo.Policy != FIFO || psa.Policy != LowestEST {
+		t.Fatal("policy not recorded")
+	}
+}
+
+func TestGanttAndTableRender(t *testing.T) {
+	g := forkJoinGraph(0.3)
+	s, err := PSA(g, costmodel.Model{}, []int{1, 2, 2, 1}, 4, LowestEST)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gantt := s.Gantt(g, 60)
+	if !strings.Contains(gantt, "P00") || !strings.Contains(gantt, "makespan") {
+		t.Fatalf("gantt missing rows:\n%s", gantt)
+	}
+	// Node A runs on two processor rows.
+	if strings.Count(gantt, "A1") < 2 {
+		t.Fatalf("expected A1 label on >=2 rows:\n%s", gantt)
+	}
+	table := s.Table(g)
+	for _, want := range []string{"START", "STOP", "processor set"} {
+		if !strings.Contains(table, want) {
+			t.Fatalf("table missing %q:\n%s", want, table)
+		}
+	}
+}
+
+func TestProcRanges(t *testing.T) {
+	cases := []struct {
+		in   []int
+		want string
+	}{
+		{nil, "-"},
+		{[]int{3}, "3"},
+		{[]int{0, 1, 2, 3}, "0-3"},
+		{[]int{0, 2, 3, 7}, "0,2-3,7"},
+	}
+	for _, c := range cases {
+		if got := procRanges(c.in); got != c.want {
+			t.Fatalf("procRanges(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestUtilizationBounds(t *testing.T) {
+	g := forkJoinGraph(0.3)
+	s, err := PSA(g, costmodel.Model{}, []int{1, 2, 2, 1}, 4, LowestEST)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := s.Utilization()
+	if u <= 0 || u > 1 {
+		t.Fatalf("utilization = %v", u)
+	}
+}
+
+func BenchmarkPSARandom32Nodes(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	g := randomMDG(rng, 32)
+	allocv := make([]int, g.NumNodes())
+	for i := range allocv {
+		allocv[i] = 1 << rng.Intn(4)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := PSA(g, cm5Fit, allocv, 16, LowestEST); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestHLFPolicyValidAndPrioritizesCriticalPath(t *testing.T) {
+	// Two chains from START: a long chain (3 heavy nodes) and a short
+	// one; with only enough processors for one node at a time, HLF must
+	// start the long chain first.
+	var g mdg.Graph
+	start := g.AddNode(mdg.Node{Name: "START"})
+	long1 := g.AddNode(mdg.Node{Name: "L1", Tau: 5})
+	long2 := g.AddNode(mdg.Node{Name: "L2", Tau: 5})
+	short1 := g.AddNode(mdg.Node{Name: "S1", Tau: 1})
+	stop := g.AddNode(mdg.Node{Name: "STOP"})
+	g.AddEdge(start, long1)
+	g.AddEdge(long1, long2)
+	g.AddEdge(start, short1)
+	g.AddEdge(long2, stop)
+	g.AddEdge(short1, stop)
+	allocv := []int{1, 1, 1, 1, 1}
+	s, err := PSA(&g, costmodel.Model{}, allocv, 1, HLF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(&g, costmodel.Model{}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Entries[long1].Start > s.Entries[short1].Start {
+		t.Fatalf("HLF should start the long chain first: L1 at %v, S1 at %v",
+			s.Entries[long1].Start, s.Entries[short1].Start)
+	}
+	if s.Policy != HLF || s.Policy.String() != "HLF(critical-path)" {
+		t.Fatalf("policy = %v", s.Policy)
+	}
+}
+
+// TestAllPoliciesValidOnRandomGraphs: every ready-queue policy yields a
+// valid schedule on random MDGs.
+func TestAllPoliciesValidOnRandomGraphs(t *testing.T) {
+	f := func(seed uint16, polRaw uint8) bool {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		g := randomMDG(rng, 2+rng.Intn(10))
+		allocv := make([]int, g.NumNodes())
+		for i := range allocv {
+			allocv[i] = 1 << rng.Intn(3)
+		}
+		pol := []Policy{LowestEST, FIFO, HLF}[int(polRaw)%3]
+		s, err := PSA(g, cm5Fit, allocv, 8, pol)
+		if err != nil {
+			return false
+		}
+		return s.Validate(g, cm5Fit) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,529 @@
+// Package sim is the deterministic simulator of a distributed-memory
+// multicomputer — the stand-in for the paper's 64-node Thinking Machines
+// CM-5 (see DESIGN.md, substitution table).
+//
+// It interprets the MPMD instruction streams produced by internal/codegen.
+// Every processor has a private block store and a virtual clock; messages
+// are matched by tag with CM-5 receive semantics (the network transit is
+// paid inside the receive, so t_n = 0 at the model level); kernel
+// executions are group barriers whose per-processor cost comes from the
+// machine ground truth in internal/kernels, including ceiling-based block
+// imbalance and log-tree collectives.
+//
+// Crucially, real float64 data moves through the simulated network and
+// real arithmetic runs in the kernels: Gather reassembles any produced
+// array so tests can verify the end-to-end numerical result against the
+// program's sequential reference. A scheduling or code-generation bug
+// either deadlocks (reported with a full blocked-processor diagnosis) or
+// produces wrong numbers — it cannot hide.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"paradigm/internal/codegen"
+	"paradigm/internal/dist"
+	"paradigm/internal/kernels"
+	"paradigm/internal/machine"
+	"paradigm/internal/matrix"
+	"paradigm/internal/mdg"
+	"paradigm/internal/prog"
+)
+
+// block is one processor-local piece of an array instance.
+type block struct {
+	rect codegen.Rect
+	data *matrix.Matrix // (R1-R0)×(C1-C0); nil for empty rects
+}
+
+func newBlock(r codegen.Rect) *block {
+	b := &block{rect: r}
+	if !r.Empty() {
+		b.data = matrix.New(r.R1-r.R0, r.C1-r.C0)
+	}
+	return b
+}
+
+// message is an in-flight payload.
+type message struct {
+	readyAt float64
+	payload codegen.Rect
+	data    *matrix.Matrix
+}
+
+// Result reports one simulated run.
+type Result struct {
+	// ProcClock holds each processor's final virtual time.
+	ProcClock []float64
+	// Makespan is the maximum final clock: the program's actual
+	// execution time on the simulated machine.
+	Makespan float64
+	// NodeStart and NodeFinish are the actual execution windows of each
+	// MDG node (barrier entry to slowest-member completion); dummy nodes
+	// report zeros.
+	NodeStart, NodeFinish []float64
+	// Messages and NetworkBytes count point-to-point traffic.
+	Messages     int
+	NetworkBytes int
+
+	stores []map[string]*block
+	p      *prog.Program
+}
+
+// Run executes the streams on the machine profile. The profile's Procs
+// must cover the stream count.
+func Run(p *prog.Program, streams *codegen.Streams, mp machine.Params) (*Result, error) {
+	if err := mp.Validate(); err != nil {
+		return nil, err
+	}
+	if mp.Procs < streams.Procs {
+		return nil, fmt.Errorf("sim: machine has %d processors, program needs %d", mp.Procs, streams.Procs)
+	}
+	nProcs := streams.Procs
+	nNodes := p.G.NumNodes()
+
+	res := &Result{
+		ProcClock:  make([]float64, nProcs),
+		NodeStart:  make([]float64, nNodes),
+		NodeFinish: make([]float64, nNodes),
+		stores:     make([]map[string]*block, nProcs),
+		p:          p,
+	}
+	for i := range res.stores {
+		res.stores[i] = map[string]*block{}
+	}
+
+	pc := make([]int, nProcs)
+	mailbox := map[string]message{}
+	type barrier struct {
+		arrived  map[int]bool
+		executed bool
+		start    float64
+	}
+	barriers := map[mdg.NodeID]*barrier{}
+
+	// step attempts to advance processor pr by one instruction. Returns
+	// whether progress was made, or an error.
+	step := func(pr int) (bool, error) {
+		stream := streams.PerProc[pr]
+		if pc[pr] >= len(stream) {
+			return false, nil
+		}
+		switch in := stream[pc[pr]].(type) {
+		case codegen.Send:
+			src, ok := res.stores[pr][in.SrcInstance]
+			if !ok {
+				return false, fmt.Errorf("sim: proc %d sends from missing instance %q", pr, in.SrcInstance)
+			}
+			data, err := extract(src, in.Payload)
+			if err != nil {
+				return false, fmt.Errorf("sim: proc %d send %q: %w", pr, in.Tag, err)
+			}
+			bytes := float64(in.Payload.Bytes())
+			res.ProcClock[pr] += mp.SendStartup + bytes*mp.SendPerByte
+			if _, dup := mailbox[in.Tag]; dup {
+				return false, fmt.Errorf("sim: duplicate message tag %q", in.Tag)
+			}
+			mailbox[in.Tag] = message{
+				readyAt: res.ProcClock[pr] + bytes*mp.NetPerByte,
+				payload: in.Payload,
+				data:    data,
+			}
+			res.Messages++
+			res.NetworkBytes += in.Payload.Bytes()
+			pc[pr]++
+			return true, nil
+
+		case codegen.Recv:
+			msg, ok := mailbox[in.Tag]
+			if !ok {
+				return false, nil // blocked: sender not there yet
+			}
+			delete(mailbox, in.Tag)
+			bytes := float64(in.Payload.Bytes())
+			t := math.Max(res.ProcClock[pr], msg.readyAt)
+			res.ProcClock[pr] = t + mp.RecvStartup + mp.MsgMatchOverhead + bytes*mp.RecvPerByte
+			dst := res.stores[pr][in.DstInstance]
+			if dst == nil {
+				dst = newBlock(in.Block)
+				res.stores[pr][in.DstInstance] = dst
+			}
+			if err := insert(dst, in.Payload, msg.data); err != nil {
+				return false, fmt.Errorf("sim: proc %d recv %q: %w", pr, in.Tag, err)
+			}
+			pc[pr]++
+			return true, nil
+
+		case codegen.Move:
+			src, ok := res.stores[pr][in.SrcInstance]
+			if !ok {
+				return false, fmt.Errorf("sim: proc %d moves from missing instance %q", pr, in.SrcInstance)
+			}
+			data, err := extract(src, in.Payload)
+			if err != nil {
+				return false, fmt.Errorf("sim: proc %d move: %w", pr, err)
+			}
+			dst := res.stores[pr][in.DstInstance]
+			if dst == nil {
+				dst = newBlock(in.Block)
+				res.stores[pr][in.DstInstance] = dst
+			}
+			if err := insert(dst, in.Payload, data); err != nil {
+				return false, fmt.Errorf("sim: proc %d move: %w", pr, err)
+			}
+			res.ProcClock[pr] += float64(in.Payload.Bytes()) * mp.CopyPerByte
+			pc[pr]++
+			return true, nil
+
+		case codegen.Exec:
+			b := barriers[in.Node]
+			if b == nil {
+				b = &barrier{arrived: map[int]bool{}}
+				barriers[in.Node] = b
+			}
+			if b.executed {
+				pc[pr]++
+				return true, nil
+			}
+			if !b.arrived[pr] {
+				b.arrived[pr] = true
+				if b.start < res.ProcClock[pr] {
+					b.start = res.ProcClock[pr]
+				}
+			}
+			if len(b.arrived) < len(in.Group) {
+				return false, nil // blocked on slower group members
+			}
+			// Last arrival executes the node for the whole group.
+			if err := execNode(res, p, mp, in, b.start); err != nil {
+				return false, err
+			}
+			b.executed = true
+			pc[pr]++
+			return true, nil
+		}
+		return false, fmt.Errorf("sim: proc %d: unknown instruction %T", pr, stream[pc[pr]])
+	}
+
+	for {
+		progress := false
+		done := true
+		for pr := 0; pr < nProcs; pr++ {
+			for {
+				adv, err := step(pr)
+				if err != nil {
+					return nil, err
+				}
+				if !adv {
+					break
+				}
+				progress = true
+			}
+			if pc[pr] < len(streams.PerProc[pr]) {
+				done = false
+			}
+		}
+		if done {
+			break
+		}
+		if !progress {
+			return nil, deadlockError(streams, pc)
+		}
+	}
+
+	for _, c := range res.ProcClock {
+		if c > res.Makespan {
+			res.Makespan = c
+		}
+	}
+	return res, nil
+}
+
+// execNode runs one kernel as a group: advances every member's clock by
+// its ground-truth cost (linear or grid layout) and computes the real
+// output blocks.
+func execNode(res *Result, p *prog.Program, mp machine.Params, in codegen.Exec, start float64) error {
+	spec := p.Specs[in.Node]
+	k := spec.Kernel
+	q := len(in.Group)
+	arr := p.Arrays[spec.Output]
+	outPlace, err := codegen.PlacementFor(arr, spec.Axis, in.Group)
+	if err != nil {
+		return fmt.Errorf("sim: node %d: %w", in.Node, err)
+	}
+	if len(outPlace.Blocks) != q {
+		return fmt.Errorf("sim: node %d placement has %d blocks for %d processors", in.Node, len(outPlace.Blocks), q)
+	}
+
+	// Advance clocks: each member pays its own share (block imbalance),
+	// scaled by the machine's execution jitter (OS noise emulation).
+	pr, pc := 0, 0
+	if spec.Axis == dist.ByGrid {
+		pr, pc = dist.GridShape(q)
+	}
+	finish := start
+	for slot, proc := range in.Group {
+		b := outPlace.Blocks[slot]
+		if b.Proc != proc {
+			return fmt.Errorf("sim: node %d slot %d placement/group mismatch (%d vs %d)", in.Node, slot, b.Proc, proc)
+		}
+		var cost float64
+		if spec.Axis == dist.ByGrid {
+			cost = k.GridProcTime(mp, pr, pc, b.R1-b.R0, b.C1-b.C0)
+		} else {
+			extent := b.R1 - b.R0
+			if spec.Axis == dist.ByCol {
+				extent = b.C1 - b.C0
+			}
+			cost = k.ProcTime(mp, q, extent)
+		}
+		t := start + cost*mp.Jitter(int(in.Node), proc)
+		res.ProcClock[proc] = t
+		if t > finish {
+			finish = t
+		}
+	}
+	res.NodeStart[in.Node] = start
+	res.NodeFinish[in.Node] = finish
+
+	// Compute real data.
+	outInst := codegen.Instance(spec.Output, in.Node)
+	rectOf := func(b dist.PlacedRect) codegen.Rect {
+		return codegen.Rect{R0: b.R0, R1: b.R1, C0: b.C0, C1: b.C1}
+	}
+	// inputBlock fetches a member's redistributed block of an operand,
+	// tolerating absent entries only for empty shares.
+	inputBlock := func(operand, slot int) (*block, error) {
+		name := spec.Inputs[operand]
+		inst := codegen.Instance(name, in.Node)
+		proc := in.Group[slot]
+		b, ok := res.stores[proc][inst]
+		if ok {
+			return b, nil
+		}
+		a := p.Arrays[name]
+		pl, err := codegen.PlacementFor(a, spec.Axis, in.Group)
+		if err != nil {
+			return nil, err
+		}
+		want := pl.Blocks[slot]
+		if want.Empty() {
+			return newBlock(rectOf(want)), nil
+		}
+		return nil, fmt.Errorf("sim: node %d proc %d missing input instance %q", in.Node, proc, inst)
+	}
+	// assembleInput reassembles a full operand matrix from the group's
+	// redistributed blocks (the data image of the gathers whose cost the
+	// ProcTime rules already charged).
+	assembleInput := func(operand int) (*matrix.Matrix, error) {
+		name := spec.Inputs[operand]
+		a := p.Arrays[name]
+		pl, err := codegen.PlacementFor(a, spec.Axis, in.Group)
+		if err != nil {
+			return nil, err
+		}
+		full := matrix.New(a.Rows, a.Cols)
+		for slot := range in.Group {
+			b, err := inputBlock(operand, slot)
+			if err != nil {
+				return nil, err
+			}
+			if b.rect != rectOf(pl.Blocks[slot]) {
+				return nil, fmt.Errorf("sim: node %d slot %d operand %d block %v, want %v",
+					in.Node, slot, operand, b.rect, rectOf(pl.Blocks[slot]))
+			}
+			if b.data != nil {
+				full.SetBlock(b.rect.R0, b.rect.C0, b.data)
+			}
+		}
+		return full, nil
+	}
+
+	switch k.Op {
+	case kernels.OpNone:
+		return nil
+
+	case kernels.OpInit:
+		for slot, proc := range in.Group {
+			b := newBlock(rectOf(outPlace.Blocks[slot]))
+			if b.data != nil {
+				r0, c0 := b.rect.R0, b.rect.C0
+				b.data.Fill(func(i, j int) float64 { return k.Init(r0+i, c0+j) })
+			}
+			res.stores[proc][outInst] = b
+		}
+		return nil
+
+	case kernels.OpAdd, kernels.OpSub:
+		for slot, proc := range in.Group {
+			out := newBlock(rectOf(outPlace.Blocks[slot]))
+			if out.data != nil {
+				a, err := inputBlock(0, slot)
+				if err != nil {
+					return err
+				}
+				bb, err := inputBlock(1, slot)
+				if err != nil {
+					return err
+				}
+				if a.rect != out.rect || bb.rect != out.rect {
+					return fmt.Errorf("sim: node %d proc %d operand blocks %v/%v mismatch output %v",
+						in.Node, proc, a.rect, bb.rect, out.rect)
+				}
+				var err2 error
+				if k.Op == kernels.OpAdd {
+					err2 = matrix.Add(out.data, a.data, bb.data)
+				} else {
+					err2 = matrix.Sub(out.data, a.data, bb.data)
+				}
+				if err2 != nil {
+					return fmt.Errorf("sim: node %d: %w", in.Node, err2)
+				}
+			}
+			res.stores[proc][outInst] = out
+		}
+		return nil
+
+	case kernels.OpExtract:
+		full, err := assembleInput(0)
+		if err != nil {
+			return err
+		}
+		for slot, proc := range in.Group {
+			out := newBlock(rectOf(outPlace.Blocks[slot]))
+			if out.data != nil {
+				out.data.SetBlock(0, 0, full.Block(
+					k.OffR+out.rect.R0, k.OffR+out.rect.R1,
+					k.OffC+out.rect.C0, k.OffC+out.rect.C1))
+			}
+			res.stores[proc][outInst] = out
+		}
+		return nil
+
+	case kernels.OpAssemble4:
+		composed := matrix.New(k.M, k.N)
+		hr, hc := k.M/2, k.N/2
+		for idx, anchor := range [][2]int{{0, 0}, {0, hc}, {hr, 0}, {hr, hc}} {
+			q, err := assembleInput(idx)
+			if err != nil {
+				return err
+			}
+			composed.SetBlock(anchor[0], anchor[1], q)
+		}
+		for slot, proc := range in.Group {
+			out := newBlock(rectOf(outPlace.Blocks[slot]))
+			if out.data != nil {
+				out.data.SetBlock(0, 0, composed.Block(out.rect.R0, out.rect.R1, out.rect.C0, out.rect.C1))
+			}
+			res.stores[proc][outInst] = out
+		}
+		return nil
+
+	case kernels.OpMul:
+		// Assemble both operands from the group's blocks; each member
+		// multiplies its output rectangle's row strip of A by its column
+		// strip of B. Correct for every layout; the layout-specific
+		// gather costs were charged above.
+		fullA, err := assembleInput(0)
+		if err != nil {
+			return err
+		}
+		fullB, err := assembleInput(1)
+		if err != nil {
+			return err
+		}
+		for slot, proc := range in.Group {
+			out := newBlock(rectOf(outPlace.Blocks[slot]))
+			if out.data != nil {
+				aStrip := fullA.Block(out.rect.R0, out.rect.R1, 0, fullA.Cols)
+				bStrip := fullB.Block(0, fullB.Rows, out.rect.C0, out.rect.C1)
+				if err := matrix.Mul(out.data, aStrip, bStrip); err != nil {
+					return fmt.Errorf("sim: node %d: %w", in.Node, err)
+				}
+			}
+			res.stores[proc][outInst] = out
+		}
+		return nil
+	}
+	return fmt.Errorf("sim: node %d: unknown op %v", in.Node, k.Op)
+}
+
+// extract copies the rectangle rect (global coordinates) out of a block.
+func extract(b *block, rect codegen.Rect) (*matrix.Matrix, error) {
+	if rect.R0 < b.rect.R0 || rect.R1 > b.rect.R1 || rect.C0 < b.rect.C0 || rect.C1 > b.rect.C1 {
+		return nil, fmt.Errorf("rect %v outside block %v", rect, b.rect)
+	}
+	if b.data == nil {
+		return nil, fmt.Errorf("extract from empty block %v", b.rect)
+	}
+	return b.data.Block(rect.R0-b.rect.R0, rect.R1-b.rect.R0, rect.C0-b.rect.C0, rect.C1-b.rect.C0), nil
+}
+
+// insert copies data into the rectangle rect (global coordinates) of a block.
+func insert(b *block, rect codegen.Rect, data *matrix.Matrix) error {
+	if rect.R0 < b.rect.R0 || rect.R1 > b.rect.R1 || rect.C0 < b.rect.C0 || rect.C1 > b.rect.C1 {
+		return fmt.Errorf("rect %v outside block %v", rect, b.rect)
+	}
+	if b.data == nil {
+		return fmt.Errorf("insert into empty block %v", b.rect)
+	}
+	b.data.SetBlock(rect.R0-b.rect.R0, rect.C0-b.rect.C0, data)
+	return nil
+}
+
+// deadlockError reports which processors are blocked on what.
+func deadlockError(streams *codegen.Streams, pc []int) error {
+	var b strings.Builder
+	b.WriteString("sim: deadlock; blocked processors:")
+	for pr, stream := range streams.PerProc {
+		if pc[pr] >= len(stream) {
+			continue
+		}
+		switch in := stream[pc[pr]].(type) {
+		case codegen.Recv:
+			fmt.Fprintf(&b, " P%d@recv(%s)", pr, in.Tag)
+		case codegen.Exec:
+			fmt.Fprintf(&b, " P%d@exec(node %d)", pr, in.Node)
+		default:
+			fmt.Fprintf(&b, " P%d@%T", pr, in)
+		}
+	}
+	return fmt.Errorf("%s", b.String())
+}
+
+// Gather reassembles the named array from the producing node's blocks
+// across all processor stores, for verification.
+func (r *Result) Gather(array string) (*matrix.Matrix, error) {
+	producer, ok := r.p.Producer(array)
+	if !ok {
+		return nil, fmt.Errorf("sim: unknown array %q", array)
+	}
+	arr := r.p.Arrays[array]
+	inst := codegen.Instance(array, producer)
+	out := matrix.New(arr.Rows, arr.Cols)
+	covered := 0
+	// Deterministic iteration over processors.
+	for pr := 0; pr < len(r.stores); pr++ {
+		b, ok := r.stores[pr][inst]
+		if !ok || b.data == nil {
+			continue
+		}
+		out.SetBlock(b.rect.R0, b.rect.C0, b.data)
+		covered += (b.rect.R1 - b.rect.R0) * (b.rect.C1 - b.rect.C0)
+	}
+	if covered != arr.Rows*arr.Cols {
+		return nil, fmt.Errorf("sim: array %q blocks cover %d of %d elements", array, covered, arr.Rows*arr.Cols)
+	}
+	return out, nil
+}
+
+// BusyTimes returns each processor's final clock, sorted descending — a
+// quick load-balance diagnostic.
+func (r *Result) BusyTimes() []float64 {
+	out := append([]float64(nil), r.ProcClock...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(out)))
+	return out
+}

@@ -1,0 +1,54 @@
+package tables
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAlignment(t *testing.T) {
+	tb := New("Title", "name", "value")
+	tb.Row("a", 1)
+	tb.Row("longer-name", 2.5)
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "Title" {
+		t.Fatalf("title line = %q", lines[0])
+	}
+	// Header, separator and both rows must share a left-aligned first
+	// column wide enough for the longest cell.
+	if !strings.HasPrefix(lines[1], "name       ") {
+		t.Fatalf("header not padded: %q", lines[1])
+	}
+	if !strings.Contains(out, "longer-name") || !strings.Contains(out, "2.5") {
+		t.Fatalf("rows missing:\n%s", out)
+	}
+	if !strings.Contains(lines[2], "---") {
+		t.Fatalf("separator missing: %q", lines[2])
+	}
+}
+
+func TestFloatFormatting(t *testing.T) {
+	tb := New("", "v")
+	tb.Row(0.000123456789)
+	if !strings.Contains(tb.String(), "0.000123457") {
+		t.Fatalf("float formatting: %q", tb.String())
+	}
+}
+
+func TestRaggedRows(t *testing.T) {
+	tb := New("", "a", "b")
+	tb.Row("x", "y", "z") // extra cell beyond headers
+	tb.Row("only")
+	out := tb.String()
+	if !strings.Contains(out, "z") || !strings.Contains(out, "only") {
+		t.Fatalf("ragged rows mishandled:\n%s", out)
+	}
+}
+
+func TestUntitled(t *testing.T) {
+	tb := New("", "h")
+	tb.Row(1)
+	if strings.HasPrefix(tb.String(), "\n") {
+		t.Fatal("untitled table should not start with a blank line")
+	}
+}

@@ -1,0 +1,102 @@
+// Package trace exports schedules and simulated runs in the Chrome Trace
+// Event format (the JSON consumed by chrome://tracing and Perfetto), so
+// predicted and actual executions can be inspected visually next to each
+// other: one track per processor, one complete event per (node,
+// processor) occupancy.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"paradigm/internal/mdg"
+	"paradigm/internal/sched"
+	"paradigm/internal/sim"
+)
+
+// event is one Chrome trace event (the "X" complete-event form).
+type event struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`  // microseconds
+	Dur  float64           `json:"dur"` // microseconds
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// file is the top-level trace container.
+type file struct {
+	TraceEvents []event `json:"traceEvents"`
+	DisplayUnit string  `json:"displayTimeUnit"`
+}
+
+const secToUs = 1e6
+
+// WriteSchedule exports a PSA (or SPMD) schedule: the model's *predicted*
+// execution. pid 0 groups the prediction.
+func WriteSchedule(w io.Writer, g *mdg.Graph, s *sched.Schedule) error {
+	f := file{DisplayUnit: "ms"}
+	for i, e := range s.Entries {
+		name := g.Nodes[i].Name
+		if name == "" {
+			name = fmt.Sprintf("n%d", i)
+		}
+		if e.Finish <= e.Start {
+			continue // zero-length dummies clutter the view
+		}
+		for _, p := range e.Procs {
+			f.TraceEvents = append(f.TraceEvents, event{
+				Name: name,
+				Cat:  "predicted",
+				Ph:   "X",
+				Ts:   e.Start * secToUs,
+				Dur:  (e.Finish - e.Start) * secToUs,
+				Pid:  0,
+				Tid:  p,
+				Args: map[string]string{
+					"node":  fmt.Sprintf("%d", i),
+					"procs": fmt.Sprintf("%d", len(e.Procs)),
+				},
+			})
+		}
+	}
+	return json.NewEncoder(w).Encode(f)
+}
+
+// WriteRun exports a simulated run's actual node windows next to the
+// schedule's predictions: pid 0 carries the prediction, pid 1 the
+// simulated actuality, aligned on the same time axis.
+func WriteRun(w io.Writer, g *mdg.Graph, s *sched.Schedule, r *sim.Result) error {
+	if len(r.NodeStart) != g.NumNodes() {
+		return fmt.Errorf("trace: run covers %d nodes, graph has %d", len(r.NodeStart), g.NumNodes())
+	}
+	f := file{DisplayUnit: "ms"}
+	add := func(pid int, cat string, name string, tid int, start, finish float64, node int, q int) {
+		if finish <= start {
+			return
+		}
+		f.TraceEvents = append(f.TraceEvents, event{
+			Name: name, Cat: cat, Ph: "X",
+			Ts: start * secToUs, Dur: (finish - start) * secToUs,
+			Pid: pid, Tid: tid,
+			Args: map[string]string{
+				"node":  fmt.Sprintf("%d", node),
+				"procs": fmt.Sprintf("%d", q),
+			},
+		})
+	}
+	for i, e := range s.Entries {
+		name := g.Nodes[i].Name
+		if name == "" {
+			name = fmt.Sprintf("n%d", i)
+		}
+		for _, p := range e.Procs {
+			add(0, "predicted", name, p, e.Start, e.Finish, i, len(e.Procs))
+			add(1, "actual", name, p, r.NodeStart[i], r.NodeFinish[i], i, len(e.Procs))
+		}
+	}
+	return json.NewEncoder(w).Encode(f)
+}

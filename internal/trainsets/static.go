@@ -1,0 +1,47 @@
+package trainsets
+
+import (
+	"fmt"
+
+	"paradigm/internal/costmodel"
+	"paradigm/internal/kernels"
+	"paradigm/internal/machine"
+)
+
+// StaticLoopParams estimates a loop's Amdahl parameters without any
+// measurement sweep — the compile-time estimation alternative the paper
+// mentions (Gupta-Banerjee [2, 11]) to "eliminate the need for some of
+// the measurements in the future".
+//
+// The estimate uses only two analytic evaluations of the machine's
+// datasheet formulas: the serial time gives τ directly, and a two-point
+// Amdahl fit between q = 1 and q = procs gives α:
+//
+//	t(q) = ατ + (1-α)τ/q  ⇒  α = (P·t(P) − τ) / (τ·(P − 1))
+//
+// Compared with the full training-sets regression the estimate is
+// cheaper but systematically less accurate in the middle of the
+// processor range (it interpolates only the endpoints); the
+// AblationStaticEstimate experiment quantifies the gap.
+func StaticLoopParams(mp machine.Params, k kernels.Kernel, procs int) (costmodel.LoopParams, error) {
+	if err := k.Validate(); err != nil {
+		return costmodel.LoopParams{}, err
+	}
+	if procs < 2 {
+		return costmodel.LoopParams{}, fmt.Errorf("trainsets: static estimate needs procs >= 2, got %d", procs)
+	}
+	tau := k.SerialTime(mp)
+	if tau <= 0 {
+		return costmodel.LoopParams{Alpha: 0, Tau: 0}, nil
+	}
+	tp := k.MaxProcTime(mp, procs)
+	p := float64(procs)
+	alpha := (p*tp - tau) / (tau * (p - 1))
+	if alpha < 0 {
+		alpha = 0
+	}
+	if alpha > 1 {
+		alpha = 1
+	}
+	return costmodel.LoopParams{Alpha: alpha, Tau: tau}, nil
+}

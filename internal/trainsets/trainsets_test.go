@@ -1,0 +1,247 @@
+package trainsets
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"paradigm/internal/kernels"
+	"paradigm/internal/machine"
+	"paradigm/internal/mdg"
+)
+
+var cm5 = machine.CM5(64)
+
+func sweep() []int { return []int{1, 2, 4, 8, 16, 32, 64} }
+
+func TestCalibrateLoopMulMatchesPaperBallpark(t *testing.T) {
+	k := kernels.Kernel{Op: kernels.OpMul, M: 64, N: 64, K: 64}
+	lf, err := CalibrateLoop(cm5, "Matrix Multiply (64x64)", k, sweep())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper Table 1: α = 12.1%, τ = 298.47 ms. Same magnitude expected.
+	if lf.Params.Tau < 0.15 || lf.Params.Tau > 0.45 {
+		t.Fatalf("τ = %v, want ~0.3 s", lf.Params.Tau)
+	}
+	if lf.Params.Alpha < 0.02 || lf.Params.Alpha > 0.30 {
+		t.Fatalf("α = %v, want ~0.12", lf.Params.Alpha)
+	}
+	if lf.R2 < 0.95 {
+		t.Fatalf("R² = %v, fit too loose", lf.R2)
+	}
+}
+
+func TestCalibrateLoopAddLowerAlphaThanMul(t *testing.T) {
+	add := kernels.Kernel{Op: kernels.OpAdd, M: 64, N: 64}
+	mul := kernels.Kernel{Op: kernels.OpMul, M: 64, N: 64, K: 64}
+	la, err := CalibrateLoop(cm5, "add", add, sweep())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lm, err := CalibrateLoop(cm5, "mul", mul, sweep())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper ordering: α_add (6.7%) < α_mul (12.1%).
+	if la.Params.Alpha >= lm.Params.Alpha {
+		t.Fatalf("α_add %v should be below α_mul %v", la.Params.Alpha, lm.Params.Alpha)
+	}
+	// τ_add ≈ 3.7 ms scale.
+	if la.Params.Tau < 1e-3 || la.Params.Tau > 10e-3 {
+		t.Fatalf("τ_add = %v", la.Params.Tau)
+	}
+}
+
+func TestCalibrateLoopPredictionsCloseToMeasurements(t *testing.T) {
+	k := kernels.Kernel{Op: kernels.OpMul, M: 64, N: 64, K: 64}
+	lf, err := CalibrateLoop(cm5, "mul", k, sweep())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Figure 3's visual claim: predicted tracks measured closely.
+	for _, s := range lf.Samples {
+		rel := math.Abs(s.Predicted-s.Measured) / s.Measured
+		if rel > 0.35 {
+			t.Fatalf("at p=%d: predicted %v vs measured %v (rel %v)", s.Procs, s.Predicted, s.Measured, rel)
+		}
+	}
+}
+
+func TestCalibrateLoopErrors(t *testing.T) {
+	k := kernels.Kernel{Op: kernels.OpAdd, M: 4, N: 4}
+	if _, err := CalibrateLoop(cm5, "x", k, []int{1}); err == nil {
+		t.Fatal("want error for short sweep")
+	}
+	if _, err := CalibrateLoop(cm5, "x", k, []int{1, 0}); err == nil {
+		t.Fatal("want error for bad count")
+	}
+	if _, err := CalibrateLoop(cm5, "x", kernels.Kernel{Op: kernels.OpAdd}, sweep()); err == nil {
+		t.Fatal("want error for invalid kernel")
+	}
+}
+
+func TestMeasureTransfer1DSymmetric(t *testing.T) {
+	send, recv, _, err := MeasureTransfer(cm5, mdg.Transfer1D, 32768, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each of 4 senders sends its quarter in one message.
+	wantSend := cm5.SendStartup + 32768.0/4*cm5.SendPerByte
+	wantRecv := cm5.RecvStartup + cm5.MsgMatchOverhead + 32768.0/4*cm5.RecvPerByte
+	if math.Abs(send-wantSend) > 1e-12 || math.Abs(recv-wantRecv) > 1e-12 {
+		t.Fatalf("send %v recv %v, want %v %v", send, recv, wantSend, wantRecv)
+	}
+}
+
+func TestMeasureTransfer2DMoreMessages(t *testing.T) {
+	s1, r1, _, err := MeasureTransfer(cm5, mdg.Transfer1D, 32768, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, r2, _, err := MeasureTransfer(cm5, mdg.Transfer2D, 32768, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2 <= s1 || r2 <= r1 {
+		t.Fatalf("2D (%v,%v) should cost more than 1D (%v,%v)", s2, r2, s1, r1)
+	}
+}
+
+func TestMeasureTransferErrors(t *testing.T) {
+	if _, _, _, err := MeasureTransfer(cm5, mdg.Transfer1D, 32768, 0, 4); err == nil {
+		t.Fatal("want group size error")
+	}
+	if _, _, _, err := MeasureTransfer(cm5, mdg.Transfer1D, 4, 1, 1); err == nil {
+		t.Fatal("want tiny array error")
+	}
+}
+
+func TestCalibrateTransfersRecoversMachineParams(t *testing.T) {
+	tf, err := CalibrateTransfers(cm5, DefaultTransferConfigs(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := tf.Params
+	// The fitted send parameters should recover the machine's ground
+	// truth closely (the send path has no unmodeled overheads).
+	if rel := math.Abs(p.Tss-cm5.SendStartup) / cm5.SendStartup; rel > 0.15 {
+		t.Fatalf("t_ss = %v vs truth %v", p.Tss, cm5.SendStartup)
+	}
+	if rel := math.Abs(p.Tps-cm5.SendPerByte) / cm5.SendPerByte; rel > 0.15 {
+		t.Fatalf("t_ps = %v vs truth %v", p.Tps, cm5.SendPerByte)
+	}
+	// The receive fit absorbs the per-message matching overhead:
+	// t_sr ≈ RecvStartup + MsgMatchOverhead.
+	wantTsr := cm5.RecvStartup + cm5.MsgMatchOverhead
+	if rel := math.Abs(p.Tsr-wantTsr) / wantTsr; rel > 0.15 {
+		t.Fatalf("t_sr = %v vs truth+overhead %v", p.Tsr, wantTsr)
+	}
+	if p.Tn != 0 {
+		t.Fatalf("t_n = %v, CM-5 semantics demand 0", p.Tn)
+	}
+	if tf.SendR2 < 0.99 || tf.RecvR2 < 0.99 {
+		t.Fatalf("R² = %v/%v, fits too loose", tf.SendR2, tf.RecvR2)
+	}
+}
+
+func TestCalibrateTransfersNeedsConfigs(t *testing.T) {
+	if _, err := CalibrateTransfers(cm5, nil); err == nil {
+		t.Fatal("want error for no configs")
+	}
+}
+
+func TestCalibrationCachingAndModel(t *testing.T) {
+	c, err := Calibrate(cm5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := kernels.Kernel{Op: kernels.OpAdd, M: 64, N: 64}
+	lp1, err := c.Loop("add64", k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lp2, err := c.Loop("add64", k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lp1 != lp2 {
+		t.Fatal("cached fit differs")
+	}
+	if len(c.LoopFits()) != 1 {
+		t.Fatalf("LoopFits = %d entries", len(c.LoopFits()))
+	}
+	m := c.Model()
+	if m.Transfer.Tss <= 0 {
+		t.Fatal("model transfer params empty")
+	}
+	if _, err := c.LoopFit("add64", k); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCalibrateRejectsBadMachine(t *testing.T) {
+	bad := cm5
+	bad.Procs = 0
+	if _, err := Calibrate(bad); err == nil {
+		t.Fatal("want machine validation error")
+	}
+}
+
+// TestTransferPredictionsTrackMeasurements: Figure 5's claim, as a
+// property over random configurations.
+func TestTransferPredictionsTrackMeasurements(t *testing.T) {
+	tf, err := CalibrateTransfers(cm5, DefaultTransferConfigs(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(idx uint16) bool {
+		s := tf.Samples[int(idx)%len(tf.Samples)]
+		okSend := math.Abs(s.PredictedSend-s.MeasuredSend) <= 0.30*s.MeasuredSend+1e-6
+		okRecv := math.Abs(s.PredictedRecv-s.MeasuredRecv) <= 0.30*s.MeasuredRecv+1e-6
+		return okSend && okRecv
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkCalibrateTransfers(b *testing.B) {
+	cfgs := DefaultTransferConfigs(64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := CalibrateTransfers(cm5, cfgs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestStaticLoopParams(t *testing.T) {
+	mul := kernels.Kernel{Op: kernels.OpMul, M: 64, N: 64, K: 64}
+	lp, err := StaticLoopParams(cm5, mul, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lp.Tau <= 0 || lp.Alpha <= 0 || lp.Alpha > 1 {
+		t.Fatalf("static params %+v", lp)
+	}
+	// Endpoint-exact by construction.
+	if math.Abs(lp.Processing(1)-mul.SerialTime(cm5)) > 1e-12 {
+		t.Fatal("static estimate must be exact at q=1")
+	}
+	if math.Abs(lp.Processing(64)-mul.MaxProcTime(cm5, 64)) > 1e-9*lp.Tau {
+		t.Fatal("static estimate must be exact at q=procs")
+	}
+	if _, err := StaticLoopParams(cm5, mul, 1); err == nil {
+		t.Fatal("want error for procs < 2")
+	}
+	if _, err := StaticLoopParams(cm5, kernels.Kernel{Op: kernels.OpAdd}, 8); err == nil {
+		t.Fatal("want error for invalid kernel")
+	}
+	// Dummy kernels estimate to zero cost.
+	z, err := StaticLoopParams(cm5, kernels.Kernel{Op: kernels.OpNone}, 8)
+	if err != nil || z.Tau != 0 {
+		t.Fatalf("OpNone static = %+v err %v", z, err)
+	}
+}

@@ -1,0 +1,308 @@
+// Package paradigm reproduces "A Convex Programming Approach for
+// Exploiting Data and Functional Parallelism on Distributed Memory
+// Multicomputers" (Ramaswamy, Sapatnekar, Banerjee — ICPP 1994), the
+// allocation-and-scheduling engine of the PARADIGM compiler.
+//
+// The pipeline mirrors the paper's five steps:
+//
+//  1. Represent the program as a Macro Dataflow Graph (Graph / Program):
+//     nodes are loop nests with Amdahl processing costs, edges are
+//     precedence constraints carrying 1D/2D data transfers.
+//  2. Calibrate the cost models on the target machine by the
+//     training-sets method (Calibrate → Calibration, Tables 1-2).
+//  3. Allocate processors by convex programming (Allocate): minimize
+//     Φ = max(A_p, C_p) over continuous allocations — globally optimal
+//     thanks to the posynomial structure of the cost models.
+//  4. Schedule with the Prioritized Scheduling Algorithm (BuildSchedule):
+//     power-of-two rounding, the Corollary-1 processor bound PB, and
+//     lowest-EST list scheduling, with the Theorem 1-3 quality bounds.
+//  5. Generate true MPMD per-processor programs and execute them
+//     (Execute) — here on a deterministic simulated CM-5 that moves real
+//     data, so results are verifiable end to end.
+//
+// Run performs steps 3-5 in one call; RunSPMD produces the pure
+// data-parallel baseline the paper's Figure 8 compares against.
+package paradigm
+
+import (
+	"fmt"
+
+	"paradigm/internal/alloc"
+	"paradigm/internal/bounds"
+	"paradigm/internal/codegen"
+	"paradigm/internal/costmodel"
+	"paradigm/internal/dist"
+	"paradigm/internal/frontend"
+	"paradigm/internal/machine"
+	"paradigm/internal/matrix"
+	"paradigm/internal/mdg"
+	"paradigm/internal/prog"
+	"paradigm/internal/programs"
+	"paradigm/internal/sched"
+	"paradigm/internal/sim"
+	"paradigm/internal/trainsets"
+)
+
+// Re-exported core types. The aliases give external users full access to
+// the library's data model through this package alone.
+type (
+	// Machine is a target machine profile (ground-truth simulator costs).
+	Machine = machine.Params
+	// Calibration holds fitted cost-model parameters for one machine.
+	Calibration = trainsets.Calibration
+	// Model is the fitted analytic cost model used by the allocator and
+	// scheduler.
+	Model = costmodel.Model
+	// LoopParams are Amdahl processing-cost parameters (α, τ).
+	LoopParams = costmodel.LoopParams
+	// TransferParams are the t_ss/t_ps/t_sr/t_pr/t_n messaging costs.
+	TransferParams = costmodel.TransferParams
+	// Graph is a Macro Dataflow Graph.
+	Graph = mdg.Graph
+	// Node is one MDG node (a loop nest).
+	Node = mdg.Node
+	// NodeID indexes a node in its Graph.
+	NodeID = mdg.NodeID
+	// Transfer describes one array moved along an MDG edge.
+	Transfer = mdg.Transfer
+	// Program binds an MDG to kernels, arrays and distributions.
+	Program = prog.Program
+	// ProgramBuilder assembles a Program incrementally.
+	ProgramBuilder = prog.Builder
+	// NodeSpec describes one program node's computation.
+	NodeSpec = prog.NodeSpec
+	// Allocation is a convex-programming allocation result.
+	Allocation = alloc.Result
+	// Schedule is a PSA schedule.
+	Schedule = sched.Schedule
+	// ScheduleOptions tunes the PSA pipeline.
+	ScheduleOptions = sched.Options
+	// SimResult is a simulated machine run.
+	SimResult = sim.Result
+	// Matrix is a dense row-major float64 matrix.
+	Matrix = matrix.Matrix
+)
+
+// Transfer kinds (Figure 4 regimes plus the grid extension).
+const (
+	// Transfer1D is the ROW2ROW / COL2COL regime.
+	Transfer1D = mdg.Transfer1D
+	// Transfer2D is the ROW2COL / COL2ROW regime.
+	Transfer2D = mdg.Transfer2D
+	// TransferG2L, TransferL2G and TransferG2G are the blocked-2D
+	// (grid) redistribution regimes of the extension.
+	TransferG2L = mdg.TransferG2L
+	// TransferL2G moves a linearly distributed array onto a grid.
+	TransferL2G = mdg.TransferL2G
+	// TransferG2G moves between two grids.
+	TransferG2G = mdg.TransferG2G
+)
+
+// Distribution axes for NodeSpec.Axis.
+const (
+	// ByRow distributes contiguous row blocks.
+	ByRow = dist.ByRow
+	// ByCol distributes contiguous column blocks.
+	ByCol = dist.ByCol
+	// ByGrid distributes over a near-square processor grid (the paper's
+	// general-distribution extension).
+	ByGrid = dist.ByGrid
+)
+
+// NewCM5 returns the simulated Thinking Machines CM-5 profile at the
+// given system size — the paper's testbed.
+func NewCM5(procs int) Machine { return machine.CM5(procs) }
+
+// NewParagon returns the Intel-Paragon-like profile: faster processors
+// and network, and a genuine per-byte network transit (t_n > 0), used by
+// the portability experiment.
+func NewParagon(procs int) Machine { return machine.Paragon(procs) }
+
+// NewProgramBuilder starts an empty program.
+func NewProgramBuilder(name string) *ProgramBuilder { return prog.NewBuilder(name) }
+
+// Calibrate runs the training-sets calibration (Section 4) on a machine
+// profile: the transfer sweep immediately, loop fits lazily per kernel.
+func Calibrate(m Machine) (*Calibration, error) { return trainsets.Calibrate(m) }
+
+// Allocate solves the convex program of Section 2 for graph g on a
+// procs-processor system, returning continuous allocations and Φ.
+func Allocate(g *Graph, model Model, procs int) (Allocation, error) {
+	return alloc.Solve(g, model, procs, alloc.Options{})
+}
+
+// AllocateSPMD returns the pure data-parallel allocation (every node on
+// all processors) with its exact Φ.
+func AllocateSPMD(g *Graph, model Model, procs int) (Allocation, error) {
+	return alloc.SPMD(g, model, procs)
+}
+
+// BuildSchedule runs the PSA of Section 3 on a continuous allocation:
+// rounding, bounding (Corollary 1 unless opts.PB overrides), weight
+// recomputation and lowest-EST list scheduling.
+func BuildSchedule(g *Graph, model Model, allocation []float64, procs int, opts ScheduleOptions) (*Schedule, error) {
+	return sched.Run(g, model, allocation, procs, opts)
+}
+
+// ScheduleSPMD builds the naive all-processors baseline schedule.
+func ScheduleSPMD(g *Graph, model Model, procs int) (*Schedule, error) {
+	return sched.SPMD(g, model, procs)
+}
+
+// Execute lowers the program under the schedule into per-processor MPMD
+// instruction streams and runs them on the simulated machine, moving real
+// data.
+func Execute(p *Program, s *Schedule, m Machine) (*SimResult, error) {
+	streams, err := codegen.Generate(p, s)
+	if err != nil {
+		return nil, err
+	}
+	return sim.Run(p, streams, m)
+}
+
+// OptimalPB returns Corollary 1's processor bound for a system size,
+// with the Theorem 3 quality factor it guarantees.
+func OptimalPB(procs int) (pb int, factor float64, err error) {
+	return bounds.OptimalPB(procs)
+}
+
+// TheoremBounds reports the Theorem 1, 2 and 3 factors for a (p, PB)
+// pair.
+func TheoremBounds(procs, pb int) (t1, t2, t3 float64, err error) {
+	if t1, err = bounds.Theorem1Factor(procs, pb); err != nil {
+		return
+	}
+	if t2, err = bounds.Theorem2Factor(procs, pb); err != nil {
+		return
+	}
+	t3, err = bounds.Theorem3Factor(procs, pb)
+	return
+}
+
+// Result is one end-to-end pipeline outcome.
+type Result struct {
+	// Alloc is the continuous allocation and its Φ.
+	Alloc Allocation
+	// Sched is the PSA schedule; Sched.Makespan is T_psa, the model's
+	// predicted finish time.
+	Sched *Schedule
+	// Sim is the simulated execution; Sim.Makespan is the actual time.
+	Sim *SimResult
+	// Predicted and Actual are the two makespans.
+	Predicted, Actual float64
+}
+
+// Run executes the full paper pipeline — allocate, schedule, generate
+// MPMD code, simulate — for a program on a machine at the given system
+// size. The calibration provides the fitted cost model.
+func Run(p *Program, m Machine, cal *Calibration, procs int) (*Result, error) {
+	model := cal.Model()
+	ar, err := Allocate(p.G, model, procs)
+	if err != nil {
+		return nil, err
+	}
+	s, err := BuildSchedule(p.G, model, ar.P, procs, ScheduleOptions{})
+	if err != nil {
+		return nil, err
+	}
+	res, err := Execute(p, s, m.WithProcs(procs))
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Alloc: ar, Sched: s, Sim: res, Predicted: s.Makespan, Actual: res.Makespan}, nil
+}
+
+// RunSPMD executes the pure data-parallel baseline end to end.
+func RunSPMD(p *Program, m Machine, cal *Calibration, procs int) (*Result, error) {
+	model := cal.Model()
+	ar, err := AllocateSPMD(p.G, model, procs)
+	if err != nil {
+		return nil, err
+	}
+	s, err := ScheduleSPMD(p.G, model, procs)
+	if err != nil {
+		return nil, err
+	}
+	res, err := Execute(p, s, m.WithProcs(procs))
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Alloc: ar, Sched: s, Sim: res, Predicted: s.Makespan, Actual: res.Makespan}, nil
+}
+
+// Verify checks every simulated array against the program's sequential
+// reference, returning the worst absolute deviation.
+func Verify(p *Program, res *SimResult) (float64, error) {
+	ref, err := p.ReferenceRun()
+	if err != nil {
+		return 0, err
+	}
+	worst := 0.0
+	for name := range p.Arrays {
+		got, err := res.Gather(name)
+		if err != nil {
+			return 0, err
+		}
+		d, err := matrix.MaxAbsDiff(got, ref[name])
+		if err != nil {
+			return 0, err
+		}
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst, nil
+}
+
+// --- Built-in test programs -------------------------------------------------
+
+// ComplexMatMul builds the paper's complex matrix multiplication program
+// (Figure 6 left) for n×n complex matrices.
+func ComplexMatMul(n int, cal *Calibration) (*Program, error) {
+	return programs.ComplexMatMul(n, cal)
+}
+
+// ComplexMatMulGrid builds the complex matrix multiply with the four
+// multiplies on grid (blocked-2D) distributions — the general-
+// distribution extension.
+func ComplexMatMulGrid(n int, cal *Calibration) (*Program, error) {
+	return programs.ComplexMatMulLayout(n, cal, true)
+}
+
+// Strassen builds the paper's Strassen program (Figure 6 right) for n×n
+// matrices (n even).
+func Strassen(n int, cal *Calibration) (*Program, error) {
+	return programs.Strassen(n, cal)
+}
+
+// StrassenRecursive builds Strassen's multiplication unfolded `depth`
+// levels at the MDG level (depth 1 matches the paper's program; depth 2
+// yields a 49-multiply MDG). n must be divisible by 2^depth.
+func StrassenRecursive(n, depth int, cal *Calibration) (*Program, error) {
+	return programs.StrassenRecursive(n, depth, cal)
+}
+
+// SyntheticPipeline builds a width×depth pipeline workload exposing
+// functional parallelism.
+func SyntheticPipeline(n, width, depth int, cal *Calibration) (*Program, error) {
+	return programs.SyntheticPipeline(n, width, depth, cal)
+}
+
+// FigureOneMDG returns the 3-node motivating example of Section 1.2.
+func FigureOneMDG() *Graph { return programs.FigureOneMDG() }
+
+// CompileSource compiles a matrix-program source text (see
+// internal/frontend for the language) into an executable Program,
+// calibrating each loop shape through cal.
+func CompileSource(name, src string, cal *Calibration) (*Program, error) {
+	return frontend.Compile(name, src, cal)
+}
+
+// Speedup is a convenience: serial time over parallel time; it errors on
+// non-positive inputs.
+func Speedup(serial, parallel float64) (float64, error) {
+	if serial <= 0 || parallel <= 0 {
+		return 0, fmt.Errorf("paradigm: invalid times %v / %v", serial, parallel)
+	}
+	return serial / parallel, nil
+}
