@@ -1,0 +1,35 @@
+# Developer / CI entry points. `make ci` is the gate: vet, build, the
+# full test suite under the race detector, and a short benchmark smoke
+# run proving the benchmarks still execute.
+
+GO ?= go
+
+.PHONY: ci vet build test race bench-smoke bench-current bench-json
+
+ci: vet build race bench-smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One iteration of the calibration- and allocation-path benchmarks: fast,
+# and enough to catch a benchmark that no longer compiles or errors out.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkTable2TransferFit|BenchmarkAllocSolve' -benchtime=1x -benchmem .
+
+# Full benchmark sweep, one iteration each, saved for the trajectory
+# harness (see BENCH_PR1.json and cmd/benchjson).
+bench-current:
+	$(GO) test -run '^$$' -bench . -benchtime=1x -benchmem . | tee bench_current.txt
+
+# Regenerate the trajectory JSON from saved baseline/current runs.
+bench-json:
+	$(GO) run ./cmd/benchjson -baseline bench_baseline.txt -current bench_current.txt -o BENCH.json

@@ -1,0 +1,87 @@
+// Command benchjson turns `go test -bench -benchmem` text output into the
+// benchmark-trajectory JSON committed as BENCH_PR<N>.json: a baseline
+// run, a current run, and per-benchmark deltas (ns/op and allocs/op).
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem -benchtime=1x > current.txt
+//	benchjson -baseline baseline.txt -current current.txt \
+//	    -label "PR 1: worker-pool fan-out + allocation fast path" \
+//	    -o BENCH_PR1.json
+//
+// With no -baseline the JSON carries only the current run (the first
+// point of a trajectory). Inputs are plain benchmark output files; the
+// tool never runs the benchmarks itself, so the recorded numbers are
+// exactly what the measurement run printed.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"paradigm/internal/benchparse"
+)
+
+type trajectory struct {
+	Label    string              `json:"label,omitempty"`
+	Baseline []benchparse.Result `json:"baseline,omitempty"`
+	Current  []benchparse.Result `json:"current"`
+	Deltas   []benchparse.Delta  `json:"deltas,omitempty"`
+}
+
+func parseFile(path string) ([]benchparse.Result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	rs, err := benchparse.Parse(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(rs) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark lines found", path)
+	}
+	return rs, nil
+}
+
+func run(baselinePath, currentPath, label, outPath string) error {
+	if currentPath == "" {
+		return fmt.Errorf("-current is required")
+	}
+	t := trajectory{Label: label}
+	var err error
+	if t.Current, err = parseFile(currentPath); err != nil {
+		return err
+	}
+	if baselinePath != "" {
+		if t.Baseline, err = parseFile(baselinePath); err != nil {
+			return err
+		}
+		t.Deltas = benchparse.Diff(t.Baseline, t.Current)
+	}
+	buf, err := json.MarshalIndent(t, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if outPath == "" || outPath == "-" {
+		_, err = os.Stdout.Write(buf)
+		return err
+	}
+	return os.WriteFile(outPath, buf, 0o644)
+}
+
+func main() {
+	baseline := flag.String("baseline", "", "baseline `file` of go test -bench output (optional)")
+	current := flag.String("current", "", "current `file` of go test -bench output (required)")
+	label := flag.String("label", "", "free-form label recorded in the JSON")
+	out := flag.String("o", "-", "output `file` (default stdout)")
+	flag.Parse()
+	if err := run(*baseline, *current, *label, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

@@ -21,6 +21,7 @@
 package alloc
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -28,6 +29,7 @@ import (
 	"paradigm/internal/costmodel"
 	"paradigm/internal/expr"
 	"paradigm/internal/mdg"
+	"paradigm/internal/par"
 )
 
 // Options tunes Solve. The zero value selects robust defaults.
@@ -41,6 +43,13 @@ type Options struct {
 	// (the Prasanna-Agarwal-style ablation A3 of DESIGN.md). The reported
 	// Φ/A_p/C_p still use the full model.
 	IgnoreTransfers bool
+	// MultiStart > 1 runs that many annealed solves from deterministic
+	// start points and keeps the lowest exact Φ, breaking ties by the
+	// lowest start index. Start 0 is the classic box midpoint, so
+	// MultiStart <= 1 reproduces the single-start behaviour exactly. The
+	// starts run concurrently on the par worker pool with pooled
+	// evaluators; the selected result is identical at any pool width.
+	MultiStart int
 }
 
 // Result reports one allocation.
@@ -54,21 +63,96 @@ type Result struct {
 	Solver convex.Result
 }
 
+// problem is the compiled convex program for one (graph, model, procs)
+// triple: the expression DAG is built once and shared by every annealed
+// solve, with per-solve evaluators drawn from a pool so concurrent
+// multi-start solves never contend on scratch space.
+type problem struct {
+	g            *mdg.Graph
+	model        costmodel.Model
+	procs        int
+	phi          expr.ID
+	pool         *expr.EvaluatorPool
+	lower, upper []float64
+}
+
 // Solve runs the convex programming formulation for g on a procs-processor
 // system. The graph must be a valid DAG; a unique START/STOP is not
 // required for allocation (C_p is taken as the max finish time over all
 // nodes, which equals y_STOP when a STOP exists).
+//
+// With Options.MultiStart > 1 the annealed solve is repeated from that
+// many deterministic start points (concurrently, bounded by par.Workers)
+// and the result with the lowest exact Φ wins, ties going to the lowest
+// start index — a deterministic selection, so serial and parallel runs
+// return bit-identical allocations.
 func Solve(g *mdg.Graph, model costmodel.Model, procs int, opts Options) (Result, error) {
+	prob, err := compile(g, model, procs, opts)
+	if err != nil {
+		return Result{}, err
+	}
+	starts := prob.startPoints(opts.MultiStart)
+	if len(starts) == 1 {
+		return prob.solveFrom(starts[0], opts.Anneal)
+	}
+	results, err := par.Map(context.Background(), len(starts), func(_ context.Context, i int) (Result, error) {
+		return prob.solveFrom(starts[i], opts.Anneal)
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	best := results[0]
+	for _, r := range results[1:] {
+		if r.Phi < best.Phi {
+			best = r
+		}
+	}
+	return best, nil
+}
+
+// startPoints produces k deterministic start points inside the box.
+// Start 0 is the box midpoint (the historical single-start point);
+// further starts spread over the box by a golden-ratio low-discrepancy
+// rule with a per-coordinate stagger, so no two starts or coordinates
+// coincide yet every run generates the same sequence.
+func (p *problem) startPoints(k int) [][]float64 {
+	if k < 1 {
+		k = 1
+	}
+	const (
+		golden  = 0.6180339887498949 // 1/φ
+		stagger = 0.3819660112501051 // 1/φ²
+	)
+	starts := make([][]float64, k)
+	for s := range starts {
+		x0 := make([]float64, len(p.upper))
+		for i := range x0 {
+			f := 0.5
+			if s > 0 {
+				f = math.Mod(0.5+float64(s)*golden+float64(i)*stagger, 1)
+				// Keep away from the box edges where the smoothed
+				// objective is flattest.
+				f = 0.1 + 0.8*f
+			}
+			x0[i] = p.upper[i] * f
+		}
+		starts[s] = x0
+	}
+	return starts
+}
+
+// compile builds the expression DAG for the Φ objective once.
+func compile(g *mdg.Graph, model costmodel.Model, procs int, opts Options) (*problem, error) {
 	if procs < 1 {
-		return Result{}, fmt.Errorf("alloc: procs = %d, want >= 1", procs)
+		return nil, fmt.Errorf("alloc: procs = %d, want >= 1", procs)
 	}
 	if err := g.Validate(); err != nil {
-		return Result{}, fmt.Errorf("alloc: invalid MDG: %w", err)
+		return nil, fmt.Errorf("alloc: invalid MDG: %w", err)
 	}
 	n := g.NumNodes()
 	order, err := g.TopoOrder()
 	if err != nil {
-		return Result{}, err
+		return nil, err
 	}
 
 	objTP := model.Transfer
@@ -132,25 +216,33 @@ func Solve(g *mdg.Graph, model costmodel.Model, procs int, opts Options) (Result
 	cp := eg.SmoothMax(sinks...)
 	phi := eg.SmoothMax(ap, cp)
 
-	// --- Solve ----------------------------------------------------------
-	ev := expr.NewEvaluator(&eg)
 	lower := make([]float64, n)
 	upper := make([]float64, n)
-	x0 := make([]float64, n)
 	for i := range upper {
 		upper[i] = math.Log(float64(procs))
-		x0[i] = upper[i] / 2
 	}
+	return &problem{
+		g: g, model: model, procs: procs,
+		phi:   phi,
+		pool:  expr.NewEvaluatorPool(&eg),
+		lower: lower, upper: upper,
+	}, nil
+}
+
+// solveFrom runs one annealed solve from x0 and re-evaluates the exact
+// (hard-max) Φ/A_p/C_p at the solution under the full cost model.
+func (p *problem) solveFrom(x0 []float64, anneal convex.AnnealOptions) (Result, error) {
+	ev := p.pool.Get()
+	defer p.pool.Put(ev)
 	obj := convex.TempFunc(func(temp float64, x, grad []float64) float64 {
 		if grad == nil {
-			return ev.Eval(phi, x, temp)
+			return ev.Eval(p.phi, x, temp)
 		}
-		return ev.EvalGrad(phi, x, temp, grad)
+		return ev.EvalGrad(p.phi, x, temp, grad)
 	})
-	anneal := opts.Anneal
 	if anneal.StartTemp <= 0 {
 		// Scale with the problem: ~5% of the objective at the start point.
-		anneal.StartTemp = 0.05 * ev.Eval(phi, x0, 0)
+		anneal.StartTemp = 0.05 * ev.Eval(p.phi, x0, 0)
 		if anneal.StartTemp <= 0 {
 			anneal.StartTemp = 1
 		}
@@ -161,16 +253,16 @@ func Solve(g *mdg.Graph, model costmodel.Model, procs int, opts Options) (Result
 	if anneal.Inner.MaxIter == 0 {
 		anneal.Inner.MaxIter = 4000
 	}
-	sol, err := convex.MinimizeAnnealed(obj, lower, upper, x0, anneal)
+	sol, err := convex.MinimizeAnnealed(obj, p.lower, p.upper, x0, anneal)
 	if err != nil {
 		return Result{}, fmt.Errorf("alloc: solver failed: %w", err)
 	}
 
-	res := Result{P: make([]float64, n), Solver: sol}
+	res := Result{P: make([]float64, len(x0)), Solver: sol}
 	for i := range res.P {
 		res.P[i] = math.Exp(sol.X[i])
 	}
-	res.Phi, res.Ap, res.Cp, err = model.Phi(g, res.P, procs)
+	res.Phi, res.Ap, res.Cp, err = p.model.Phi(p.g, res.P, p.procs)
 	if err != nil {
 		return Result{}, err
 	}

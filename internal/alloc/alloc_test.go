@@ -258,3 +258,45 @@ func BenchmarkSolveForkJoin16(b *testing.B) {
 		}
 	}
 }
+
+func TestMultiStartMatchesOrBeatsSingleStart(t *testing.T) {
+	g := forkJoin(0.999)
+	single, err := Solve(g, cm5Fit, 32, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, err := Solve(g, cm5Fit, 32, Options{MultiStart: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Start 0 of a multi-start run is the single-start point, so the
+	// winner can never be worse than the single-start solution.
+	if multi.Phi > single.Phi {
+		t.Fatalf("multi-start Phi %v worse than single-start %v", multi.Phi, single.Phi)
+	}
+}
+
+func TestMultiStartDeterministicAcrossWorkerWidths(t *testing.T) {
+	g := forkJoin(0.99)
+	solveAt := func(workers string) Result {
+		t.Setenv("PARADIGM_WORKERS", workers)
+		res, err := Solve(g, cm5Fit, 16, Options{MultiStart: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	serial := solveAt("1")
+	wide := solveAt("8")
+	if serial.Phi != wide.Phi || serial.Ap != wide.Ap || serial.Cp != wide.Cp {
+		t.Fatalf("multi-start Phi differs across worker widths: serial %v parallel %v", serial.Phi, wide.Phi)
+	}
+	for i := range serial.P {
+		if serial.P[i] != wide.P[i] {
+			t.Fatalf("P[%d] differs across worker widths: %v vs %v", i, serial.P[i], wide.P[i])
+		}
+	}
+	if serial.Solver.Evals != wide.Solver.Evals || serial.Solver.Iters != wide.Solver.Iters {
+		t.Fatalf("winning solver diagnostics differ across widths")
+	}
+}

@@ -1,0 +1,130 @@
+// Package benchparse parses `go test -bench -benchmem` text output into
+// structured results, the input format of the benchmark-trajectory
+// harness (cmd/benchjson). It understands the standard benchmark line:
+//
+//	BenchmarkName-8   	  1000	  123456 ns/op	  789 B/op	  12 allocs/op
+//
+// The -N GOMAXPROCS suffix is stripped so results compare across hosts.
+package benchparse
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+}
+
+// Parse reads benchmark lines from r, ignoring everything else (headers,
+// PASS/ok trailers, warnings). Duplicate names keep the last occurrence.
+func Parse(r io.Reader) ([]Result, error) {
+	var out []Result
+	idx := map[string]int{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		res, ok, err := parseLine(line)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			continue
+		}
+		if i, dup := idx[res.Name]; dup {
+			out[i] = res
+		} else {
+			idx[res.Name] = len(out)
+			out = append(out, res)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func parseLine(line string) (Result, bool, error) {
+	fields := strings.Fields(line)
+	// Minimum: name, iterations, value, "ns/op".
+	if len(fields) < 4 {
+		return Result{}, false, nil
+	}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.Atoi(fields[1])
+	if err != nil {
+		return Result{}, false, nil
+	}
+	res := Result{Name: name, Iterations: iters}
+	seen := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false, fmt.Errorf("benchparse: bad value %q in %q", fields[i], line)
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			res.NsPerOp = v
+			seen = true
+		case "B/op":
+			res.BytesPerOp = v
+		case "allocs/op":
+			res.AllocsPerOp = v
+		}
+	}
+	if !seen {
+		return Result{}, false, nil
+	}
+	return res, true, nil
+}
+
+// Delta compares a current run against a baseline by benchmark name.
+type Delta struct {
+	Name          string  `json:"name"`
+	NsPctChange   float64 `json:"ns_pct_change"`
+	AllocsChange  float64 `json:"allocs_change"`
+	AllocsPctChg  float64 `json:"allocs_pct_change"`
+	BaselineFound bool    `json:"baseline_found"`
+}
+
+// Diff pairs current results with baseline results by name. Benchmarks
+// missing from the baseline are reported with BaselineFound=false.
+func Diff(baseline, current []Result) []Delta {
+	base := map[string]Result{}
+	for _, r := range baseline {
+		base[r.Name] = r
+	}
+	out := make([]Delta, 0, len(current))
+	for _, c := range current {
+		d := Delta{Name: c.Name}
+		if b, ok := base[c.Name]; ok {
+			d.BaselineFound = true
+			if b.NsPerOp > 0 {
+				d.NsPctChange = 100 * (c.NsPerOp - b.NsPerOp) / b.NsPerOp
+			}
+			d.AllocsChange = c.AllocsPerOp - b.AllocsPerOp
+			if b.AllocsPerOp > 0 {
+				d.AllocsPctChg = 100 * (c.AllocsPerOp - b.AllocsPerOp) / b.AllocsPerOp
+			}
+		}
+		out = append(out, d)
+	}
+	return out
+}

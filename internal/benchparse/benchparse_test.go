@@ -1,0 +1,68 @@
+package benchparse
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: paradigm
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkTable2TransferFit-8   	     100	  11500000 ns/op	  220000 B/op	  3300 allocs/op
+BenchmarkAllocSolveCMM        	       1	   7547870 ns/op	   65208 B/op	     666 allocs/op
+BenchmarkFig6MDGs-8            	      50	    400000 ns/op
+PASS
+ok  	paradigm	12.3s
+`
+
+func TestParse(t *testing.T) {
+	rs, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 3 {
+		t.Fatalf("parsed %d results, want 3", len(rs))
+	}
+	if rs[0].Name != "BenchmarkTable2TransferFit" {
+		t.Fatalf("GOMAXPROCS suffix not stripped: %q", rs[0].Name)
+	}
+	if rs[0].Iterations != 100 || rs[0].NsPerOp != 11500000 || rs[0].AllocsPerOp != 3300 {
+		t.Fatalf("bad row: %+v", rs[0])
+	}
+	if rs[1].Name != "BenchmarkAllocSolveCMM" || rs[1].BytesPerOp != 65208 {
+		t.Fatalf("bad unsuffixed row: %+v", rs[1])
+	}
+	if rs[2].AllocsPerOp != 0 {
+		t.Fatalf("missing allocs must stay 0: %+v", rs[2])
+	}
+}
+
+func TestParseKeepsLastDuplicate(t *testing.T) {
+	dup := "BenchmarkX-2 10 100 ns/op\nBenchmarkX-2 20 50 ns/op\n"
+	rs, err := Parse(strings.NewReader(dup))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 1 || rs[0].NsPerOp != 50 || rs[0].Iterations != 20 {
+		t.Fatalf("duplicate handling wrong: %+v", rs)
+	}
+}
+
+func TestDiff(t *testing.T) {
+	base := []Result{{Name: "BenchmarkA", NsPerOp: 200, AllocsPerOp: 100}}
+	cur := []Result{
+		{Name: "BenchmarkA", NsPerOp: 100, AllocsPerOp: 40},
+		{Name: "BenchmarkNew", NsPerOp: 5},
+	}
+	ds := Diff(base, cur)
+	if len(ds) != 2 {
+		t.Fatalf("deltas: %+v", ds)
+	}
+	if !ds[0].BaselineFound || ds[0].NsPctChange != -50 || ds[0].AllocsChange != -60 || ds[0].AllocsPctChg != -60 {
+		t.Fatalf("delta wrong: %+v", ds[0])
+	}
+	if ds[1].BaselineFound {
+		t.Fatalf("new benchmark must report missing baseline: %+v", ds[1])
+	}
+}

@@ -109,10 +109,14 @@ func (s Status) String() string {
 
 // Result reports the minimizer outcome.
 type Result struct {
-	X      []float64
-	F      float64
-	Iters  int
-	Evals  int // objective evaluations (including line search)
+	X     []float64
+	F     float64
+	Iters int
+	// Evals counts objective evaluations — every call into the
+	// objective, line search included, counts exactly once whether or
+	// not a gradient was requested. The accepted line-search point is
+	// evaluated once (value and gradient fused), never twice.
+	Evals  int
 	Status Status
 }
 
@@ -132,10 +136,30 @@ func clamp(v, lo, hi float64) float64 {
 	return v
 }
 
+// workspace holds the minimizer's scratch vectors in one backing buffer.
+// Minimize allocates a fresh one per call; MinimizeAnnealed reuses a
+// single workspace across all temperature stages, eliminating the
+// per-stage allocation churn on the allocator hot path.
+type workspace struct {
+	buf []float64
+}
+
+func (w *workspace) vectors(n int) (x, grad, gradPrev, gradTrial, trial, xPrev []float64) {
+	if cap(w.buf) < 6*n {
+		w.buf = make([]float64, 6*n)
+	}
+	b := w.buf[:6*n]
+	return b[0:n], b[n : 2*n], b[2*n : 3*n], b[3*n : 4*n], b[4*n : 5*n], b[5*n : 6*n]
+}
+
 // Minimize minimizes obj over the box [lower, upper] starting from x0
 // (projected into the box). lower, upper and x0 must share a length >= 1
 // with lower <= upper componentwise.
 func Minimize(obj Objective, lower, upper, x0 []float64, opts Options) (Result, error) {
+	return minimize(obj, lower, upper, x0, opts, &workspace{})
+}
+
+func minimize(obj Objective, lower, upper, x0 []float64, opts Options, ws *workspace) (Result, error) {
 	n := len(x0)
 	if n == 0 {
 		return Result{}, errors.New("convex: empty start point")
@@ -153,14 +177,10 @@ func Minimize(obj Objective, lower, upper, x0 []float64, opts Options) (Result, 
 	}
 	o := opts.withDefaults()
 
-	x := make([]float64, n)
+	x, grad, gradPrev, gradTrial, trial, xPrev := ws.vectors(n)
 	for i := range x {
 		x[i] = clamp(x0[i], lower[i], upper[i])
 	}
-	grad := make([]float64, n)
-	gradPrev := make([]float64, n)
-	trial := make([]float64, n)
-	xPrev := make([]float64, n)
 
 	evals := 0
 	eval := func(pt []float64, g []float64) float64 {
@@ -215,8 +235,13 @@ func Minimize(obj Objective, lower, upper, x0 []float64, opts Options) (Result, 
 			}
 		}
 
-		// Armijo backtracking on the projected step.
+		// Armijo backtracking on the projected step. The first trial is
+		// evaluated with a fused value+gradient pass: the spectral step
+		// is accepted without backtracking in the vast majority of
+		// iterations, and fusing saves the redundant value recomputation
+		// the old accept path paid just to obtain the gradient.
 		accepted := false
+		gradReady := false
 		var fNew float64
 		for bt := 0; bt < o.MaxBacktracks; bt++ {
 			for i := range trial {
@@ -235,9 +260,14 @@ func Minimize(obj Objective, lower, upper, x0 []float64, opts Options) (Result, 
 			if !moved {
 				break
 			}
-			fNew = eval(trial, nil)
+			if bt == 0 {
+				fNew = eval(trial, gradTrial)
+			} else {
+				fNew = eval(trial, nil)
+			}
 			if fNew <= fx+o.Armijo*decr {
 				accepted = true
+				gradReady = bt == 0
 				break
 			}
 			step *= o.Backtrack
@@ -253,8 +283,14 @@ func Minimize(obj Objective, lower, upper, x0 []float64, opts Options) (Result, 
 		copy(gradPrev, grad)
 		copy(x, trial)
 		fPrev := fx
-		_ = fNew // line-search value; re-evaluate to obtain the gradient
-		fx = eval(x, grad)
+		fx = fNew
+		if gradReady {
+			grad, gradTrial = gradTrial, grad
+		} else {
+			// Accepted only after backtracking: one evaluation obtains
+			// the gradient (its value pass equals fNew, already known).
+			fx = eval(x, grad)
+		}
 		havePrev = true
 
 		if fPrev-fx <= o.FTol*math.Max(1, math.Abs(fPrev)) {
@@ -319,20 +355,26 @@ func (a AnnealOptions) withDefaults() AnnealOptions {
 // MinimizeAnnealed minimizes a temperature-smoothed convex objective by
 // solving a sequence of decreasing-temperature stages, warm-starting each
 // stage from the previous solution. The returned Result reflects the final
-// stage at EndTemp; Iters and Evals aggregate across all stages.
+// stage at EndTemp; Iters and Evals aggregate across all stages. One
+// scratch workspace and one objective closure are shared across every
+// stage, so the whole anneal performs a constant number of allocations.
 func MinimizeAnnealed(obj TempObjective, lower, upper, x0 []float64, opts AnnealOptions) (Result, error) {
 	a := opts.withDefaults()
 	x := x0
-	var total Result
+	var (
+		ws    workspace
+		temp  float64
+		total Result
+	)
+	inner := Func(func(x, grad []float64) float64 { return obj.EvalAtTemp(temp, x, grad) })
 	for stage := 0; ; stage++ {
-		temp := a.StartTemp * math.Pow(a.Decay, float64(stage))
-		last := temp <= a.EndTemp
+		t := a.StartTemp * math.Pow(a.Decay, float64(stage))
+		last := t <= a.EndTemp
 		if last {
-			temp = a.EndTemp
+			t = a.EndTemp
 		}
-		t := temp
-		inner := Func(func(x, grad []float64) float64 { return obj.EvalAtTemp(t, x, grad) })
-		res, err := Minimize(inner, lower, upper, x, a.Inner)
+		temp = t
+		res, err := minimize(inner, lower, upper, x, a.Inner, &ws)
 		if err != nil {
 			return Result{}, err
 		}

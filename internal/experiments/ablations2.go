@@ -31,28 +31,27 @@ func AblationHeuristic(env *Env) (*AblationHeuristicResult, error) {
 		return nil, err
 	}
 	model := env.Cal.Model()
-	out := &AblationHeuristicResult{}
-	for _, name := range ProgramNames() {
-		p := progs[name]
-		for _, procs := range SystemSizes() {
-			conv, err := alloc.Solve(p.G, model, procs, alloc.Options{})
-			if err != nil {
-				return nil, err
-			}
-			heur, err := alloc.SolveHeuristic(p.G, model, procs)
-			if err != nil {
-				return nil, err
-			}
-			out.Rows = append(out.Rows, AblationHeuristicRow{
-				Program:      name,
-				Procs:        procs,
-				PhiConvex:    conv.Phi,
-				PhiHeuristic: heur.Phi,
-				GapPct:       100 * (heur.Phi - conv.Phi) / conv.Phi,
-			})
+	rows, err := mapCells(progs, func(c cell) (AblationHeuristicRow, error) {
+		conv, err := alloc.Solve(c.Prog.G, model, c.Procs, alloc.Options{})
+		if err != nil {
+			return AblationHeuristicRow{}, err
 		}
+		heur, err := alloc.SolveHeuristic(c.Prog.G, model, c.Procs)
+		if err != nil {
+			return AblationHeuristicRow{}, err
+		}
+		return AblationHeuristicRow{
+			Program:      c.Name,
+			Procs:        c.Procs,
+			PhiConvex:    conv.Phi,
+			PhiHeuristic: heur.Phi,
+			GapPct:       100 * (heur.Phi - conv.Phi) / conv.Phi,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return &AblationHeuristicResult{Rows: rows}, nil
 }
 
 // String renders ablation A5.

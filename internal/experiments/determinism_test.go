@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"paradigm/internal/par"
+)
+
+// TestAllDeterministicAcrossWorkerWidths is the suite-level determinism
+// guarantee: the full experiment battery rendered with PARADIGM_WORKERS=1
+// must be byte-identical to a run at a wide pool width. Wall-clock timing
+// columns (the only legitimately nondeterministic bytes) are normalized
+// via PARADIGM_DETERMINISTIC.
+func TestAllDeterministicAcrossWorkerWidths(t *testing.T) {
+	if testing.Short() {
+		t.Skip("double full-suite run; skipped in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("double full-suite run; too slow under the race detector")
+	}
+	env := testEnv(t)
+	t.Setenv(EnvDeterministic, "1")
+
+	t.Setenv(par.EnvWorkers, "1")
+	serial, err := All(env)
+	if err != nil {
+		t.Fatalf("serial run: %v", err)
+	}
+	t.Setenv(par.EnvWorkers, "8")
+	wide, err := All(env)
+	if err != nil {
+		t.Fatalf("parallel run: %v", err)
+	}
+	if serial != wide {
+		t.Fatalf("serial and parallel outputs differ:\n%s", firstDiff(serial, wide))
+	}
+}
+
+// TestFullReportDeterministicAcrossWorkerWidths checks the JSON-facing
+// report path the same way on its markdown rendering (cheaper than All;
+// runs even under the race detector to exercise the concurrent drivers).
+func TestFullReportDeterministicAcrossWorkerWidths(t *testing.T) {
+	if testing.Short() {
+		t.Skip("double report run; skipped in -short mode")
+	}
+	env := testEnv(t)
+	t.Setenv(EnvDeterministic, "1")
+
+	t.Setenv(par.EnvWorkers, "1")
+	r1, err := FullReport(env)
+	if err != nil {
+		t.Fatalf("serial run: %v", err)
+	}
+	t.Setenv(par.EnvWorkers, "8")
+	r2, err := FullReport(env)
+	if err != nil {
+		t.Fatalf("parallel run: %v", err)
+	}
+	if a, b := r1.Markdown(), r2.Markdown(); a != b {
+		t.Fatalf("serial and parallel reports differ:\n%s", firstDiff(a, b))
+	}
+}
+
+// firstDiff locates the first differing line for a readable failure.
+func firstDiff(a, b string) string {
+	la, lb := strings.Split(a, "\n"), strings.Split(b, "\n")
+	n := len(la)
+	if len(lb) < n {
+		n = len(lb)
+	}
+	for i := 0; i < n; i++ {
+		if la[i] != lb[i] {
+			return fmt.Sprintf("line %d:\n  serial:   %s\n  parallel: %s", i+1, la[i], lb[i])
+		}
+	}
+	return fmt.Sprintf("outputs differ in length: %d vs %d lines", len(la), len(lb))
+}

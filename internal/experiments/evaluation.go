@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"paradigm/internal/alloc"
 	"paradigm/internal/bounds"
 	"paradigm/internal/mdg"
+	"paradigm/internal/par"
 	"paradigm/internal/programs"
 	"paradigm/internal/sched"
 	"paradigm/internal/tables"
@@ -73,47 +75,59 @@ type Fig8Row struct {
 type Fig8Result struct{ Rows []Fig8Row }
 
 // Fig8 simulates both test programs under both disciplines across the
-// paper's system sizes, with serial time from a one-processor run.
+// paper's system sizes, with serial time from a one-processor run. The
+// per-program serial baselines and every (program, procs) cell fan out on
+// the worker pool.
 func Fig8(env *Env) (*Fig8Result, error) {
 	progs, err := testPrograms(env)
 	if err != nil {
 		return nil, err
 	}
-	out := &Fig8Result{}
-	for _, name := range ProgramNames() {
-		p := progs[name]
-		serial, err := RunPipeline(env, p, 1, SPMD)
+	names := ProgramNames()
+	serials, err := par.Map(context.Background(), len(names), func(_ context.Context, i int) (float64, error) {
+		run, err := RunPipeline(env, progs[names[i]], 1, SPMD)
 		if err != nil {
-			return nil, fmt.Errorf("%s serial: %w", name, err)
+			return 0, fmt.Errorf("%s serial: %w", names[i], err)
 		}
-		for _, procs := range SystemSizes() {
-			spmd, err := RunPipeline(env, p, procs, SPMD)
-			if err != nil {
-				return nil, fmt.Errorf("%s SPMD p=%d: %w", name, procs, err)
-			}
-			mpmd, err := RunPipeline(env, p, procs, MPMD)
-			if err != nil {
-				return nil, fmt.Errorf("%s MPMD p=%d: %w", name, procs, err)
-			}
-			// Every run must stay numerically correct.
-			if worst, err := VerifyNumerics(p, mpmd.Sim); err != nil || worst > 1e-6 {
-				return nil, fmt.Errorf("%s MPMD p=%d numerics: worst %v err %v", name, procs, worst, err)
-			}
-			row := Fig8Row{
-				Program:    name,
-				Procs:      procs,
-				SerialTime: serial.Actual,
-				SPMDTime:   spmd.Actual,
-				MPMDTime:   mpmd.Actual,
-			}
-			row.SPMDSpeedup = row.SerialTime / row.SPMDTime
-			row.MPMDSpeedup = row.SerialTime / row.MPMDTime
-			row.SPMDEff = row.SPMDSpeedup / float64(procs)
-			row.MPMDEff = row.MPMDSpeedup / float64(procs)
-			out.Rows = append(out.Rows, row)
-		}
+		return run.Actual, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	serialByName := make(map[string]float64, len(names))
+	for i, name := range names {
+		serialByName[name] = serials[i]
+	}
+	rows, err := mapCells(progs, func(c cell) (Fig8Row, error) {
+		spmd, err := RunPipeline(env, c.Prog, c.Procs, SPMD)
+		if err != nil {
+			return Fig8Row{}, fmt.Errorf("%s SPMD p=%d: %w", c.Name, c.Procs, err)
+		}
+		mpmd, err := RunPipeline(env, c.Prog, c.Procs, MPMD)
+		if err != nil {
+			return Fig8Row{}, fmt.Errorf("%s MPMD p=%d: %w", c.Name, c.Procs, err)
+		}
+		// Every run must stay numerically correct.
+		if worst, err := VerifyNumerics(c.Prog, mpmd.Sim); err != nil || worst > 1e-6 {
+			return Fig8Row{}, fmt.Errorf("%s MPMD p=%d numerics: worst %v err %v", c.Name, c.Procs, worst, err)
+		}
+		row := Fig8Row{
+			Program:    c.Name,
+			Procs:      c.Procs,
+			SerialTime: serialByName[c.Name],
+			SPMDTime:   spmd.Actual,
+			MPMDTime:   mpmd.Actual,
+		}
+		row.SPMDSpeedup = row.SerialTime / row.SPMDTime
+		row.MPMDSpeedup = row.SerialTime / row.MPMDTime
+		row.SPMDEff = row.SPMDSpeedup / float64(c.Procs)
+		row.MPMDEff = row.MPMDSpeedup / float64(c.Procs)
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Fig8Result{Rows: rows}, nil
 }
 
 // String renders the Figure 8 rows.
@@ -148,29 +162,30 @@ type Fig9Row struct {
 // Fig9Result carries all rows.
 type Fig9Result struct{ Rows []Fig9Row }
 
-// Fig9 compares predictions with simulated actuals for the MPMD runs.
+// Fig9 compares predictions with simulated actuals for the MPMD runs,
+// one worker-pool task per (program, procs) cell.
 func Fig9(env *Env) (*Fig9Result, error) {
 	progs, err := testPrograms(env)
 	if err != nil {
 		return nil, err
 	}
-	out := &Fig9Result{}
-	for _, name := range ProgramNames() {
-		for _, procs := range SystemSizes() {
-			run, err := RunPipeline(env, progs[name], procs, MPMD)
-			if err != nil {
-				return nil, err
-			}
-			out.Rows = append(out.Rows, Fig9Row{
-				Program:    name,
-				Procs:      procs,
-				Predicted:  run.Predicted,
-				Actual:     run.Actual,
-				Normalized: run.Predicted / run.Actual,
-			})
+	rows, err := mapCells(progs, func(c cell) (Fig9Row, error) {
+		run, err := RunPipeline(env, c.Prog, c.Procs, MPMD)
+		if err != nil {
+			return Fig9Row{}, err
 		}
+		return Fig9Row{
+			Program:    c.Name,
+			Procs:      c.Procs,
+			Predicted:  run.Predicted,
+			Actual:     run.Actual,
+			Normalized: run.Predicted / run.Actual,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return &Fig9Result{Rows: rows}, nil
 }
 
 // String renders the Figure 9 rows.
@@ -200,35 +215,35 @@ type Table3Row struct {
 // Table3Result carries all rows.
 type Table3Result struct{ Rows []Table3Row }
 
-// Table3 reproduces the paper's Table 3.
+// Table3 reproduces the paper's Table 3, one worker-pool task per
+// (program, procs) cell.
 func Table3(env *Env) (*Table3Result, error) {
 	progs, err := testPrograms(env)
 	if err != nil {
 		return nil, err
 	}
 	model := env.Cal.Model()
-	out := &Table3Result{}
-	for _, name := range ProgramNames() {
-		p := progs[name]
-		for _, procs := range SystemSizes() {
-			ar, err := alloc.Solve(p.G, model, procs, alloc.Options{})
-			if err != nil {
-				return nil, err
-			}
-			s, err := sched.Run(p.G, model, ar.P, procs, sched.Options{})
-			if err != nil {
-				return nil, err
-			}
-			out.Rows = append(out.Rows, Table3Row{
-				Program:       name,
-				Procs:         procs,
-				Phi:           ar.Phi,
-				Tpsa:          s.Makespan,
-				PercentChange: 100 * (s.Makespan - ar.Phi) / ar.Phi,
-			})
+	rows, err := mapCells(progs, func(c cell) (Table3Row, error) {
+		ar, err := alloc.Solve(c.Prog.G, model, c.Procs, alloc.Options{})
+		if err != nil {
+			return Table3Row{}, err
 		}
+		s, err := sched.Run(c.Prog.G, model, ar.P, c.Procs, sched.Options{})
+		if err != nil {
+			return Table3Row{}, err
+		}
+		return Table3Row{
+			Program:       c.Name,
+			Procs:         c.Procs,
+			Phi:           ar.Phi,
+			Tpsa:          s.Makespan,
+			PercentChange: 100 * (s.Makespan - ar.Phi) / ar.Phi,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return &Table3Result{Rows: rows}, nil
 }
 
 // String renders Table 3 (paper deviations: -2.6% to +15.6%).
@@ -269,38 +284,37 @@ func AblationRounding(env *Env) (*AblationRoundingResult, error) {
 		return nil, err
 	}
 	model := env.Cal.Model()
-	out := &AblationRoundingResult{}
-	for _, name := range ProgramNames() {
-		p := progs[name]
-		for _, procs := range SystemSizes() {
-			ar, err := alloc.Solve(p.G, model, procs, alloc.Options{})
-			if err != nil {
-				return nil, err
-			}
-			rounded, err := sched.Run(p.G, model, ar.P, procs, sched.Options{})
-			if err != nil {
-				return nil, err
-			}
-			raw, err := sched.Run(p.G, model, ar.P, procs, sched.Options{SkipRounding: true, PB: rounded.PB})
-			if err != nil {
-				return nil, err
-			}
-			factor, err := bounds.Theorem3Factor(procs, rounded.PB)
-			if err != nil {
-				return nil, err
-			}
-			out.Rows = append(out.Rows, AblationRoundingRow{
-				Program:            name,
-				Procs:              procs,
-				Phi:                ar.Phi,
-				TpsaRounded:        rounded.Makespan,
-				TpsaUnrounded:      raw.Makespan,
-				Theorem3Bound:      factor * ar.Phi,
-				RoundedWithinBound: rounded.Makespan <= factor*ar.Phi+1e-9,
-			})
+	rows, err := mapCells(progs, func(c cell) (AblationRoundingRow, error) {
+		ar, err := alloc.Solve(c.Prog.G, model, c.Procs, alloc.Options{})
+		if err != nil {
+			return AblationRoundingRow{}, err
 		}
+		rounded, err := sched.Run(c.Prog.G, model, ar.P, c.Procs, sched.Options{})
+		if err != nil {
+			return AblationRoundingRow{}, err
+		}
+		raw, err := sched.Run(c.Prog.G, model, ar.P, c.Procs, sched.Options{SkipRounding: true, PB: rounded.PB})
+		if err != nil {
+			return AblationRoundingRow{}, err
+		}
+		factor, err := bounds.Theorem3Factor(c.Procs, rounded.PB)
+		if err != nil {
+			return AblationRoundingRow{}, err
+		}
+		return AblationRoundingRow{
+			Program:            c.Name,
+			Procs:              c.Procs,
+			Phi:                ar.Phi,
+			TpsaRounded:        rounded.Makespan,
+			TpsaUnrounded:      raw.Makespan,
+			Theorem3Bound:      factor * ar.Phi,
+			RoundedWithinBound: rounded.Makespan <= factor*ar.Phi+1e-9,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return &AblationRoundingResult{Rows: rows}, nil
 }
 
 // String renders ablation A1.
@@ -351,21 +365,29 @@ func AblationPBSweep(env *Env) (*AblationPBResult, error) {
 		return nil, err
 	}
 	out := &AblationPBResult{Program: "Strassen's Matrix Multiply (128x128)", Procs: procs}
+	var pbs []int
 	for pb := 1; pb <= procs; pb *= 2 {
+		pbs = append(pbs, pb)
+	}
+	out.Rows, err = par.Map(context.Background(), len(pbs), func(_ context.Context, i int) (AblationPBRow, error) {
+		pb := pbs[i]
 		s, err := sched.Run(p.G, model, ar.P, procs, sched.Options{PB: pb})
 		if err != nil {
-			return nil, err
+			return AblationPBRow{}, err
 		}
 		factor, err := bounds.Theorem3Factor(procs, pb)
 		if err != nil {
-			return nil, err
+			return AblationPBRow{}, err
 		}
-		out.Rows = append(out.Rows, AblationPBRow{
+		return AblationPBRow{
 			PB:          pb,
 			BoundFactor: factor,
 			Tpsa:        s.Makespan,
 			IsCorollary: pb == corollary,
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -405,28 +427,27 @@ func AblationNoTransferCosts(env *Env) (*AblationTransferResult, error) {
 		return nil, err
 	}
 	model := env.Cal.Model()
-	out := &AblationTransferResult{}
-	for _, name := range ProgramNames() {
-		p := progs[name]
-		for _, procs := range SystemSizes() {
-			aware, err := alloc.Solve(p.G, model, procs, alloc.Options{})
-			if err != nil {
-				return nil, err
-			}
-			blind, err := alloc.Solve(p.G, model, procs, alloc.Options{IgnoreTransfers: true})
-			if err != nil {
-				return nil, err
-			}
-			out.Rows = append(out.Rows, AblationTransferRow{
-				Program:    name,
-				Procs:      procs,
-				PhiAware:   aware.Phi,
-				PhiBlind:   blind.Phi,
-				PenaltyPct: 100 * (blind.Phi - aware.Phi) / aware.Phi,
-			})
+	rows, err := mapCells(progs, func(c cell) (AblationTransferRow, error) {
+		aware, err := alloc.Solve(c.Prog.G, model, c.Procs, alloc.Options{})
+		if err != nil {
+			return AblationTransferRow{}, err
 		}
+		blind, err := alloc.Solve(c.Prog.G, model, c.Procs, alloc.Options{IgnoreTransfers: true})
+		if err != nil {
+			return AblationTransferRow{}, err
+		}
+		return AblationTransferRow{
+			Program:    c.Name,
+			Procs:      c.Procs,
+			PhiAware:   aware.Phi,
+			PhiBlind:   blind.Phi,
+			PenaltyPct: 100 * (blind.Phi - aware.Phi) / aware.Phi,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return &AblationTransferResult{Rows: rows}, nil
 }
 
 // String renders ablation A3.
@@ -470,16 +491,18 @@ func AblationScheduler(env *Env) (*AblationSchedulerResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	for _, w := range []struct {
+	workloads := []struct {
 		name string
 		g    *mdg.Graph
 	}{
 		{pipe.Name, pipe.G},
 		{"layered-5x6", layered},
-	} {
+	}
+	out.Rows, err = par.Map(context.Background(), len(workloads), func(_ context.Context, i int) (AblationSchedulerRow, error) {
+		w := workloads[i]
 		ar, err := alloc.Solve(w.g, model, procs, alloc.Options{})
 		if err != nil {
-			return nil, err
+			return AblationSchedulerRow{}, err
 		}
 		row := AblationSchedulerRow{Workload: w.name}
 		for _, pol := range []struct {
@@ -492,14 +515,17 @@ func AblationScheduler(env *Env) (*AblationSchedulerResult, error) {
 		} {
 			s, err := sched.Run(w.g, model, ar.P, procs, sched.Options{Policy: pol.p})
 			if err != nil {
-				return nil, err
+				return AblationSchedulerRow{}, err
 			}
 			if err := s.Validate(w.g, model); err != nil {
-				return nil, err
+				return AblationSchedulerRow{}, err
 			}
 			*pol.dst = s.Makespan
 		}
-		out.Rows = append(out.Rows, row)
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -518,9 +544,11 @@ func (r *AblationSchedulerResult) String() string {
 }
 
 // All runs every experiment and concatenates the printed outputs in paper
-// order — the cmd/experiments payload.
+// order — the cmd/experiments payload. The artifacts are independent
+// given the shared calibration, so they fan out on the worker pool (each
+// one further fans its own cells); the rendered strings are joined by
+// step index, so output order never depends on completion order.
 func All(env *Env) (string, error) {
-	var b strings.Builder
 	steps := []func() (fmt.Stringer, error){
 		func() (fmt.Stringer, error) { return Example3Node(env) },
 		func() (fmt.Stringer, error) { return Table1(env) },
@@ -544,12 +572,19 @@ func All(env *Env) (string, error) {
 		func() (fmt.Stringer, error) { return Scalability(env) },
 		func() (fmt.Stringer, error) { return StrassenRecursion(env) },
 	}
-	for _, step := range steps {
-		r, err := step()
+	texts, err := par.Map(context.Background(), len(steps), func(_ context.Context, i int) (string, error) {
+		r, err := steps[i]()
 		if err != nil {
-			return b.String(), err
+			return "", err
 		}
-		b.WriteString(r.String())
+		return r.String(), nil
+	})
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	for _, s := range texts {
+		b.WriteString(s)
 		b.WriteString("\n")
 	}
 	return b.String(), nil

@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"paradigm/internal/kernels"
+	"paradigm/internal/par"
 	"paradigm/internal/programs"
 	"paradigm/internal/tables"
 )
@@ -55,27 +57,44 @@ func GridDistribution(env *Env) (*GridDistResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	for _, procs := range SystemSizes() {
+	sizes := SystemSizes()
+	type rowDiff struct {
+		row  GridDistRow
+		diff float64
+	}
+	rds, err := par.Map(context.Background(), len(sizes), func(_ context.Context, i int) (rowDiff, error) {
+		procs := sizes[i]
 		r1, err := RunPipeline(env, p1d, procs, MPMD)
 		if err != nil {
-			return nil, fmt.Errorf("1D p=%d: %w", procs, err)
+			return rowDiff{}, fmt.Errorf("1D p=%d: %w", procs, err)
 		}
 		rg, err := RunPipeline(env, pGrid, procs, MPMD)
 		if err != nil {
-			return nil, fmt.Errorf("grid p=%d: %w", procs, err)
+			return rowDiff{}, fmt.Errorf("grid p=%d: %w", procs, err)
 		}
-		if worst, err := VerifyNumerics(pGrid, rg.Sim); err != nil {
-			return nil, err
-		} else if worst > out.WorstNumDiff {
-			out.WorstNumDiff = worst
+		worst, err := VerifyNumerics(pGrid, rg.Sim)
+		if err != nil {
+			return rowDiff{}, err
 		}
-		out.Rows = append(out.Rows, GridDistRow{
-			Procs:       procs,
-			Actual1D:    r1.Actual,
-			ActualGrid:  rg.Actual,
-			Speedup1D:   serial.Actual / r1.Actual,
-			SpeedupGrid: serial.Actual / rg.Actual,
-		})
+		return rowDiff{
+			row: GridDistRow{
+				Procs:       procs,
+				Actual1D:    r1.Actual,
+				ActualGrid:  rg.Actual,
+				Speedup1D:   serial.Actual / r1.Actual,
+				SpeedupGrid: serial.Actual / rg.Actual,
+			},
+			diff: worst,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, rd := range rds {
+		if rd.diff > out.WorstNumDiff {
+			out.WorstNumDiff = rd.diff
+		}
+		out.Rows = append(out.Rows, rd.row)
 	}
 	return out, nil
 }

@@ -1,8 +1,10 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
+	"paradigm/internal/par"
 	"paradigm/internal/programs"
 	"paradigm/internal/tables"
 )
@@ -35,28 +37,43 @@ func AblationJitter(env *Env) (*JitterResult, error) {
 	}
 	const procs = 32
 	out := &JitterResult{Program: "Complex Matrix Multiply (64x64)", Procs: procs}
-	for _, frac := range []float64{0, 0.05, 0.15, 0.30} {
+	fracs := []float64{0, 0.05, 0.15, 0.30}
+	type rowPred struct {
+		row       JitterRow
+		predicted float64
+	}
+	rps, err := par.Map(context.Background(), len(fracs), func(_ context.Context, i int) (rowPred, error) {
+		frac := fracs[i]
 		noisy := env.Machine
 		noisy.JitterFrac = frac
 		noisy.JitterSeed = 0xC0FFEE
 		jEnv := &Env{Machine: noisy, Cal: env.Cal}
 		run, err := RunPipeline(jEnv, p, procs, MPMD)
 		if err != nil {
-			return nil, fmt.Errorf("jitter %.0f%%: %w", frac*100, err)
+			return rowPred{}, fmt.Errorf("jitter %.0f%%: %w", frac*100, err)
 		}
 		numDiff, err := VerifyNumerics(p, run.Sim)
 		if err != nil {
-			return nil, err
+			return rowPred{}, err
 		}
+		return rowPred{
+			row: JitterRow{
+				JitterPct:       frac * 100,
+				Actual:          run.Actual,
+				RatioPredActual: run.Predicted / run.Actual,
+				NumDiff:         numDiff,
+			},
+			predicted: run.Predicted,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, rp := range rps {
 		if out.Predicted == 0 {
-			out.Predicted = run.Predicted
+			out.Predicted = rp.predicted
 		}
-		out.Rows = append(out.Rows, JitterRow{
-			JitterPct:       frac * 100,
-			Actual:          run.Actual,
-			RatioPredActual: run.Predicted / run.Actual,
-			NumDiff:         numDiff,
-		})
+		out.Rows = append(out.Rows, rp.row)
 	}
 	return out, nil
 }

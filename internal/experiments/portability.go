@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"paradigm/internal/kernels"
 	"paradigm/internal/machine"
+	"paradigm/internal/par"
 	"paradigm/internal/prog"
 	"paradigm/internal/programs"
 	"paradigm/internal/tables"
@@ -66,6 +68,11 @@ func Portability(env *Env) (*PortabilityResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	var tasks []struct {
+		name  string
+		prog  *prog.Program
+		procs int
+	}
 	for _, item := range []struct {
 		name string
 		prog *prog.Program
@@ -74,27 +81,48 @@ func Portability(env *Env) (*PortabilityResult, error) {
 		{"Strassen's Matrix Multiply (128x128)", str},
 	} {
 		for _, procs := range []int{16, 64} {
-			run, err := RunPipeline(paragonEnv, item.prog, procs, MPMD)
-			if err != nil {
-				return nil, fmt.Errorf("paragon %s p=%d: %w", item.name, procs, err)
-			}
-			worst, err := VerifyNumerics(item.prog, run.Sim)
-			if err != nil {
-				return nil, err
-			}
-			if worst > out.WorstNumDiff {
-				out.WorstNumDiff = worst
-			}
-			out.Rows = append(out.Rows, PortabilityRow{
+			tasks = append(tasks, struct {
+				name  string
+				prog  *prog.Program
+				procs int
+			}{item.name, item.prog, procs})
+		}
+	}
+	type rowDiff struct {
+		row  PortabilityRow
+		diff float64
+	}
+	rds, err := par.Map(context.Background(), len(tasks), func(_ context.Context, i int) (rowDiff, error) {
+		item := tasks[i]
+		run, err := RunPipeline(paragonEnv, item.prog, item.procs, MPMD)
+		if err != nil {
+			return rowDiff{}, fmt.Errorf("paragon %s p=%d: %w", item.name, item.procs, err)
+		}
+		worst, err := VerifyNumerics(item.prog, run.Sim)
+		if err != nil {
+			return rowDiff{}, err
+		}
+		return rowDiff{
+			row: PortabilityRow{
 				Program:         item.name,
-				Procs:           procs,
+				Procs:           item.procs,
 				Phi:             run.Alloc.Phi,
 				Predicted:       run.Predicted,
 				Actual:          run.Actual,
 				DevPct:          100 * (run.Predicted - run.Alloc.Phi) / run.Alloc.Phi,
 				RatioPredActual: run.Predicted / run.Actual,
-			})
+			},
+			diff: worst,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, rd := range rds {
+		if rd.diff > out.WorstNumDiff {
+			out.WorstNumDiff = rd.diff
 		}
+		out.Rows = append(out.Rows, rd.row)
 	}
 	return out, nil
 }

@@ -1,0 +1,8 @@
+//go:build !race
+
+package experiments
+
+// raceEnabled reports whether the race detector is compiled in; the
+// determinism test uses it to skip its double full-suite run, which is
+// an order of magnitude slower under instrumentation.
+const raceEnabled = false

@@ -1,8 +1,10 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
+	"paradigm/internal/par"
 	"paradigm/internal/programs"
 	"paradigm/internal/tables"
 )
@@ -35,10 +37,15 @@ func StrassenRecursion(env *Env) (*RecursionResult, error) {
 		size  = 128
 	)
 	out := &RecursionResult{Procs: procs, Size: size}
-	for depth := 0; depth <= 2; depth++ {
+	const depths = 3
+	type rowDiff struct {
+		row  RecursionRow
+		diff float64
+	}
+	rds, err := par.Map(context.Background(), depths, func(_ context.Context, depth int) (rowDiff, error) {
 		p, err := programs.StrassenRecursive(size, depth, env.Cal)
 		if err != nil {
-			return nil, err
+			return rowDiff{}, err
 		}
 		muls := 0
 		for _, spec := range p.Specs {
@@ -48,23 +55,32 @@ func StrassenRecursion(env *Env) (*RecursionResult, error) {
 		}
 		run, err := RunPipeline(env, p, procs, MPMD)
 		if err != nil {
-			return nil, fmt.Errorf("depth %d: %w", depth, err)
+			return rowDiff{}, fmt.Errorf("depth %d: %w", depth, err)
 		}
 		worst, err := VerifyNumerics(p, run.Sim)
 		if err != nil {
-			return nil, err
+			return rowDiff{}, err
 		}
-		if worst > out.WorstNumDiff {
-			out.WorstNumDiff = worst
+		return rowDiff{
+			row: RecursionRow{
+				Depth:      depth,
+				Nodes:      p.G.NumNodes(),
+				Multiplies: muls,
+				Phi:        run.Alloc.Phi,
+				Predicted:  run.Predicted,
+				Actual:     run.Actual,
+			},
+			diff: worst,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, rd := range rds {
+		if rd.diff > out.WorstNumDiff {
+			out.WorstNumDiff = rd.diff
 		}
-		out.Rows = append(out.Rows, RecursionRow{
-			Depth:      depth,
-			Nodes:      p.G.NumNodes(),
-			Multiplies: muls,
-			Phi:        run.Alloc.Phi,
-			Predicted:  run.Predicted,
-			Actual:     run.Actual,
-		})
+		out.Rows = append(out.Rows, rd.row)
 	}
 	return out, nil
 }

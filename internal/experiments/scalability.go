@@ -32,7 +32,9 @@ type ScalabilityResult struct {
 
 // Scalability runs E13 on layered synthetic MDGs of growing size. The
 // paper solves MDGs of up to ~35 nodes; this sweeps past 100 to show the
-// approach stays practical for larger programs.
+// approach stays practical for larger programs. The rows stay serial on
+// purpose: each one times the allocator and scheduler, and concurrent
+// siblings would contaminate those wall-clock measurements.
 func Scalability(env *Env) (*ScalabilityResult, error) {
 	const procs = 32
 	model := env.Cal.Model()
@@ -88,9 +90,9 @@ func (r *ScalabilityResult) String() string {
 		"Phi convex (s)", "Phi heuristic (s)", "T_psa (s)")
 	for _, row := range r.Rows {
 		t.Row(row.Nodes, row.Edges, row.Depth, row.Width,
-			row.AllocTime.Round(time.Millisecond),
+			fmtDuration(row.AllocTime, time.Millisecond),
 			row.SolverEvals,
-			row.SchedTime.Round(time.Microsecond),
+			fmtDuration(row.SchedTime, time.Microsecond),
 			fmt.Sprintf("%.4f", row.PhiConvex),
 			fmt.Sprintf("%.4f", row.PhiHeuristic),
 			fmt.Sprintf("%.4f", row.Tpsa))

@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 )
 
 // ID names a node inside a Graph.
@@ -186,6 +187,37 @@ type Evaluator struct {
 // valid if more nodes are appended to g later (scratch space regrows).
 func NewEvaluator(g *Graph) *Evaluator {
 	return &Evaluator{g: g}
+}
+
+// EvaluatorPool recycles Evaluators for one Graph through a sync.Pool,
+// so concurrent solvers (multi-start allocation, parallel experiment
+// sweeps) reuse forward/adjoint scratch slices instead of allocating a
+// pair per goroutine per solve. Evaluation state is fully rewritten by
+// each forward sweep, so a recycled evaluator is indistinguishable from
+// a fresh one — expr's pool guard test proves it.
+type EvaluatorPool struct {
+	g    *Graph
+	pool sync.Pool
+}
+
+// NewEvaluatorPool creates a pool of evaluators bound to g.
+func NewEvaluatorPool(g *Graph) *EvaluatorPool {
+	p := &EvaluatorPool{g: g}
+	p.pool.New = func() any { return NewEvaluator(g) }
+	return p
+}
+
+// Get returns an evaluator for the pool's graph, recycled when one is
+// available. Callers must return it with Put when done.
+func (p *EvaluatorPool) Get() *Evaluator { return p.pool.Get().(*Evaluator) }
+
+// Put returns an evaluator to the pool. The evaluator must have been
+// created by this pool (or at least bound to the same Graph).
+func (p *EvaluatorPool) Put(e *Evaluator) {
+	if e == nil || e.g != p.g {
+		panic("expr: EvaluatorPool.Put of an evaluator bound to a different graph")
+	}
+	p.pool.Put(e)
 }
 
 func (e *Evaluator) grow() {

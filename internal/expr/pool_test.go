@@ -1,0 +1,108 @@
+package expr
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// buildPoolTestGraph makes a DAG exercising every node kind.
+func buildPoolTestGraph(rng *rand.Rand) (*Graph, ID) {
+	var g Graph
+	monos := make([]ID, 0, 6)
+	for k := 0; k < 6; k++ {
+		monos = append(monos, g.Monomial(0.2+2*rng.Float64(), map[int]float64{
+			0: float64(rng.Intn(5)-2) / 2,
+			1: float64(rng.Intn(5)-2) / 2,
+			2: float64(rng.Intn(3) - 1),
+		}))
+	}
+	s1 := g.Sum(monos[0], monos[1], monos[2])
+	s2 := g.Scale(1.5, g.Sum(monos[3], monos[4]))
+	m := g.Mul(s1, g.Sum(monos[5], g.Const(0.25)))
+	root := g.SmoothMax(m, s2, s1)
+	return &g, root
+}
+
+// TestPooledEvaluatorsMatchFresh is the pooling guard: two goroutines
+// hammering pooled (recycled) evaluators must produce results
+// bit-identical to fresh single-use evaluators at every point.
+func TestPooledEvaluatorsMatchFresh(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	g, root := buildPoolTestGraph(rng)
+
+	const points = 200
+	xs := make([][]float64, points)
+	for i := range xs {
+		xs[i] = []float64{rng.Float64() * 3, rng.Float64() * 3, rng.Float64() * 3}
+	}
+	temps := []float64{0, 1e-3, 0.1, 1}
+
+	// Reference: fresh evaluator per point.
+	wantVal := make([][]float64, len(temps))
+	wantGrad := make([][][]float64, len(temps))
+	for ti, temp := range temps {
+		wantVal[ti] = make([]float64, points)
+		wantGrad[ti] = make([][]float64, points)
+		for i, x := range xs {
+			fresh := NewEvaluator(g)
+			grad := make([]float64, g.NumVars())
+			wantVal[ti][i] = fresh.EvalGrad(root, x, temp, grad)
+			wantGrad[ti][i] = grad
+			if v := NewEvaluator(g).Eval(root, x, temp); v != wantVal[ti][i] {
+				t.Fatalf("Eval and EvalGrad values disagree at point %d temp %v", i, temp)
+			}
+		}
+	}
+
+	pool := NewEvaluatorPool(g)
+	var wg sync.WaitGroup
+	errs := make(chan string, 4)
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			grad := make([]float64, g.NumVars())
+			// Interleave gets and puts so recycled state crosses
+			// goroutines mid-run.
+			for rep := 0; rep < 3; rep++ {
+				for ti, temp := range temps {
+					for i, x := range xs {
+						ev := pool.Get()
+						got := ev.EvalGrad(root, x, temp, grad)
+						if got != wantVal[ti][i] {
+							errs <- "pooled value diverged from fresh evaluator"
+							pool.Put(ev)
+							return
+						}
+						for k := range grad {
+							if grad[k] != wantGrad[ti][i][k] {
+								errs <- "pooled gradient diverged from fresh evaluator"
+								pool.Put(ev)
+								return
+							}
+						}
+						pool.Put(ev)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Fatal(msg)
+	}
+}
+
+func TestEvaluatorPoolRejectsForeignEvaluator(t *testing.T) {
+	g1, _ := buildPoolTestGraph(rand.New(rand.NewSource(1)))
+	g2, _ := buildPoolTestGraph(rand.New(rand.NewSource(2)))
+	pool := NewEvaluatorPool(g1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Put of a foreign evaluator must panic")
+		}
+	}()
+	pool.Put(NewEvaluator(g2))
+}

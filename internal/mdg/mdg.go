@@ -21,6 +21,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 )
 
 // NodeID indexes a node within its Graph.
@@ -96,14 +98,23 @@ type Edge struct {
 }
 
 // Graph is a mutable MDG. The zero value is an empty graph ready for use.
+// Mutation (AddNode, AddEdge, EnsureStartStop, UnmarshalJSON) is not safe
+// for concurrent use, but once construction is done any number of
+// goroutines may read the graph concurrently — the lazy adjacency index
+// is rebuilt under a lock with an atomic fast path, so parallel
+// experiment drivers can share one graph across allocator, scheduler and
+// simulator tasks.
 type Graph struct {
 	Nodes []Node
 	Edges []Edge
 
-	// adjacency caches; rebuilt lazily after mutation.
+	// adjacency caches; rebuilt lazily after mutation. ready is true
+	// while the caches match Nodes/Edges; mu serializes rebuilds so
+	// concurrent readers of a freshly built graph stay race-free.
+	mu           sync.Mutex
+	ready        atomic.Bool
 	preds, succs [][]NodeID
 	edgeIdx      map[[2]NodeID]int
-	dirty        bool
 }
 
 // NumNodes returns the node count.
@@ -112,7 +123,7 @@ func (g *Graph) NumNodes() int { return len(g.Nodes) }
 // AddNode appends a node and returns its id.
 func (g *Graph) AddNode(n Node) NodeID {
 	g.Nodes = append(g.Nodes, n)
-	g.dirty = true
+	g.ready.Store(false)
 	return NodeID(len(g.Nodes) - 1)
 }
 
@@ -126,11 +137,16 @@ func (g *Graph) AddEdge(from, to NodeID, transfers ...Transfer) {
 		return
 	}
 	g.Edges = append(g.Edges, Edge{From: from, To: to, Transfers: append([]Transfer(nil), transfers...)})
-	g.dirty = true
+	g.ready.Store(false)
 }
 
 func (g *Graph) ensureIndex() {
-	if !g.dirty && g.edgeIdx != nil {
+	if g.ready.Load() {
+		return
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.ready.Load() {
 		return
 	}
 	n := len(g.Nodes)
@@ -146,7 +162,7 @@ func (g *Graph) ensureIndex() {
 		sortIDs(g.preds[i])
 		sortIDs(g.succs[i])
 	}
-	g.dirty = false
+	g.ready.Store(true)
 }
 
 func sortIDs(ids []NodeID) {
@@ -399,6 +415,6 @@ func (g *Graph) UnmarshalJSON(data []byte) error {
 	}
 	g.Nodes = jg.Nodes
 	g.Edges = jg.Edges
-	g.dirty = true
+	g.ready.Store(false)
 	return g.Validate()
 }

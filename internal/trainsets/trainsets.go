@@ -21,15 +21,18 @@
 package trainsets
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"paradigm/internal/costmodel"
 	"paradigm/internal/dist"
 	"paradigm/internal/kernels"
 	"paradigm/internal/machine"
 	"paradigm/internal/mdg"
+	"paradigm/internal/par"
 	"paradigm/internal/regress"
 )
 
@@ -57,14 +60,20 @@ func CalibrateLoop(mp machine.Params, name string, k kernels.Kernel, procCounts 
 	if len(procCounts) < 2 {
 		return LoopFit{}, fmt.Errorf("trainsets: need >= 2 processor counts, got %d", len(procCounts))
 	}
-	X := make([][]float64, 0, len(procCounts))
-	y := make([]float64, 0, len(procCounts))
-	for _, q := range procCounts {
+	X := make([][]float64, len(procCounts))
+	y := make([]float64, len(procCounts))
+	// Each sweep point is an independent measurement; fan them out and
+	// assemble by index so the fit sees the same row order at any width.
+	if err := par.Do(context.Background(), len(procCounts), func(_ context.Context, i int) error {
+		q := procCounts[i]
 		if q < 1 {
-			return LoopFit{}, fmt.Errorf("trainsets: processor count %d", q)
+			return fmt.Errorf("trainsets: processor count %d", q)
 		}
-		X = append(X, []float64{1, 1 / float64(q)})
-		y = append(y, k.MaxProcTime(mp, q))
+		X[i] = []float64{1, 1 / float64(q)}
+		y[i] = k.MaxProcTime(mp, q)
+		return nil
+	}); err != nil {
+		return LoopFit{}, err
 	}
 	fit, err := regress.LeastSquares(X, y)
 	if err != nil {
@@ -162,22 +171,24 @@ func MeasureTransfer(mp machine.Params, kind mdg.TransferKind, bytes, pi, pj int
 	if err != nil {
 		return 0, 0, 0, err
 	}
-	sendBusy := map[int]float64{}
-	recvBusy := map[int]float64{}
+	// Senders occupy [0, pi) and receivers [pi, pi+pj), so flat slices
+	// replace the per-call busy maps (the allocation hot spot of the
+	// calibration sweep).
+	busy := make([]float64, pi+pj)
 	for _, m := range msgs {
 		b := float64(m.Bytes())
-		sendBusy[m.From] += mp.SendStartup + b*mp.SendPerByte
-		recvBusy[m.To] += mp.RecvStartup + mp.MsgMatchOverhead + b*mp.RecvPerByte
+		busy[m.From] += mp.SendStartup + b*mp.SendPerByte
+		busy[m.To] += mp.RecvStartup + mp.MsgMatchOverhead + b*mp.RecvPerByte
 		if transit := b * mp.NetPerByte; transit > net {
 			net = transit
 		}
 	}
-	for _, v := range sendBusy {
+	for _, v := range busy[:pi] {
 		if v > send {
 			send = v
 		}
 	}
-	for _, v := range recvBusy {
+	for _, v := range busy[pi:] {
 		if v > recv {
 			recv = v
 		}
@@ -229,6 +240,18 @@ func CalibrateTransfers(mp machine.Params, configs []TransferConfig) (TransferFi
 	if len(configs) < 4 {
 		return TransferFit{}, fmt.Errorf("trainsets: need >= 4 transfer configs, got %d", len(configs))
 	}
+	// Every (kind, bytes, pi, pj) cell is an independent microbenchmark:
+	// fan the sweep out on the worker pool and collect by config index, so
+	// the regression sees rows in config order at any pool width.
+	type cell struct{ send, recv, net float64 }
+	cells, err := par.Map(context.Background(), len(configs), func(_ context.Context, i int) (cell, error) {
+		c := configs[i]
+		send, recv, net, err := MeasureTransfer(mp, c.Kind, c.Bytes, c.Pi, c.Pj)
+		return cell{send, recv, net}, err
+	})
+	if err != nil {
+		return TransferFit{}, err
+	}
 	sendX := make([][]float64, 0, len(configs))
 	sendY := make([]float64, 0, len(configs))
 	recvX := make([][]float64, 0, len(configs))
@@ -236,11 +259,8 @@ func CalibrateTransfers(mp machine.Params, configs []TransferConfig) (TransferFi
 	netX := make([][]float64, 0, len(configs))
 	netY := make([]float64, 0, len(configs))
 	samples := make([]TransferSample, 0, len(configs))
-	for _, c := range configs {
-		send, recv, net, err := MeasureTransfer(mp, c.Kind, c.Bytes, c.Pi, c.Pj)
-		if err != nil {
-			return TransferFit{}, err
-		}
+	for i, c := range configs {
+		send, recv, net := cells[i].send, cells[i].recv, cells[i].net
 		pi, pj, l := float64(c.Pi), float64(c.Pj), float64(c.Bytes)
 		// Regressor rows per Equations 2 and 3.
 		var sRow, rRow, nRow []float64
@@ -301,13 +321,15 @@ func CalibrateTransfers(mp machine.Params, configs []TransferConfig) (TransferFi
 }
 
 // Calibration bundles the fitted model for one machine profile and caches
-// per-kernel loop fits.
+// per-kernel loop fits. The lazy loop cache is guarded by a mutex, so a
+// Calibration may be shared by concurrent experiment workers.
 type Calibration struct {
 	Machine  machine.Params
 	Transfer TransferFit
 	// ProcSweep is the processor-count sweep used for loop fits.
 	ProcSweep []int
 
+	mu    sync.Mutex
 	loops map[string]LoopFit
 }
 
@@ -352,26 +374,31 @@ func kernelKey(k kernels.Kernel) string {
 }
 
 // Loop returns the fitted Amdahl parameters for a kernel shape, running
-// the calibration on first use.
+// the calibration on first use. Safe for concurrent callers; a cache miss
+// calibrates outside the lock (the fit is deterministic, so a racing
+// duplicate computes the identical value).
 func (c *Calibration) Loop(name string, k kernels.Kernel) (costmodel.LoopParams, error) {
-	key := kernelKey(k)
-	if lf, ok := c.loops[key]; ok {
-		return lf.Params, nil
-	}
-	lf, err := CalibrateLoop(c.Machine, name, k, c.ProcSweep)
-	if err != nil {
-		return costmodel.LoopParams{}, err
-	}
-	c.loops[key] = lf
-	return lf.Params, nil
+	lf, err := c.LoopFit(name, k)
+	return lf.Params, err
 }
 
 // LoopFit returns the cached full fit for a kernel, calibrating if needed.
 func (c *Calibration) LoopFit(name string, k kernels.Kernel) (LoopFit, error) {
-	if _, err := c.Loop(name, k); err != nil {
+	key := kernelKey(k)
+	c.mu.Lock()
+	lf, ok := c.loops[key]
+	c.mu.Unlock()
+	if ok {
+		return lf, nil
+	}
+	lf, err := CalibrateLoop(c.Machine, name, k, c.ProcSweep)
+	if err != nil {
 		return LoopFit{}, err
 	}
-	return c.loops[kernelKey(k)], nil
+	c.mu.Lock()
+	c.loops[key] = lf
+	c.mu.Unlock()
+	return lf, nil
 }
 
 // Model returns the fitted cost model for allocation and scheduling.
@@ -382,10 +409,12 @@ func (c *Calibration) Model() costmodel.Model {
 // LoopFits lists every cached loop fit sorted by name (stable output for
 // the Table 1 printer).
 func (c *Calibration) LoopFits() []LoopFit {
+	c.mu.Lock()
 	out := make([]LoopFit, 0, len(c.loops))
 	for _, lf := range c.loops {
 		out = append(out, lf)
 	}
+	c.mu.Unlock()
 	sort.Slice(out, func(a, b int) bool { return out[a].Name < out[b].Name })
 	return out
 }
