@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race bench-smoke bench-current bench-json
+.PHONY: ci vet build test race bench-smoke bench-current bench-json bench-pr2
 
-ci: vet build race bench-smoke
+ci: vet build race bench-smoke bench-pr2
 
 vet:
 	$(GO) vet ./...
@@ -33,3 +33,10 @@ bench-current:
 # Regenerate the trajectory JSON from saved baseline/current runs.
 bench-json:
 	$(GO) run ./cmd/benchjson -baseline bench_baseline.txt -current bench_current.txt -o BENCH.json
+
+# PR 2 observability benchmarks: the nil-observer vs with-observer Run
+# pair (the overhead budget of the event layer) plus the allocation fast
+# path, folded into BENCH_PR2.json for the trajectory harness.
+bench-pr2:
+	$(GO) test -run '^$$' -bench 'BenchmarkRunNilObserver|BenchmarkRunWithObserver|BenchmarkAllocSolve' -benchtime=1x -benchmem . | tee bench_pr2.txt
+	$(GO) run ./cmd/benchjson -current bench_pr2.txt -label "PR 2: observability layer (Run nil-observer vs with-observer)" -o BENCH_PR2.json

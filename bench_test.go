@@ -11,6 +11,7 @@
 package paradigm
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -378,6 +379,47 @@ func BenchmarkAllocSolveMultiStart(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := alloc.Solve(p.G, model, 32, alloc.Options{MultiStart: 4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunNilObserver is the full pipeline (allocate, schedule,
+// generate, simulate) for the Complex Matrix Multiply on 16 processors
+// with no observer attached: the instrumented code paths pay one nil
+// check per would-be event. Its pair below attaches a recorder and a
+// metrics registry; the delta is the total cost of the observability
+// layer.
+func BenchmarkRunNilObserver(b *testing.B) {
+	e := env(b)
+	p, err := programs.ComplexMatMul(64, e.Cal)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunContext(context.Background(), p, e.Machine, e.Cal, 16); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunWithObserver is BenchmarkRunNilObserver with the full
+// observer stack attached: an event recorder plus a metrics registry
+// fanned out through MultiObserver.
+func BenchmarkRunWithObserver(b *testing.B) {
+	e := env(b)
+	p, err := programs.ComplexMatMul(64, e.Cal)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		reg := NewMetrics()
+		ob := MultiObserver(NewEventRecorder(), NewMetricsObserver(reg))
+		if _, err := RunContext(context.Background(), p, e.Machine, e.Cal, 16, WithObserver(ob)); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -11,16 +11,25 @@
 // Output: the allocation, the PSA schedule (table + Gantt), the Theorem
 // 1-3 bounds, and — for executable programs — the simulated execution
 // time and numerical verification.
+//
+// Observability: -trace writes a unified Chrome/Perfetto trace (predicted
+// and actual node tracks, per-message comm flows, PSA decision instants,
+// and the solver's Φ-convergence counter track); -metrics dumps the
+// pipeline's metrics registry as text; -pprof writes a CPU profile of the
+// pipeline run.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 
 	"paradigm"
 	"paradigm/internal/mdg"
+	"paradigm/internal/obs"
 	"paradigm/internal/sched"
 	"paradigm/internal/trace"
 )
@@ -35,19 +44,23 @@ func main() {
 		spmd     = flag.Bool("spmd", false, "use the pure data-parallel baseline instead of the convex pipeline")
 		dot      = flag.Bool("dot", false, "print the MDG in Graphviz DOT and exit")
 		pb       = flag.Int("pb", 0, "processor bound PB override (0 = Corollary 1)")
-		traceOut = flag.String("trace", "", "write a Chrome trace (predicted vs actual) to this file")
+		traceOut = flag.String("trace", "", "write a unified Chrome/Perfetto trace to this file")
+		metrics  = flag.Bool("metrics", false, "print the pipeline metrics registry after the run")
+		pprofOut = flag.String("pprof", "", "write a CPU profile of the pipeline run to this file")
 		machName = flag.String("machine", "cm5", "machine profile: cm5 | paragon")
 		policy   = flag.String("policy", "est", "ready-queue policy: est | fifo | hlf")
 		depth    = flag.Int("depth", 1, "Strassen recursion depth (program strassen only)")
 	)
 	flag.Parse()
-	if err := run(*progName, *mdgPath, *srcPath, *traceOut, *machName, *policy, *procs, *size, *depth, *spmd, *dot, *pb); err != nil {
+	if err := run(*progName, *mdgPath, *srcPath, *traceOut, *pprofOut, *machName, *policy,
+		*procs, *size, *depth, *spmd, *dot, *metrics, *pb); err != nil {
 		fmt.Fprintln(os.Stderr, "paradigm:", err)
 		os.Exit(1)
 	}
 }
 
-func run(progName, mdgPath, srcPath, traceOut, machName, policy string, procs, size, depth int, spmd, dot bool, pb int) error {
+func run(progName, mdgPath, srcPath, traceOut, pprofOut, machName, policy string,
+	procs, size, depth int, spmd, dot, metrics bool, pb int) error {
 	var pol sched.Policy
 	switch policy {
 	case "est":
@@ -67,8 +80,38 @@ func run(progName, mdgPath, srcPath, traceOut, machName, policy string, procs, s
 	default:
 		return fmt.Errorf("unknown machine %q (want cm5 or paragon)", machName)
 	}
+
+	if pprofOut != "" {
+		pf, err := os.Create(pprofOut)
+		if err != nil {
+			return err
+		}
+		defer pf.Close()
+		if err := pprof.StartCPUProfile(pf); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	// One observer pair serves the whole run: the recorder feeds the
+	// unified trace, the registry feeds -metrics. Neither is attached
+	// unless its flag asks for it, keeping the default run on the
+	// nil-observer fast path.
+	ctx := context.Background()
+	var rec *paradigm.EventRecorder
+	reg := paradigm.NewMetrics()
+	var observers []paradigm.Observer
+	if traceOut != "" {
+		rec = paradigm.NewEventRecorder()
+		observers = append(observers, rec)
+	}
+	if metrics {
+		observers = append(observers, paradigm.NewMetricsObserver(reg))
+	}
+	ob := paradigm.MultiObserver(observers...)
+
 	m := profile(procs)
-	cal, err := paradigm.Calibrate(profile(64))
+	cal, err := paradigm.CalibrateContext(ctx, profile(64), paradigm.WithObserver(ob))
 	if err != nil {
 		return err
 	}
@@ -90,7 +133,7 @@ func run(progName, mdgPath, srcPath, traceOut, machName, policy string, procs, s
 			fmt.Print(g.DOT(mdgPath))
 			return nil
 		}
-		return allocateAndSchedule(&g, cal.Model(), procs, pb)
+		return allocateAndSchedule(ctx, &g, cal.Model(), procs, pb, ob)
 	}
 
 	var p *paradigm.Program
@@ -122,7 +165,7 @@ func run(progName, mdgPath, srcPath, traceOut, machName, policy string, procs, s
 			fmt.Print(g.DOT("figure-1"))
 			return nil
 		}
-		return allocateAndSchedule(g, paradigm.Model{}, procs, pb)
+		return allocateAndSchedule(ctx, g, paradigm.Model{}, procs, pb, ob)
 	default:
 		return fmt.Errorf("unknown program %q", progName)
 	}
@@ -134,26 +177,15 @@ func run(progName, mdgPath, srcPath, traceOut, machName, policy string, procs, s
 		return nil
 	}
 
+	opts := []paradigm.Option{
+		paradigm.WithObserver(ob),
+		paradigm.WithScheduleOptions(paradigm.ScheduleOptions{PB: pb, Policy: pol}),
+	}
 	var res *paradigm.Result
 	if spmd {
-		res, err = paradigm.RunSPMD(p, m, cal, procs)
+		res, err = paradigm.RunSPMDContext(ctx, p, m, cal, procs, opts...)
 	} else {
-		model := cal.Model()
-		ar, aerr := paradigm.Allocate(p.G, model, procs)
-		if aerr != nil {
-			return aerr
-		}
-		s, serr := paradigm.BuildSchedule(p.G, model, ar.P, procs,
-			paradigm.ScheduleOptions{PB: pb, Policy: pol})
-		if serr != nil {
-			return serr
-		}
-		sim, xerr := paradigm.Execute(p, s, m.WithProcs(procs))
-		if xerr != nil {
-			return xerr
-		}
-		res = &paradigm.Result{Alloc: ar, Sched: s, Sim: sim,
-			Predicted: s.Makespan, Actual: sim.Makespan}
+		res, err = paradigm.RunContext(ctx, p, m, cal, procs, opts...)
 	}
 	if err != nil {
 		return err
@@ -185,10 +217,14 @@ func run(progName, mdgPath, srcPath, traceOut, machName, policy string, procs, s
 			return err
 		}
 		defer f.Close()
-		if err := trace.WriteRun(f, p.G, res.Sched, res.Sim); err != nil {
+		if err := trace.WriteUnified(f, p.G, res.Sched, res.Sim, rec.Events()); err != nil {
 			return err
 		}
-		fmt.Printf("trace written to %s (open in chrome://tracing or Perfetto)\n", traceOut)
+		fmt.Printf("trace written to %s (%d events; open in chrome://tracing or Perfetto)\n",
+			traceOut, rec.Len())
+	}
+	if metrics {
+		fmt.Printf("\nmetrics:\n%s", reg.Snapshot().Text())
 	}
 	return nil
 }
@@ -200,12 +236,14 @@ func mode(spmd bool) string {
 	return "MPMD via convex allocation + PSA"
 }
 
-func allocateAndSchedule(g *paradigm.Graph, model paradigm.Model, procs, pb int) error {
-	ar, err := paradigm.Allocate(g, model, procs)
+func allocateAndSchedule(ctx context.Context, g *paradigm.Graph, model paradigm.Model, procs, pb int, ob obs.Observer) error {
+	ar, err := paradigm.AllocateContext(ctx, g, model, procs, paradigm.WithObserver(ob))
 	if err != nil {
 		return err
 	}
-	s, err := paradigm.BuildSchedule(g, model, ar.P, procs, paradigm.ScheduleOptions{PB: pb})
+	s, err := paradigm.BuildScheduleContext(ctx, g, model, ar.P, procs,
+		paradigm.WithObserver(ob),
+		paradigm.WithScheduleOptions(paradigm.ScheduleOptions{PB: pb}))
 	if err != nil {
 		return err
 	}

@@ -1,9 +1,10 @@
 // Quickstart: build a tiny two-node program with the public API, run the
 // full convex-allocation + PSA + MPMD pipeline on a simulated 8-processor
-// CM-5, and verify the result numerically.
+// CM-5 with metrics attached, and verify the result numerically.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -42,8 +43,12 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// 3. Allocate, schedule, generate MPMD code, simulate.
-	res, err := paradigm.Run(p, m, cal, 8)
+	// 3. Allocate, schedule, generate MPMD code, simulate — through the
+	// context entry point, with a metrics registry observing the run.
+	// (paradigm.Run(p, m, cal, 8) is the shorthand without either.)
+	reg := paradigm.NewMetrics()
+	res, err := paradigm.RunContext(context.Background(), p, m, cal, 8,
+		paradigm.WithObserver(paradigm.NewMetricsObserver(reg)))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -52,6 +57,7 @@ func main() {
 	fmt.Printf("simulated actual time : %.6f s\n", res.Actual)
 	fmt.Println()
 	fmt.Print(res.Sched.Gantt(p.G, 64))
+	fmt.Printf("\npipeline metrics:\n%s\n", reg.Snapshot().Text())
 
 	// 4. Verify against the sequential reference.
 	worst, err := paradigm.Verify(p, res.Sim)

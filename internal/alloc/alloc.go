@@ -27,8 +27,10 @@ import (
 
 	"paradigm/internal/convex"
 	"paradigm/internal/costmodel"
+	"paradigm/internal/errs"
 	"paradigm/internal/expr"
 	"paradigm/internal/mdg"
+	"paradigm/internal/obs"
 	"paradigm/internal/par"
 )
 
@@ -50,6 +52,10 @@ type Options struct {
 	// starts run concurrently on the par worker pool with pooled
 	// evaluators; the selected result is identical at any pool width.
 	MultiStart int
+	// Observer, when non-nil, receives one obs.SolverStage event per
+	// annealed temperature stage (per start). Nil costs one pointer
+	// comparison per stage.
+	Observer obs.Observer
 }
 
 // Result reports one allocation.
@@ -87,16 +93,26 @@ type problem struct {
 // start index — a deterministic selection, so serial and parallel runs
 // return bit-identical allocations.
 func Solve(g *mdg.Graph, model costmodel.Model, procs int, opts Options) (Result, error) {
+	return SolveCtx(context.Background(), g, model, procs, opts)
+}
+
+// SolveCtx is Solve with cancellation: ctx is checked before the solve
+// starts and between annealed temperature stages, so a cancelled context
+// aborts the optimization promptly with ctx.Err().
+func SolveCtx(ctx context.Context, g *mdg.Graph, model costmodel.Model, procs int, opts Options) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
 	prob, err := compile(g, model, procs, opts)
 	if err != nil {
 		return Result{}, err
 	}
 	starts := prob.startPoints(opts.MultiStart)
 	if len(starts) == 1 {
-		return prob.solveFrom(starts[0], opts.Anneal)
+		return prob.solveFrom(ctx, 0, starts[0], opts.Anneal, opts.Observer)
 	}
-	results, err := par.Map(context.Background(), len(starts), func(_ context.Context, i int) (Result, error) {
-		return prob.solveFrom(starts[i], opts.Anneal)
+	results, err := par.Map(ctx, len(starts), func(ctx context.Context, i int) (Result, error) {
+		return prob.solveFrom(ctx, i, starts[i], opts.Anneal, opts.Observer)
 	})
 	if err != nil {
 		return Result{}, err
@@ -144,7 +160,7 @@ func (p *problem) startPoints(k int) [][]float64 {
 // compile builds the expression DAG for the Φ objective once.
 func compile(g *mdg.Graph, model costmodel.Model, procs int, opts Options) (*problem, error) {
 	if procs < 1 {
-		return nil, fmt.Errorf("alloc: procs = %d, want >= 1", procs)
+		return nil, fmt.Errorf("alloc: %w: procs = %d, want >= 1", errs.ErrInfeasible, procs)
 	}
 	if err := g.Validate(); err != nil {
 		return nil, fmt.Errorf("alloc: invalid MDG: %w", err)
@@ -230,8 +246,27 @@ func compile(g *mdg.Graph, model costmodel.Model, procs int, opts Options) (*pro
 }
 
 // solveFrom runs one annealed solve from x0 and re-evaluates the exact
-// (hard-max) Φ/A_p/C_p at the solution under the full cost model.
-func (p *problem) solveFrom(x0 []float64, anneal convex.AnnealOptions) (Result, error) {
+// (hard-max) Φ/A_p/C_p at the solution under the full cost model. The
+// per-stage hook checks ctx between temperature stages and, with a
+// non-nil observer, emits the solver-convergence trajectory.
+func (p *problem) solveFrom(ctx context.Context, startIdx int, x0 []float64, anneal convex.AnnealOptions, o obs.Observer) (Result, error) {
+	prev := anneal.OnStage
+	anneal.OnStage = func(stage int, temp float64, r convex.Result) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if o != nil {
+			o.Observe(obs.SolverStage{
+				StartIdx: startIdx, Stage: stage, Temp: temp,
+				Phi: r.F, Iters: r.Iters, Evals: r.Evals,
+				Status: r.Status.String(),
+			})
+		}
+		if prev != nil {
+			return prev(stage, temp, r)
+		}
+		return nil
+	}
 	ev := p.pool.Get()
 	defer p.pool.Put(ev)
 	obj := convex.TempFunc(func(temp float64, x, grad []float64) float64 {
@@ -274,7 +309,7 @@ func (p *problem) solveFrom(x0 []float64, anneal convex.AnnealOptions) (Result, 
 // Figure 8 compares against.
 func SPMD(g *mdg.Graph, model costmodel.Model, procs int) (Result, error) {
 	if procs < 1 {
-		return Result{}, fmt.Errorf("alloc: procs = %d, want >= 1", procs)
+		return Result{}, fmt.Errorf("alloc: %w: procs = %d, want >= 1", errs.ErrInfeasible, procs)
 	}
 	if err := g.Validate(); err != nil {
 		return Result{}, fmt.Errorf("alloc: invalid MDG: %w", err)

@@ -334,6 +334,14 @@ type AnnealOptions struct {
 	Decay float64
 	// Inner configures the per-stage minimizer.
 	Inner Options
+	// OnStage, when non-nil, is called after every temperature stage
+	// with the 0-based stage index, the stage temperature, and that
+	// stage's Result (per-stage Iters/Evals, not cumulative). Returning
+	// a non-nil error aborts the anneal and surfaces the error from
+	// MinimizeAnnealed — the hook the allocator uses for context
+	// cancellation and solver-convergence events. r.X aliases solver
+	// scratch reused by later stages; copy it if retained.
+	OnStage func(stage int, temp float64, r Result) error
 }
 
 func (a AnnealOptions) withDefaults() AnnealOptions {
@@ -377,6 +385,11 @@ func MinimizeAnnealed(obj TempObjective, lower, upper, x0 []float64, opts Anneal
 		res, err := minimize(inner, lower, upper, x, a.Inner, &ws)
 		if err != nil {
 			return Result{}, err
+		}
+		if a.OnStage != nil {
+			if err := a.OnStage(stage, t, res); err != nil {
+				return Result{}, err
+			}
 		}
 		total.Iters += res.Iters
 		total.Evals += res.Evals

@@ -1,0 +1,29 @@
+// Package errs defines the pipeline's typed sentinel errors. Every layer
+// (mdg validation, allocation, scheduling, the frontend) wraps its
+// failures over these sentinels with %w, so callers of the public API can
+// dispatch with errors.Is instead of string matching:
+//
+//	if errors.Is(err, paradigm.ErrInfeasible) { ... }
+//
+// The sentinels live in their own leaf package because the layers that
+// wrap them must not import each other.
+package errs
+
+import "errors"
+
+var (
+	// ErrInfeasible marks a problem instance that cannot be solved as
+	// posed: a non-positive system size, a processor bound outside
+	// [1, p] or not a power of two, or an allocation entry outside its
+	// box.
+	ErrInfeasible = errors.New("infeasible problem")
+
+	// ErrBadGraph marks a structurally invalid MDG or program: cycles,
+	// dangling edges, duplicate edges, negative costs, or a source
+	// program that compiles to no valid graph.
+	ErrBadGraph = errors.New("invalid graph")
+
+	// ErrUnsupportedTransfer marks a data transfer whose kind is outside
+	// the modeled regimes (1D, 2D and the grid extensions).
+	ErrUnsupportedTransfer = errors.New("unsupported transfer kind")
+)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"paradigm/internal/dist"
+	"paradigm/internal/errs"
 	"paradigm/internal/kernels"
 	"paradigm/internal/prog"
 	"paradigm/internal/trainsets"
@@ -117,8 +118,8 @@ func compile(name string, stmts []stmt, cal *trainsets.Calibration) (*prog.Progr
 				switch op {
 				case opAdd, opSub:
 					if l.rows != r.rows || l.cols != r.cols {
-						return matInfo{}, fmt.Errorf("frontend: line %d: shape mismatch %dx%d vs %dx%d",
-							line, l.rows, l.cols, r.rows, r.cols)
+						return matInfo{}, fmt.Errorf("frontend: line %d: %w: shape mismatch %dx%d vs %dx%d",
+							line, errs.ErrBadGraph, l.rows, l.cols, r.rows, r.cols)
 					}
 					rows, cols = l.rows, l.cols
 					kop := kernels.OpAdd
@@ -130,7 +131,7 @@ func compile(name string, stmts []stmt, cal *trainsets.Calibration) (*prog.Progr
 					k = kernels.Kernel{Op: kop, M: rows, N: cols}
 				case opMul:
 					if l.cols != r.rows {
-						return matInfo{}, fmt.Errorf("frontend: line %d: inner dimensions %d vs %d", line, l.cols, r.rows)
+						return matInfo{}, fmt.Errorf("frontend: line %d: %w: inner dimensions %d vs %d", line, errs.ErrBadGraph, l.cols, r.rows)
 					}
 					rows, cols = l.rows, r.cols
 					k = kernels.Kernel{Op: kernels.OpMul, M: rows, N: cols, K: l.cols}
@@ -162,7 +163,7 @@ func compile(name string, stmts []stmt, cal *trainsets.Calibration) (*prog.Progr
 				case exprName:
 					info, ok := mats[v.name]
 					if !ok {
-						return "", matInfo{}, fmt.Errorf("frontend: line %d: undefined matrix %q", v.line, v.name)
+						return "", matInfo{}, fmt.Errorf("frontend: line %d: %w: undefined matrix %q", v.line, errs.ErrBadGraph, v.name)
 					}
 					return v.name, info, nil
 				case exprBin:
@@ -188,7 +189,7 @@ func compile(name string, stmts []stmt, cal *trainsets.Calibration) (*prog.Progr
 					mats[out] = info
 					return out, info, nil
 				default:
-					return "", matInfo{}, fmt.Errorf("frontend: line %d: unsupported expression", s.line)
+					return "", matInfo{}, fmt.Errorf("frontend: line %d: %w: unsupported expression", s.line, errs.ErrBadGraph)
 				}
 			}
 			if _, _, err := emit(s.expr, true); err != nil {
@@ -197,7 +198,7 @@ func compile(name string, stmts []stmt, cal *trainsets.Calibration) (*prog.Progr
 		}
 	}
 	if len(mats) == 0 {
-		return nil, fmt.Errorf("frontend: program defines no matrices")
+		return nil, fmt.Errorf("frontend: %w: program defines no matrices", errs.ErrBadGraph)
 	}
 	return b.Finish()
 }

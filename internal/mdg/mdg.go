@@ -23,6 +23,8 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+
+	"paradigm/internal/errs"
 )
 
 // NodeID indexes a node within its Graph.
@@ -194,43 +196,46 @@ func (g *Graph) EdgeBetween(from, to NodeID) (Edge, bool) {
 
 // Validate checks structural invariants: edge endpoints in range, no
 // self-loops, no duplicate edges, nonnegative costs, acyclicity, and
-// positive transfer sizes.
+// positive transfer sizes. Failures wrap errs.ErrBadGraph (and
+// errs.ErrUnsupportedTransfer for an out-of-vocabulary transfer kind),
+// so callers anywhere up the stack can dispatch with errors.Is.
 func (g *Graph) Validate() error {
 	n := len(g.Nodes)
 	seen := map[[2]NodeID]bool{}
 	for _, e := range g.Edges {
 		if e.From < 0 || int(e.From) >= n || e.To < 0 || int(e.To) >= n {
-			return fmt.Errorf("mdg: edge %d->%d out of range [0,%d)", e.From, e.To, n)
+			return fmt.Errorf("mdg: %w: edge %d->%d out of range [0,%d)", errs.ErrBadGraph, e.From, e.To, n)
 		}
 		if e.From == e.To {
-			return fmt.Errorf("mdg: self loop on node %d", e.From)
+			return fmt.Errorf("mdg: %w: self loop on node %d", errs.ErrBadGraph, e.From)
 		}
 		k := [2]NodeID{e.From, e.To}
 		if seen[k] {
-			return fmt.Errorf("mdg: duplicate edge %d->%d", e.From, e.To)
+			return fmt.Errorf("mdg: %w: duplicate edge %d->%d", errs.ErrBadGraph, e.From, e.To)
 		}
 		seen[k] = true
 		for _, tr := range e.Transfers {
 			if tr.Bytes <= 0 {
-				return fmt.Errorf("mdg: edge %d->%d has non-positive transfer size %d", e.From, e.To, tr.Bytes)
+				return fmt.Errorf("mdg: %w: edge %d->%d has non-positive transfer size %d", errs.ErrBadGraph, e.From, e.To, tr.Bytes)
 			}
 			switch tr.Kind {
 			case Transfer1D, Transfer2D, TransferG2L, TransferL2G, TransferG2G:
 			default:
-				return fmt.Errorf("mdg: edge %d->%d has unknown transfer kind %d", e.From, e.To, tr.Kind)
+				return fmt.Errorf("mdg: %w: %w: edge %d->%d has transfer kind %d",
+					errs.ErrBadGraph, errs.ErrUnsupportedTransfer, e.From, e.To, tr.Kind)
 			}
 		}
 	}
 	for i, nd := range g.Nodes {
 		if nd.Alpha < 0 || nd.Alpha > 1 {
-			return fmt.Errorf("mdg: node %d (%s) alpha %v outside [0,1]", i, nd.Name, nd.Alpha)
+			return fmt.Errorf("mdg: %w: node %d (%s) alpha %v outside [0,1]", errs.ErrBadGraph, i, nd.Name, nd.Alpha)
 		}
 		if nd.Tau < 0 {
-			return fmt.Errorf("mdg: node %d (%s) negative tau %v", i, nd.Name, nd.Tau)
+			return fmt.Errorf("mdg: %w: node %d (%s) negative tau %v", errs.ErrBadGraph, i, nd.Name, nd.Tau)
 		}
 	}
 	if _, err := g.TopoOrder(); err != nil {
-		return err
+		return fmt.Errorf("%w: %w", errs.ErrBadGraph, err)
 	}
 	return nil
 }

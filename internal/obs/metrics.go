@@ -1,0 +1,272 @@
+// Metrics: a zero-dependency registry of counters, gauges and histograms
+// with a deterministic snapshot/text encoding.
+//
+// Determinism is the design constraint (it must hold to the byte under
+// PARADIGM_WORKERS=8, like every other output of the reproduction):
+//
+//   - Counters add integers — associative and commutative, so any
+//     emission order yields the same total.
+//   - Histograms store integer bucket counts plus a fixed-point sum
+//     (nanounit resolution): each observation quantizes independently
+//     before accumulation, so float non-associativity cannot leak
+//     schedule-dependent low bits into the encoding.
+//   - Gauges are last-write-wins and belong on serial paths (final Φ,
+//     makespans); concurrent writers would race by construction.
+//
+// The text encoding sorts metrics by name within each type section, so
+// two registries fed the same multiset of updates encode byte-identically.
+
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct {
+	mu sync.Mutex
+	v  uint64
+}
+
+// Add increments the counter by n (negative n is ignored).
+func (c *Counter) Add(n int) {
+	if n <= 0 {
+		return
+	}
+	c.mu.Lock()
+	c.v += uint64(n)
+	c.mu.Unlock()
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.v
+}
+
+// Gauge is a last-write-wins float metric for serial emission paths.
+type Gauge struct {
+	mu sync.Mutex
+	v  float64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	g.mu.Lock()
+	g.v = v
+	g.mu.Unlock()
+}
+
+// Value returns the stored value.
+func (g *Gauge) Value() float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.v
+}
+
+// histScale is the fixed-point quantum for histogram sums: one nanounit.
+// Observations quantize to this grid before accumulating, trading 1e-9
+// absolute precision for order-independent (integer) addition.
+const histScale = 1e9
+
+// Histogram counts observations into fixed upper-bound buckets.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64 // ascending upper bounds; an implicit +Inf follows
+	counts []uint64  // len(bounds)+1
+	n      uint64
+	sumQ   int64 // fixed-point sum, histScale units
+}
+
+// Observe records v.
+func (h *Histogram) Observe(v float64) {
+	q := int64(math.Round(v * histScale))
+	h.mu.Lock()
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i]++
+	h.n++
+	h.sumQ += q
+	h.mu.Unlock()
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.n
+}
+
+// Sum returns the quantized observation sum.
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return float64(h.sumQ) / histScale
+}
+
+// DefaultBuckets is a decade ladder wide enough for seconds-scale times,
+// byte counts and dimensionless ratios alike.
+var DefaultBuckets = []float64{
+	1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1, 10, 100, 1e3, 1e4, 1e5, 1e6,
+}
+
+// Registry holds named metrics. The zero value is not usable; call
+// NewRegistry. All methods are safe for concurrent use.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   map[string]*Counter{},
+		gauges:     map[string]*Gauge{},
+		histograms: map[string]*Histogram{},
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bucket bounds on first use (nil selects DefaultBuckets). Later calls
+// ignore the bounds argument.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.histograms[name]
+	if h == nil {
+		if bounds == nil {
+			bounds = DefaultBuckets
+		}
+		h = &Histogram{
+			bounds: append([]float64(nil), bounds...),
+			counts: make([]uint64, len(bounds)+1),
+		}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Snapshot is a point-in-time copy of a registry, detached from further
+// updates and encodable as deterministic text.
+type Snapshot struct {
+	Counters []CounterPoint
+	Gauges   []GaugePoint
+	Hists    []HistPoint
+}
+
+// CounterPoint is one counter sample.
+type CounterPoint struct {
+	Name  string
+	Value uint64
+}
+
+// GaugePoint is one gauge sample.
+type GaugePoint struct {
+	Name  string
+	Value float64
+}
+
+// HistPoint is one histogram sample.
+type HistPoint struct {
+	Name   string
+	Bounds []float64
+	Counts []uint64
+	N      uint64
+	Sum    float64
+}
+
+// Snapshot copies every metric, sorted by name within each section.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var s Snapshot
+	for name, c := range r.counters {
+		s.Counters = append(s.Counters, CounterPoint{Name: name, Value: c.Value()})
+	}
+	for name, g := range r.gauges {
+		s.Gauges = append(s.Gauges, GaugePoint{Name: name, Value: g.Value()})
+	}
+	for name, h := range r.histograms {
+		h.mu.Lock()
+		s.Hists = append(s.Hists, HistPoint{
+			Name:   name,
+			Bounds: append([]float64(nil), h.bounds...),
+			Counts: append([]uint64(nil), h.counts...),
+			N:      h.n,
+			Sum:    float64(h.sumQ) / histScale,
+		})
+		h.mu.Unlock()
+	}
+	sort.Slice(s.Counters, func(a, b int) bool { return s.Counters[a].Name < s.Counters[b].Name })
+	sort.Slice(s.Gauges, func(a, b int) bool { return s.Gauges[a].Name < s.Gauges[b].Name })
+	sort.Slice(s.Hists, func(a, b int) bool { return s.Hists[a].Name < s.Hists[b].Name })
+	return s
+}
+
+// fmtFloat renders floats with the shortest round-trip representation —
+// a canonical encoding, so equal values always print identically.
+func fmtFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// Text renders the snapshot in the registry text format:
+//
+//	counter <name> <value>
+//	gauge <name> <value>
+//	hist <name> count=<n> sum=<sum> <bound>:<count> ... +Inf:<count>
+//
+// Lines are sorted by type section then name; equal registries encode
+// byte-identically.
+func (s Snapshot) Text() string {
+	var b strings.Builder
+	for _, c := range s.Counters {
+		fmt.Fprintf(&b, "counter %s %d\n", c.Name, c.Value)
+	}
+	for _, g := range s.Gauges {
+		fmt.Fprintf(&b, "gauge %s %s\n", g.Name, fmtFloat(g.Value))
+	}
+	for _, h := range s.Hists {
+		fmt.Fprintf(&b, "hist %s count=%d sum=%s", h.Name, h.N, fmtFloat(h.Sum))
+		for i, c := range h.Counts {
+			bound := "+Inf"
+			if i < len(h.Bounds) {
+				bound = fmtFloat(h.Bounds[i])
+			}
+			fmt.Fprintf(&b, " %s:%d", bound, c)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,226 @@
+// Package obs is the pipeline observability layer: structured events and
+// a zero-dependency metrics registry the whole reproduction reports into.
+//
+// The paper's argument rests on predicted-vs-actual agreement (Section 5,
+// Figures 7-8), but a pipeline that only returns two makespans cannot
+// show *why* a schedule costs what it costs. This package defines the
+// event vocabulary each stage emits — the convex solver's per-stage
+// convergence (SolverStage), the PSA's rounding and list-scheduling
+// decisions (PSARound, PSAPick), the simulator's per-message traffic and
+// per-processor accounting (Comm, NodeRun, ProcStat), and the
+// training-sets fit quality (CalibFit) — plus the Observer interface that
+// receives them.
+//
+// Design constraints, in order:
+//
+//   - Zero cost when unused: every instrumented call site guards with a
+//     nil check, so the uninstrumented pipeline pays one pointer
+//     comparison per would-be event.
+//   - Determinism: events may be emitted concurrently (multi-start
+//     allocation solves, calibration sweeps run on the par pool), so
+//     consumers that promise deterministic output must either fold events
+//     commutatively (the metrics registry does — see metrics.go) or sort
+//     them by their intrinsic coordinates (the trace exporter does).
+//   - No dependencies: events carry plain ints/floats/strings; the
+//     package imports only the standard library.
+package obs
+
+import "sync"
+
+// Observer receives structured pipeline events. Implementations must be
+// safe for concurrent use: the allocator's multi-start solves and the
+// calibration sweep emit from worker-pool goroutines.
+type Observer interface {
+	Observe(Event)
+}
+
+// Kind discriminates event types without reflection.
+type Kind uint8
+
+const (
+	// KindSolverStage: one annealed temperature stage of a convex solve.
+	KindSolverStage Kind = iota
+	// KindPSARound: the rounding/bounding decision for one node.
+	KindPSARound
+	// KindPSAPick: one list-scheduling pick.
+	KindPSAPick
+	// KindComm: one simulated point-to-point message.
+	KindComm
+	// KindNodeRun: one simulated node execution window.
+	KindNodeRun
+	// KindProcStat: one processor's busy/idle account for a run.
+	KindProcStat
+	// KindCalibFit: one training-sets fit summary.
+	KindCalibFit
+)
+
+// Event is one structured pipeline event.
+type Event interface {
+	Kind() Kind
+}
+
+// SolverStage reports one annealed temperature stage of the convex
+// allocation solve: the smoothing temperature, the smoothed objective Φ
+// at the stage solution, and the cumulative iteration/line-search-eval
+// counts — the data behind a solver-convergence trajectory.
+type SolverStage struct {
+	// StartIdx is the multi-start index (0 for the classic midpoint
+	// start); Stage counts temperature stages within one start.
+	StartIdx, Stage int
+	// Temp is the log-sum-exp smoothing temperature of the stage.
+	Temp float64
+	// Phi is the smoothed objective at the stage solution.
+	Phi float64
+	// Iters and Evals count this stage's inner iterations and
+	// line-search objective evaluations.
+	Iters, Evals int
+	// Status is the inner minimizer's stop reason.
+	Status string
+}
+
+// Kind implements Event.
+func (SolverStage) Kind() Kind { return KindSolverStage }
+
+// PSARound reports the rounding-off + bounding decision for one node:
+// the continuous allocation, the arithmetic-nearest power of two, and
+// the value after the Corollary-1 PB clip.
+type PSARound struct {
+	Node int
+	// Continuous is the convex program's p_i.
+	Continuous float64
+	// Rounded is the nearest power of two before bounding; Final is the
+	// allocation after the PB clamp. Clipped reports Final < Rounded.
+	Rounded, Final int
+	Clipped        bool
+}
+
+// Kind implements Event.
+func (PSARound) Kind() Kind { return KindPSARound }
+
+// PSAPick reports one list-scheduling decision: the ready node picked
+// (lowest EST under the paper's policy), its earliest start time, the
+// processor satisfaction time of the chosen processor set, and the
+// resulting execution window.
+type PSAPick struct {
+	Node int
+	// EST is the precedence-imposed earliest start; PST is when the
+	// chosen processors free up; Start = max(EST, PST).
+	EST, PST, Start, Finish float64
+	// Procs is the allocation size actually granted.
+	Procs int
+}
+
+// Kind implements Event.
+func (PSAPick) Kind() Kind { return KindPSAPick }
+
+// Comm reports one simulated point-to-point message, recorded when the
+// receive completes (the only moment the full timeline is known).
+type Comm struct {
+	// Tag is the codegen message tag (unique per run).
+	Tag      string
+	From, To int
+	Bytes    int
+	// SendStart..SendEnd is the sender's busy window; NetReady is when
+	// the payload clears the network; RecvStart..RecvEnd is the
+	// receiver's busy window.
+	SendStart, SendEnd, NetReady, RecvStart, RecvEnd float64
+}
+
+// Kind implements Event.
+func (Comm) Kind() Kind { return KindComm }
+
+// NodeRun reports one node's actual (simulated) execution window.
+type NodeRun struct {
+	Node          int
+	Start, Finish float64
+	Procs         int
+}
+
+// Kind implements Event.
+func (NodeRun) Kind() Kind { return KindNodeRun }
+
+// ProcStat reports one processor's final accounting for a simulated run:
+// Busy is time spent advancing the clock (sends, receives, copies,
+// kernel execution); Idle is Makespan - final clock plus intra-run waits
+// (blocked receives, barrier waits).
+type ProcStat struct {
+	Proc       int
+	Busy, Idle float64
+}
+
+// Kind implements Event.
+func (ProcStat) Kind() Kind { return KindProcStat }
+
+// CalibFit reports one training-sets regression: the fit name (a Table 1
+// loop row or the Table 2 send/recv fit), its R², the worst absolute
+// residual over the sweep, and the sample count.
+type CalibFit struct {
+	Name           string
+	R2             float64
+	MaxAbsResidual float64
+	Samples        int
+}
+
+// Kind implements Event.
+func (CalibFit) Kind() Kind { return KindCalibFit }
+
+// Multi fans every event out to each non-nil observer. A result of nil
+// (no observers) preserves the nil fast path at the emit sites.
+func Multi(obs ...Observer) Observer {
+	flat := make(multi, 0, len(obs))
+	for _, o := range obs {
+		if o != nil {
+			flat = append(flat, o)
+		}
+	}
+	switch len(flat) {
+	case 0:
+		return nil
+	case 1:
+		return flat[0]
+	}
+	return flat
+}
+
+type multi []Observer
+
+// Observe implements Observer.
+func (m multi) Observe(e Event) {
+	for _, o := range m {
+		o.Observe(e)
+	}
+}
+
+// Recorder is an Observer that collects every event in memory, for the
+// trace exporter and for tests. Safe for concurrent emitters; the
+// recorded order is emission order, which for events produced by
+// worker-pool stages is nondeterministic — consumers needing stable
+// output sort by the events' intrinsic coordinates (see trace.WriteUnified).
+type Recorder struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// NewRecorder returns an empty Recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Observe implements Observer.
+func (r *Recorder) Observe(e Event) {
+	r.mu.Lock()
+	r.events = append(r.events, e)
+	r.mu.Unlock()
+}
+
+// Events returns a snapshot copy of the recorded events.
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Event(nil), r.events...)
+}
+
+// Len reports the number of recorded events.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}

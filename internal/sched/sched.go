@@ -29,7 +29,9 @@ import (
 
 	"paradigm/internal/bounds"
 	"paradigm/internal/costmodel"
+	"paradigm/internal/errs"
 	"paradigm/internal/mdg"
+	"paradigm/internal/obs"
 )
 
 // Policy selects the ready-queue discipline.
@@ -71,6 +73,10 @@ type Options struct {
 	SkipRounding bool
 	// Policy selects the ready-queue discipline (default LowestEST).
 	Policy Policy
+	// Observer, when non-nil, receives one obs.PSARound event per node
+	// (the rounding/bounding decision) and one obs.PSAPick event per
+	// list-scheduling pick. Nil costs one pointer comparison per event.
+	Observer obs.Observer
 }
 
 // Entry is one scheduled node.
@@ -98,24 +104,35 @@ type Schedule struct {
 
 // RoundAndBound applies the rounding-off and bounding steps to a
 // continuous allocation. pb must be a positive power of two <= procs.
-func RoundAndBound(cont []float64, procs, pb int, skipRounding bool) ([]int, error) {
+// A non-nil observer receives one obs.PSARound event per node.
+func RoundAndBound(cont []float64, procs, pb int, skipRounding bool, o obs.Observer) ([]int, error) {
 	if pb < 1 || pb > procs || !bounds.IsPow2(pb) {
-		return nil, fmt.Errorf("sched: PB = %d must be a power of two in [1, %d]", pb, procs)
+		return nil, fmt.Errorf("sched: %w: PB = %d must be a power of two in [1, %d]", errs.ErrInfeasible, pb, procs)
 	}
 	out := make([]int, len(cont))
 	for i, p := range cont {
+		var unbounded int
 		if skipRounding {
-			v := int(math.Floor(p))
-			if v < 1 {
-				v = 1
+			unbounded = int(math.Floor(p))
+			if unbounded < 1 {
+				unbounded = 1
 			}
+			v := unbounded
 			if v > pb {
 				v = pb
 			}
 			out[i] = v
-			continue
+		} else {
+			unbounded = bounds.RoundPow2(p, 0)
+			out[i] = bounds.RoundPow2(p, pb)
 		}
-		out[i] = bounds.RoundPow2(p, pb)
+		if o != nil {
+			o.Observe(obs.PSARound{
+				Node: i, Continuous: p,
+				Rounded: unbounded, Final: out[i],
+				Clipped: out[i] < unbounded,
+			})
+		}
 	}
 	return out, nil
 }
@@ -125,10 +142,10 @@ func RoundAndBound(cont []float64, procs, pb int, skipRounding bool) ([]int, err
 // (indexed by NodeID).
 func Run(g *mdg.Graph, model costmodel.Model, cont []float64, procs int, opts Options) (*Schedule, error) {
 	if procs < 1 {
-		return nil, fmt.Errorf("sched: procs = %d, want >= 1", procs)
+		return nil, fmt.Errorf("sched: %w: procs = %d, want >= 1", errs.ErrInfeasible, procs)
 	}
 	if len(cont) != g.NumNodes() {
-		return nil, fmt.Errorf("sched: allocation has %d entries for %d nodes", len(cont), g.NumNodes())
+		return nil, fmt.Errorf("sched: %w: allocation has %d entries for %d nodes", errs.ErrInfeasible, len(cont), g.NumNodes())
 	}
 	pb := opts.PB
 	if pb == 0 {
@@ -138,11 +155,11 @@ func Run(g *mdg.Graph, model costmodel.Model, cont []float64, procs int, opts Op
 			return nil, err
 		}
 	}
-	alloc, err := RoundAndBound(cont, procs, pb, opts.SkipRounding)
+	alloc, err := RoundAndBound(cont, procs, pb, opts.SkipRounding, opts.Observer)
 	if err != nil {
 		return nil, err
 	}
-	s, err := PSA(g, model, alloc, procs, opts.Policy)
+	s, err := psa(g, model, alloc, procs, opts.Policy, opts.Observer)
 	if err != nil {
 		return nil, err
 	}
@@ -199,13 +216,19 @@ func (q *readyQueue) Pop() interface{} {
 // [1, procs]) onto procs processors. The graph must have unique START and
 // STOP nodes (use mdg.EnsureStartStop).
 func PSA(g *mdg.Graph, model costmodel.Model, alloc []int, procs int, policy Policy) (*Schedule, error) {
+	return psa(g, model, alloc, procs, policy, nil)
+}
+
+// psa is the list scheduler behind PSA and Run; a non-nil observer
+// receives one obs.PSAPick event per scheduling decision.
+func psa(g *mdg.Graph, model costmodel.Model, alloc []int, procs int, policy Policy, o obs.Observer) (*Schedule, error) {
 	n := g.NumNodes()
 	if len(alloc) != n {
-		return nil, fmt.Errorf("sched: allocation has %d entries for %d nodes", len(alloc), n)
+		return nil, fmt.Errorf("sched: %w: allocation has %d entries for %d nodes", errs.ErrInfeasible, len(alloc), n)
 	}
 	for i, a := range alloc {
 		if a < 1 || a > procs {
-			return nil, fmt.Errorf("sched: node %d allocation %d outside [1, %d]", i, a, procs)
+			return nil, fmt.Errorf("sched: %w: node %d allocation %d outside [1, %d]", errs.ErrInfeasible, i, a, procs)
 		}
 	}
 	if err := g.Validate(); err != nil {
@@ -284,6 +307,12 @@ func PSA(g *mdg.Graph, model costmodel.Model, alloc []int, procs int, policy Pol
 		finishT := startT + weight[node]
 		for _, p := range procSet {
 			freeAt[p] = finishT
+		}
+		if o != nil {
+			o.Observe(obs.PSAPick{
+				Node: int(node), EST: it.est, PST: pst,
+				Start: startT, Finish: finishT, Procs: len(procSet),
+			})
 		}
 		entries[node] = Entry{Node: node, Start: startT, Finish: finishT, Procs: procSet}
 		scheduled[node] = true
@@ -373,7 +402,7 @@ func pickBuddyBlock(freeAt []float64, q int, est float64) ([]int, float64) {
 // paper's Section 1.2 example and the SPMD arm of Figure 8.
 func SPMD(g *mdg.Graph, model costmodel.Model, procs int) (*Schedule, error) {
 	if procs < 1 {
-		return nil, fmt.Errorf("sched: procs = %d, want >= 1", procs)
+		return nil, fmt.Errorf("sched: %w: procs = %d, want >= 1", errs.ErrInfeasible, procs)
 	}
 	if err := g.Validate(); err != nil {
 		return nil, err

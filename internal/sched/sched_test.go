@@ -98,7 +98,7 @@ func TestPaperExampleShape(t *testing.T) {
 }
 
 func TestRoundAndBound(t *testing.T) {
-	got, err := RoundAndBound([]float64{1, 1.4, 1.7, 3.3, 6.4, 11, 64}, 64, 8, false)
+	got, err := RoundAndBound([]float64{1, 1.4, 1.7, 3.3, 6.4, 11, 64}, 64, 8, false, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,16 +108,16 @@ func TestRoundAndBound(t *testing.T) {
 			t.Fatalf("RoundAndBound[%d] = %d, want %d (full %v)", i, got[i], want[i], got)
 		}
 	}
-	if _, err := RoundAndBound([]float64{1}, 64, 3, false); err == nil {
+	if _, err := RoundAndBound([]float64{1}, 64, 3, false, nil); err == nil {
 		t.Fatal("want error for non-power-of-two PB")
 	}
-	if _, err := RoundAndBound([]float64{1}, 8, 16, false); err == nil {
+	if _, err := RoundAndBound([]float64{1}, 8, 16, false, nil); err == nil {
 		t.Fatal("want error for PB > procs")
 	}
 }
 
 func TestRoundAndBoundSkipRounding(t *testing.T) {
-	got, err := RoundAndBound([]float64{0.4, 2.9, 5.6, 12}, 16, 8, true)
+	got, err := RoundAndBound([]float64{0.4, 2.9, 5.6, 12}, 16, 8, true, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

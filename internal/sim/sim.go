@@ -19,6 +19,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -30,6 +31,7 @@ import (
 	"paradigm/internal/machine"
 	"paradigm/internal/matrix"
 	"paradigm/internal/mdg"
+	"paradigm/internal/obs"
 	"paradigm/internal/prog"
 )
 
@@ -52,6 +54,18 @@ type message struct {
 	readyAt float64
 	payload codegen.Rect
 	data    *matrix.Matrix
+	// from and the send window feed the per-message Comm event.
+	from               int
+	sendStart, sendEnd float64
+}
+
+// Options configures a simulated run.
+type Options struct {
+	// Observer, when non-nil, receives one obs.Comm event per received
+	// message, one obs.NodeRun event per executed node, and one
+	// obs.ProcStat event per processor at run end. Nil costs one pointer
+	// comparison per would-be event.
+	Observer obs.Observer
 }
 
 // Result reports one simulated run.
@@ -68,6 +82,11 @@ type Result struct {
 	// Messages and NetworkBytes count point-to-point traffic.
 	Messages     int
 	NetworkBytes int
+	// ProcBusy is each processor's time spent advancing its clock
+	// (sends, receives, copies, kernel execution); Makespan minus the
+	// final clock plus the intra-run waits is idle time. Indexed like
+	// ProcClock.
+	ProcBusy []float64
 
 	stores []map[string]*block
 	p      *prog.Program
@@ -76,6 +95,16 @@ type Result struct {
 // Run executes the streams on the machine profile. The profile's Procs
 // must cover the stream count.
 func Run(p *prog.Program, streams *codegen.Streams, mp machine.Params) (*Result, error) {
+	return RunCtx(context.Background(), p, streams, mp, Options{})
+}
+
+// RunCtx is Run with cancellation and instrumentation: ctx is checked on
+// every scheduler sweep of the step loop, so a cancelled context aborts
+// the simulation promptly with ctx.Err().
+func RunCtx(ctx context.Context, p *prog.Program, streams *codegen.Streams, mp machine.Params, o Options) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := mp.Validate(); err != nil {
 		return nil, err
 	}
@@ -84,11 +113,13 @@ func Run(p *prog.Program, streams *codegen.Streams, mp machine.Params) (*Result,
 	}
 	nProcs := streams.Procs
 	nNodes := p.G.NumNodes()
+	ob := o.Observer
 
 	res := &Result{
 		ProcClock:  make([]float64, nProcs),
 		NodeStart:  make([]float64, nNodes),
 		NodeFinish: make([]float64, nNodes),
+		ProcBusy:   make([]float64, nProcs),
 		stores:     make([]map[string]*block, nProcs),
 		p:          p,
 	}
@@ -123,14 +154,20 @@ func Run(p *prog.Program, streams *codegen.Streams, mp machine.Params) (*Result,
 				return false, fmt.Errorf("sim: proc %d send %q: %w", pr, in.Tag, err)
 			}
 			bytes := float64(in.Payload.Bytes())
-			res.ProcClock[pr] += mp.SendStartup + bytes*mp.SendPerByte
+			sendStart := res.ProcClock[pr]
+			cost := mp.SendStartup + bytes*mp.SendPerByte
+			res.ProcClock[pr] += cost
+			res.ProcBusy[pr] += cost
 			if _, dup := mailbox[in.Tag]; dup {
 				return false, fmt.Errorf("sim: duplicate message tag %q", in.Tag)
 			}
 			mailbox[in.Tag] = message{
-				readyAt: res.ProcClock[pr] + bytes*mp.NetPerByte,
-				payload: in.Payload,
-				data:    data,
+				readyAt:   res.ProcClock[pr] + bytes*mp.NetPerByte,
+				payload:   in.Payload,
+				data:      data,
+				from:      pr,
+				sendStart: sendStart,
+				sendEnd:   res.ProcClock[pr],
 			}
 			res.Messages++
 			res.NetworkBytes += in.Payload.Bytes()
@@ -145,7 +182,17 @@ func Run(p *prog.Program, streams *codegen.Streams, mp machine.Params) (*Result,
 			delete(mailbox, in.Tag)
 			bytes := float64(in.Payload.Bytes())
 			t := math.Max(res.ProcClock[pr], msg.readyAt)
-			res.ProcClock[pr] = t + mp.RecvStartup + mp.MsgMatchOverhead + bytes*mp.RecvPerByte
+			cost := mp.RecvStartup + mp.MsgMatchOverhead + bytes*mp.RecvPerByte
+			res.ProcClock[pr] = t + cost
+			res.ProcBusy[pr] += cost
+			if ob != nil {
+				ob.Observe(obs.Comm{
+					Tag: in.Tag, From: msg.from, To: pr,
+					Bytes:     in.Payload.Bytes(),
+					SendStart: msg.sendStart, SendEnd: msg.sendEnd,
+					NetReady: msg.readyAt, RecvStart: t, RecvEnd: res.ProcClock[pr],
+				})
+			}
 			dst := res.stores[pr][in.DstInstance]
 			if dst == nil {
 				dst = newBlock(in.Block)
@@ -174,7 +221,9 @@ func Run(p *prog.Program, streams *codegen.Streams, mp machine.Params) (*Result,
 			if err := insert(dst, in.Payload, data); err != nil {
 				return false, fmt.Errorf("sim: proc %d move: %w", pr, err)
 			}
-			res.ProcClock[pr] += float64(in.Payload.Bytes()) * mp.CopyPerByte
+			cost := float64(in.Payload.Bytes()) * mp.CopyPerByte
+			res.ProcClock[pr] += cost
+			res.ProcBusy[pr] += cost
 			pc[pr]++
 			return true, nil
 
@@ -198,7 +247,7 @@ func Run(p *prog.Program, streams *codegen.Streams, mp machine.Params) (*Result,
 				return false, nil // blocked on slower group members
 			}
 			// Last arrival executes the node for the whole group.
-			if err := execNode(res, p, mp, in, b.start); err != nil {
+			if err := execNode(res, p, mp, in, b.start, ob); err != nil {
 				return false, err
 			}
 			b.executed = true
@@ -209,6 +258,12 @@ func Run(p *prog.Program, streams *codegen.Streams, mp machine.Params) (*Result,
 	}
 
 	for {
+		// One cancellation check per scheduler sweep: cheap relative to
+		// the work a sweep performs, and prompt enough that an
+		// already-cancelled context aborts before any instruction runs.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		progress := false
 		done := true
 		for pr := 0; pr < nProcs; pr++ {
@@ -239,13 +294,22 @@ func Run(p *prog.Program, streams *codegen.Streams, mp machine.Params) (*Result,
 			res.Makespan = c
 		}
 	}
+	if ob != nil {
+		for pr := 0; pr < nProcs; pr++ {
+			ob.Observe(obs.ProcStat{
+				Proc: pr,
+				Busy: res.ProcBusy[pr],
+				Idle: res.Makespan - res.ProcBusy[pr],
+			})
+		}
+	}
 	return res, nil
 }
 
 // execNode runs one kernel as a group: advances every member's clock by
 // its ground-truth cost (linear or grid layout) and computes the real
 // output blocks.
-func execNode(res *Result, p *prog.Program, mp machine.Params, in codegen.Exec, start float64) error {
+func execNode(res *Result, p *prog.Program, mp machine.Params, in codegen.Exec, start float64, ob obs.Observer) error {
 	spec := p.Specs[in.Node]
 	k := spec.Kernel
 	q := len(in.Group)
@@ -282,12 +346,18 @@ func execNode(res *Result, p *prog.Program, mp machine.Params, in codegen.Exec, 
 		}
 		t := start + cost*mp.Jitter(int(in.Node), proc)
 		res.ProcClock[proc] = t
+		res.ProcBusy[proc] += t - start
 		if t > finish {
 			finish = t
 		}
 	}
 	res.NodeStart[in.Node] = start
 	res.NodeFinish[in.Node] = finish
+	if ob != nil {
+		ob.Observe(obs.NodeRun{
+			Node: int(in.Node), Start: start, Finish: finish, Procs: q,
+		})
+	}
 
 	// Compute real data.
 	outInst := codegen.Instance(spec.Output, in.Node)

@@ -24,7 +24,7 @@ type event struct {
 	Dur  float64           `json:"dur"` // microseconds
 	Pid  int               `json:"pid"`
 	Tid  int               `json:"tid"`
-	Args map[string]string `json:"args,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
 }
 
 // file is the top-level trace container.
@@ -56,7 +56,7 @@ func WriteSchedule(w io.Writer, g *mdg.Graph, s *sched.Schedule) error {
 				Dur:  (e.Finish - e.Start) * secToUs,
 				Pid:  0,
 				Tid:  p,
-				Args: map[string]string{
+				Args: map[string]any{
 					"node":  fmt.Sprintf("%d", i),
 					"procs": fmt.Sprintf("%d", len(e.Procs)),
 				},
@@ -82,7 +82,7 @@ func WriteRun(w io.Writer, g *mdg.Graph, s *sched.Schedule, r *sim.Result) error
 			Name: name, Cat: cat, Ph: "X",
 			Ts: start * secToUs, Dur: (finish - start) * secToUs,
 			Pid: pid, Tid: tid,
-			Args: map[string]string{
+			Args: map[string]any{
 				"node":  fmt.Sprintf("%d", node),
 				"procs": fmt.Sprintf("%d", q),
 			},

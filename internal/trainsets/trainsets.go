@@ -32,6 +32,7 @@ import (
 	"paradigm/internal/kernels"
 	"paradigm/internal/machine"
 	"paradigm/internal/mdg"
+	"paradigm/internal/obs"
 	"paradigm/internal/par"
 	"paradigm/internal/regress"
 )
@@ -237,6 +238,10 @@ func DefaultTransferConfigs(maxProcs int) []TransferConfig {
 // the t_n fit correctly comes out 0; on machines with a real wire delay
 // (e.g. the Paragon profile) it recovers the per-byte transit.
 func CalibrateTransfers(mp machine.Params, configs []TransferConfig) (TransferFit, error) {
+	return calibrateTransfersCtx(context.Background(), mp, configs)
+}
+
+func calibrateTransfersCtx(ctx context.Context, mp machine.Params, configs []TransferConfig) (TransferFit, error) {
 	if len(configs) < 4 {
 		return TransferFit{}, fmt.Errorf("trainsets: need >= 4 transfer configs, got %d", len(configs))
 	}
@@ -244,7 +249,7 @@ func CalibrateTransfers(mp machine.Params, configs []TransferConfig) (TransferFi
 	// fan the sweep out on the worker pool and collect by config index, so
 	// the regression sees rows in config order at any pool width.
 	type cell struct{ send, recv, net float64 }
-	cells, err := par.Map(context.Background(), len(configs), func(_ context.Context, i int) (cell, error) {
+	cells, err := par.Map(ctx, len(configs), func(_ context.Context, i int) (cell, error) {
 		c := configs[i]
 		send, recv, net, err := MeasureTransfer(mp, c.Kind, c.Bytes, c.Pi, c.Pj)
 		return cell{send, recv, net}, err
@@ -331,11 +336,22 @@ type Calibration struct {
 
 	mu    sync.Mutex
 	loops map[string]LoopFit
+	// ob receives obs.CalibFit events for each completed fit (nil: none).
+	ob obs.Observer
 }
 
 // Calibrate runs the full training-set suite on a machine profile: the
 // transfer sweep immediately, loop fits lazily per kernel.
 func Calibrate(mp machine.Params) (*Calibration, error) {
+	return CalibrateCtx(context.Background(), mp, nil)
+}
+
+// CalibrateCtx is Calibrate with cancellation and instrumentation: the
+// transfer sweep honours ctx through the worker pool, and every
+// completed fit (the immediate send/recv transfer fits and each lazy
+// loop fit) emits one obs.CalibFit event carrying the regression R² and
+// worst absolute residual.
+func CalibrateCtx(ctx context.Context, mp machine.Params, o obs.Observer) (*Calibration, error) {
 	if err := mp.Validate(); err != nil {
 		return nil, err
 	}
@@ -346,15 +362,31 @@ func Calibrate(mp machine.Params) (*Calibration, error) {
 	if len(sweep) < 2 {
 		sweep = []int{1, 2}
 	}
-	tf, err := CalibrateTransfers(mp, DefaultTransferConfigs(maxInt(4, mp.Procs)))
+	tf, err := calibrateTransfersCtx(ctx, mp, DefaultTransferConfigs(maxInt(4, mp.Procs)))
 	if err != nil {
 		return nil, err
+	}
+	if o != nil {
+		var sendRes, recvRes float64
+		for _, s := range tf.Samples {
+			if d := math.Abs(s.MeasuredSend - s.PredictedSend); d > sendRes {
+				sendRes = d
+			}
+			if d := math.Abs(s.MeasuredRecv - s.PredictedRecv); d > recvRes {
+				recvRes = d
+			}
+		}
+		o.Observe(obs.CalibFit{Name: "transfer-send", R2: tf.SendR2,
+			MaxAbsResidual: sendRes, Samples: len(tf.Samples)})
+		o.Observe(obs.CalibFit{Name: "transfer-recv", R2: tf.RecvR2,
+			MaxAbsResidual: recvRes, Samples: len(tf.Samples)})
 	}
 	return &Calibration{
 		Machine:   mp,
 		Transfer:  tf,
 		ProcSweep: sweep,
 		loops:     map[string]LoopFit{},
+		ob:        o,
 	}, nil
 }
 
@@ -396,8 +428,24 @@ func (c *Calibration) LoopFit(name string, k kernels.Kernel) (LoopFit, error) {
 		return LoopFit{}, err
 	}
 	c.mu.Lock()
-	c.loops[key] = lf
+	_, lost := c.loops[key]
+	if !lost {
+		c.loops[key] = lf
+	}
 	c.mu.Unlock()
+	// Emit only for the winning insert: a racing duplicate computes the
+	// identical fit, and double emission would make the calib_* metrics
+	// schedule-dependent.
+	if c.ob != nil && !lost {
+		worst := 0.0
+		for _, s := range lf.Samples {
+			if d := math.Abs(s.Measured - s.Predicted); d > worst {
+				worst = d
+			}
+		}
+		c.ob.Observe(obs.CalibFit{Name: lf.Name, R2: lf.R2,
+			MaxAbsResidual: worst, Samples: len(lf.Samples)})
+	}
 	return lf, nil
 }
 

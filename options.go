@@ -1,0 +1,211 @@
+// The redesigned pipeline entry points: every stage of the paper's
+// pipeline is callable with a context.Context and functional Options,
+// so callers can cancel long solves, tune the allocator and scheduler,
+// and attach observability without widening any signature again.
+//
+//	rec := paradigm.NewEventRecorder()
+//	reg := paradigm.NewMetrics()
+//	res, err := paradigm.RunContext(ctx, p, m, cal, 64,
+//	    paradigm.WithObserver(paradigm.MultiObserver(rec, paradigm.NewMetricsObserver(reg))),
+//	    paradigm.WithScheduleOptions(paradigm.ScheduleOptions{PB: 8}))
+//
+// The historical positional signatures (Run, Allocate, Calibrate,
+// BuildSchedule) remain as thin wrappers over these entry points. With
+// no observer attached the instrumented pipeline pays one nil check per
+// would-be event — see the Run benchmark pair in bench_test.go.
+package paradigm
+
+import (
+	"context"
+
+	"paradigm/internal/alloc"
+	"paradigm/internal/codegen"
+	"paradigm/internal/errs"
+	"paradigm/internal/obs"
+	"paradigm/internal/sched"
+	"paradigm/internal/sim"
+	"paradigm/internal/trainsets"
+)
+
+// Observability re-exports: the event/metrics layer of internal/obs.
+type (
+	// Observer receives structured pipeline events; see the Event kinds
+	// in internal/obs. Implementations must be safe for concurrent use.
+	Observer = obs.Observer
+	// Event is one structured pipeline event.
+	Event = obs.Event
+	// Metrics is the zero-dependency metrics registry the pipeline
+	// reports into (counters, gauges, histograms with a deterministic
+	// text encoding).
+	Metrics = obs.Registry
+	// MetricsSnapshot is a detached, text-encodable registry snapshot.
+	MetricsSnapshot = obs.Snapshot
+	// EventRecorder collects every event in memory (for the trace
+	// exporter and tests).
+	EventRecorder = obs.Recorder
+	// AllocOptions tunes the convex allocation (annealing schedule,
+	// multi-start, ablations, observer).
+	AllocOptions = alloc.Options
+)
+
+// NewMetrics returns an empty metrics registry.
+func NewMetrics() *Metrics { return obs.NewRegistry() }
+
+// NewMetricsObserver returns an Observer folding pipeline events into r
+// under the canonical metric names (DESIGN.md §8).
+func NewMetricsObserver(r *Metrics) Observer { return obs.MetricsObserver(r) }
+
+// NewEventRecorder returns an empty event recorder.
+func NewEventRecorder() *EventRecorder { return obs.NewRecorder() }
+
+// MultiObserver fans events out to every non-nil observer; with none it
+// returns nil, preserving the uninstrumented fast path.
+func MultiObserver(os ...Observer) Observer { return obs.Multi(os...) }
+
+// Typed sentinel errors. Every layer wraps its failures over these with
+// %w, so callers can dispatch with errors.Is regardless of which stage
+// produced the failure.
+var (
+	// ErrInfeasible marks a problem that cannot be solved as posed
+	// (non-positive system size, PB outside [1, p] or not a power of
+	// two, allocation entries outside their box).
+	ErrInfeasible = errs.ErrInfeasible
+	// ErrBadGraph marks a structurally invalid MDG or source program.
+	ErrBadGraph = errs.ErrBadGraph
+	// ErrUnsupportedTransfer marks a transfer kind outside the modeled
+	// regimes.
+	ErrUnsupportedTransfer = errs.ErrUnsupportedTransfer
+)
+
+// Option configures one pipeline call.
+type Option func(*config)
+
+type config struct {
+	observer Observer
+	sched    ScheduleOptions
+	alloc    AllocOptions
+}
+
+// WithObserver attaches an observer to every instrumented stage of the
+// call: solver stages, PSA decisions, simulated messages and processor
+// accounting, and calibration fits.
+func WithObserver(o Observer) Option {
+	return func(c *config) { c.observer = o }
+}
+
+// WithScheduleOptions sets the PSA tuning (PB override, rounding
+// ablation, ready-queue policy) for the scheduling stage.
+func WithScheduleOptions(so ScheduleOptions) Option {
+	return func(c *config) { c.sched = so }
+}
+
+// WithAllocOptions sets the convex-allocation tuning (annealing
+// schedule, multi-start width, transfer ablation).
+func WithAllocOptions(ao AllocOptions) Option {
+	return func(c *config) { c.alloc = ao }
+}
+
+func newConfig(opts []Option) config {
+	var c config
+	for _, o := range opts {
+		o(&c)
+	}
+	// The call-level observer reaches each stage through its options;
+	// stage-specific observers set via With*Options take precedence.
+	if c.sched.Observer == nil {
+		c.sched.Observer = c.observer
+	}
+	if c.alloc.Observer == nil {
+		c.alloc.Observer = c.observer
+	}
+	return c
+}
+
+// CalibrateContext runs the training-sets calibration with cancellation
+// and instrumentation: the transfer sweep honours ctx, and every
+// completed fit emits a CalibFit event to the observer.
+func CalibrateContext(ctx context.Context, m Machine, opts ...Option) (*Calibration, error) {
+	c := newConfig(opts)
+	return trainsets.CalibrateCtx(ctx, m, c.observer)
+}
+
+// AllocateContext solves the convex program of Section 2 with
+// cancellation (checked between annealed temperature stages) and
+// solver-convergence events.
+func AllocateContext(ctx context.Context, g *Graph, model Model, procs int, opts ...Option) (Allocation, error) {
+	c := newConfig(opts)
+	return alloc.SolveCtx(ctx, g, model, procs, c.alloc)
+}
+
+// BuildScheduleContext runs the PSA of Section 3 on a continuous
+// allocation, emitting PSARound and PSAPick events to the observer.
+func BuildScheduleContext(ctx context.Context, g *Graph, model Model, allocation []float64, procs int, opts ...Option) (*Schedule, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	c := newConfig(opts)
+	return sched.Run(g, model, allocation, procs, c.sched)
+}
+
+// ExecuteContext lowers the program under the schedule into MPMD
+// instruction streams and simulates them, with cancellation (checked on
+// every simulator scheduler sweep) and per-message/per-processor events.
+func ExecuteContext(ctx context.Context, p *Program, s *Schedule, m Machine, opts ...Option) (*SimResult, error) {
+	c := newConfig(opts)
+	streams, err := codegen.Generate(p, s)
+	if err != nil {
+		return nil, err
+	}
+	return sim.RunCtx(ctx, p, streams, m, sim.Options{Observer: c.observer})
+}
+
+// RunContext executes the full paper pipeline — allocate, schedule,
+// generate MPMD code, simulate — with cancellation and observability.
+func RunContext(ctx context.Context, p *Program, m Machine, cal *Calibration, procs int, opts ...Option) (*Result, error) {
+	c := newConfig(opts)
+	model := cal.Model()
+	ar, err := alloc.SolveCtx(ctx, p.G, model, procs, c.alloc)
+	if err != nil {
+		return nil, err
+	}
+	s, err := sched.Run(p.G, model, ar.P, procs, c.sched)
+	if err != nil {
+		return nil, err
+	}
+	streams, err := codegen.Generate(p, s)
+	if err != nil {
+		return nil, err
+	}
+	res, err := sim.RunCtx(ctx, p, streams, m.WithProcs(procs), sim.Options{Observer: c.observer})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Alloc: ar, Sched: s, Sim: res, Predicted: s.Makespan, Actual: res.Makespan}, nil
+}
+
+// RunSPMDContext executes the pure data-parallel baseline end to end
+// with cancellation and observability.
+func RunSPMDContext(ctx context.Context, p *Program, m Machine, cal *Calibration, procs int, opts ...Option) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	c := newConfig(opts)
+	model := cal.Model()
+	ar, err := alloc.SPMD(p.G, model, procs)
+	if err != nil {
+		return nil, err
+	}
+	s, err := sched.SPMD(p.G, model, procs)
+	if err != nil {
+		return nil, err
+	}
+	streams, err := codegen.Generate(p, s)
+	if err != nil {
+		return nil, err
+	}
+	res, err := sim.RunCtx(ctx, p, streams, m.WithProcs(procs), sim.Options{Observer: c.observer})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Alloc: ar, Sched: s, Sim: res, Predicted: s.Makespan, Actual: res.Makespan}, nil
+}

@@ -25,11 +25,11 @@
 package paradigm
 
 import (
+	"context"
 	"fmt"
 
 	"paradigm/internal/alloc"
 	"paradigm/internal/bounds"
-	"paradigm/internal/codegen"
 	"paradigm/internal/costmodel"
 	"paradigm/internal/dist"
 	"paradigm/internal/frontend"
@@ -123,12 +123,16 @@ func NewProgramBuilder(name string) *ProgramBuilder { return prog.NewBuilder(nam
 
 // Calibrate runs the training-sets calibration (Section 4) on a machine
 // profile: the transfer sweep immediately, loop fits lazily per kernel.
-func Calibrate(m Machine) (*Calibration, error) { return trainsets.Calibrate(m) }
+// It is the positional form of CalibrateContext.
+func Calibrate(m Machine) (*Calibration, error) {
+	return CalibrateContext(context.Background(), m)
+}
 
 // Allocate solves the convex program of Section 2 for graph g on a
-// procs-processor system, returning continuous allocations and Φ.
+// procs-processor system, returning continuous allocations and Φ. It is
+// the positional form of AllocateContext.
 func Allocate(g *Graph, model Model, procs int) (Allocation, error) {
-	return alloc.Solve(g, model, procs, alloc.Options{})
+	return AllocateContext(context.Background(), g, model, procs)
 }
 
 // AllocateSPMD returns the pure data-parallel allocation (every node on
@@ -140,8 +144,15 @@ func AllocateSPMD(g *Graph, model Model, procs int) (Allocation, error) {
 // BuildSchedule runs the PSA of Section 3 on a continuous allocation:
 // rounding, bounding (Corollary 1 unless opts.PB overrides), weight
 // recomputation and lowest-EST list scheduling.
+//
+// Deprecated: BuildSchedule is the positional pre-observability surface.
+// Use BuildScheduleContext with WithScheduleOptions, which adds
+// cancellation and PSA decision events:
+//
+//	s, err := paradigm.BuildScheduleContext(ctx, g, model, p, procs,
+//	    paradigm.WithScheduleOptions(opts))
 func BuildSchedule(g *Graph, model Model, allocation []float64, procs int, opts ScheduleOptions) (*Schedule, error) {
-	return sched.Run(g, model, allocation, procs, opts)
+	return BuildScheduleContext(context.Background(), g, model, allocation, procs, WithScheduleOptions(opts))
 }
 
 // ScheduleSPMD builds the naive all-processors baseline schedule.
@@ -151,13 +162,9 @@ func ScheduleSPMD(g *Graph, model Model, procs int) (*Schedule, error) {
 
 // Execute lowers the program under the schedule into per-processor MPMD
 // instruction streams and runs them on the simulated machine, moving real
-// data.
+// data. It is the positional form of ExecuteContext.
 func Execute(p *Program, s *Schedule, m Machine) (*SimResult, error) {
-	streams, err := codegen.Generate(p, s)
-	if err != nil {
-		return nil, err
-	}
-	return sim.Run(p, streams, m)
+	return ExecuteContext(context.Background(), p, s, m)
 }
 
 // OptimalPB returns Corollary 1's processor bound for a system size,
@@ -194,40 +201,16 @@ type Result struct {
 
 // Run executes the full paper pipeline — allocate, schedule, generate
 // MPMD code, simulate — for a program on a machine at the given system
-// size. The calibration provides the fitted cost model.
+// size. The calibration provides the fitted cost model. It is the
+// positional form of RunContext.
 func Run(p *Program, m Machine, cal *Calibration, procs int) (*Result, error) {
-	model := cal.Model()
-	ar, err := Allocate(p.G, model, procs)
-	if err != nil {
-		return nil, err
-	}
-	s, err := BuildSchedule(p.G, model, ar.P, procs, ScheduleOptions{})
-	if err != nil {
-		return nil, err
-	}
-	res, err := Execute(p, s, m.WithProcs(procs))
-	if err != nil {
-		return nil, err
-	}
-	return &Result{Alloc: ar, Sched: s, Sim: res, Predicted: s.Makespan, Actual: res.Makespan}, nil
+	return RunContext(context.Background(), p, m, cal, procs)
 }
 
-// RunSPMD executes the pure data-parallel baseline end to end.
+// RunSPMD executes the pure data-parallel baseline end to end. It is the
+// positional form of RunSPMDContext.
 func RunSPMD(p *Program, m Machine, cal *Calibration, procs int) (*Result, error) {
-	model := cal.Model()
-	ar, err := AllocateSPMD(p.G, model, procs)
-	if err != nil {
-		return nil, err
-	}
-	s, err := ScheduleSPMD(p.G, model, procs)
-	if err != nil {
-		return nil, err
-	}
-	res, err := Execute(p, s, m.WithProcs(procs))
-	if err != nil {
-		return nil, err
-	}
-	return &Result{Alloc: ar, Sched: s, Sim: res, Predicted: s.Makespan, Actual: res.Makespan}, nil
+	return RunSPMDContext(context.Background(), p, m, cal, procs)
 }
 
 // Verify checks every simulated array against the program's sequential
