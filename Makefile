@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race bench-smoke bench-current bench-json bench-pr2
+.PHONY: ci vet build test race bench-smoke bench-current bench-json bench-pr2 bench-pr3
 
-ci: vet build race bench-smoke bench-pr2
+ci: vet build race bench-smoke bench-pr2 bench-pr3
 
 vet:
 	$(GO) vet ./...
@@ -40,3 +40,11 @@ bench-json:
 bench-pr2:
 	$(GO) test -run '^$$' -bench 'BenchmarkRunNilObserver|BenchmarkRunWithObserver|BenchmarkAllocSolve' -benchtime=1x -benchmem . | tee bench_pr2.txt
 	$(GO) run ./cmd/benchjson -current bench_pr2.txt -label "PR 2: observability layer (Run nil-observer vs with-observer)" -o BENCH_PR2.json
+
+# PR 3 fault-tolerance benchmarks: the fault-free Run baseline vs a run
+# that loses a processor mid-flight and replans on the survivors — the
+# cost of one full survive-and-recover cycle — folded into
+# BENCH_PR3.json for the trajectory harness.
+bench-pr3:
+	$(GO) test -run '^$$' -bench 'BenchmarkRunNoFaults|BenchmarkRunWithRecovery' -benchtime=1x -benchmem . | tee bench_pr3.txt
+	$(GO) run ./cmd/benchjson -current bench_pr3.txt -label "PR 3: fault injection + recovery (Run no-faults vs with-recovery)" -o BENCH_PR3.json

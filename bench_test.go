@@ -424,3 +424,51 @@ func BenchmarkRunWithObserver(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkRunNoFaults is the full Complex Matrix Multiply pipeline on
+// 16 processors with the fault machinery idle (no plan, no recovery):
+// the baseline the recovery benchmark below is compared against, and
+// the regression guard for the fault-injection hooks on the clean path.
+func BenchmarkRunNoFaults(b *testing.B) {
+	e := env(b)
+	p, err := programs.ComplexMatMul(64, e.Cal)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunContext(context.Background(), p, e.Machine, e.Cal, 16); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunWithRecovery kills one processor a quarter of the way
+// through the run and measures the full survive-and-replan cycle:
+// halted simulation, salvage, residual program, re-allocation, PSA on
+// the survivors, code generation and the recovery run.
+func BenchmarkRunWithRecovery(b *testing.B) {
+	e := env(b)
+	p, err := programs.ComplexMatMul(64, e.Cal)
+	if err != nil {
+		b.Fatal(err)
+	}
+	clean, err := RunContext(context.Background(), p, e.Machine, e.Cal, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan := &FaultPlan{ProcFails: []ProcFail{{Proc: 1, At: clean.Actual / 4}}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := RunContext(context.Background(), p, e.Machine, e.Cal, 16,
+			WithFaultPlan(plan), WithRecovery(2))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Recovered {
+			b.Fatal("benchmark plan did not trigger recovery")
+		}
+	}
+}

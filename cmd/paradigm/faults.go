@@ -1,0 +1,125 @@
+// Fault-spec parsing for the -faults flag: a comma-separated list of
+// fault events, or a seeded random schedule.
+//
+//	kill:P@T          fail-stop death of processor P at virtual time T
+//	drop:SEQ          drop the SEQ-th message sent (global send order)
+//	dup:SEQ           deliver a spurious duplicate of message SEQ
+//	delay:SEQ@D       hold message SEQ in the network D extra seconds
+//	slow:NODE:P@F     multiply node NODE's kernel time on processor P by F
+//	rand:SEED         a seeded random schedule (one death, one delay),
+//	                  scaled by a fault-free pre-run's makespan
+//
+// Example: -faults 'kill:1@0.02,delay:3@0.005' -recover 2
+package main
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"paradigm"
+)
+
+// faultSpec is the parsed -faults flag: either an explicit plan or a
+// random seed whose plan needs a makespan hint from a clean pre-run.
+type faultSpec struct {
+	plan     *paradigm.FaultPlan
+	randSeed uint64
+	random   bool
+}
+
+func parseFaultSpec(spec string) (faultSpec, error) {
+	var fs faultSpec
+	plan := &paradigm.FaultPlan{}
+	for _, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		kind, rest, ok := strings.Cut(entry, ":")
+		if !ok {
+			return fs, fmt.Errorf("fault entry %q: want kind:args", entry)
+		}
+		switch kind {
+		case "kill":
+			p, at, err := splitAt(rest)
+			if err != nil {
+				return fs, fmt.Errorf("kill entry %q: %w", entry, err)
+			}
+			plan.ProcFails = append(plan.ProcFails, paradigm.ProcFail{Proc: p, At: at})
+		case "drop":
+			seq, err := strconv.Atoi(rest)
+			if err != nil {
+				return fs, fmt.Errorf("drop entry %q: %w", entry, err)
+			}
+			plan.MsgFaults = append(plan.MsgFaults, paradigm.MsgFault{Kind: paradigm.FaultDrop, Seq: seq})
+		case "dup":
+			seq, err := strconv.Atoi(rest)
+			if err != nil {
+				return fs, fmt.Errorf("dup entry %q: %w", entry, err)
+			}
+			plan.MsgFaults = append(plan.MsgFaults, paradigm.MsgFault{Kind: paradigm.FaultDuplicate, Seq: seq})
+		case "delay":
+			seq, extra, err := splitAt(rest)
+			if err != nil {
+				return fs, fmt.Errorf("delay entry %q: %w", entry, err)
+			}
+			plan.MsgFaults = append(plan.MsgFaults, paradigm.MsgFault{Kind: paradigm.FaultDelay, Seq: seq, Extra: extra})
+		case "slow":
+			nodeStr, rest2, ok := strings.Cut(rest, ":")
+			if !ok {
+				return fs, fmt.Errorf("slow entry %q: want slow:NODE:PROC@FACTOR", entry)
+			}
+			node, err := strconv.Atoi(nodeStr)
+			if err != nil {
+				return fs, fmt.Errorf("slow entry %q: %w", entry, err)
+			}
+			proc, factor, err := splitAt(rest2)
+			if err != nil {
+				return fs, fmt.Errorf("slow entry %q: %w", entry, err)
+			}
+			plan.Stragglers = append(plan.Stragglers, paradigm.Straggler{Node: node, Proc: proc, Factor: factor})
+		case "rand":
+			seed, err := strconv.ParseUint(rest, 10, 64)
+			if err != nil {
+				return fs, fmt.Errorf("rand entry %q: %w", entry, err)
+			}
+			fs.random, fs.randSeed = true, seed
+		default:
+			return fs, fmt.Errorf("unknown fault kind %q (want kill, drop, dup, delay, slow or rand)", kind)
+		}
+	}
+	if fs.random && (len(plan.ProcFails)+len(plan.MsgFaults)+len(plan.Stragglers) > 0) {
+		return fs, fmt.Errorf("rand:SEED cannot be combined with explicit fault entries")
+	}
+	fs.plan = plan
+	return fs, nil
+}
+
+// splitAt parses "INT@FLOAT".
+func splitAt(s string) (int, float64, error) {
+	a, b, ok := strings.Cut(s, "@")
+	if !ok {
+		return 0, 0, fmt.Errorf("want INT@VALUE, got %q", s)
+	}
+	i, err := strconv.Atoi(a)
+	if err != nil {
+		return 0, 0, err
+	}
+	v, err := strconv.ParseFloat(b, 64)
+	if err != nil {
+		return 0, 0, err
+	}
+	return i, v, nil
+}
+
+// resolve turns the spec into a concrete plan, drawing the random
+// schedule against the given makespan hint and system size.
+func (fs faultSpec) resolve(procs int, hint float64) (*paradigm.FaultPlan, error) {
+	if !fs.random {
+		return fs.plan, nil
+	}
+	return paradigm.RandomFaultPlan(fs.randSeed, paradigm.FaultRandOptions{
+		Procs: procs, MakespanHint: hint, ProcFails: 1, MsgDelays: 1,
+	})
+}

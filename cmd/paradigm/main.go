@@ -7,6 +7,7 @@
 //	paradigm -program strassen -procs 64 -spmd      # pure data-parallel baseline
 //	paradigm -program example  -procs 4             # the Figure 1-2 example
 //	paradigm -mdg graph.json   -procs 32 -dot       # allocate/schedule a raw MDG
+//	paradigm -program cmm -procs 8 -faults 'kill:1@0.01' -recover 2   # chaos run
 //
 // Output: the allocation, the PSA schedule (table + Gantt), the Theorem
 // 1-3 bounds, and — for executable programs — the simulated execution
@@ -50,17 +51,19 @@ func main() {
 		machName = flag.String("machine", "cm5", "machine profile: cm5 | paragon")
 		policy   = flag.String("policy", "est", "ready-queue policy: est | fifo | hlf")
 		depth    = flag.Int("depth", 1, "Strassen recursion depth (program strassen only)")
+		faults   = flag.String("faults", "", "fault schedule, e.g. 'kill:1@0.02,delay:3@0.005' or 'rand:42' (see cmd/paradigm/faults.go)")
+		recov    = flag.Int("recover", 0, "max failure-aware rescheduling attempts after a fault halt (0 = surface the halt)")
 	)
 	flag.Parse()
-	if err := run(*progName, *mdgPath, *srcPath, *traceOut, *pprofOut, *machName, *policy,
-		*procs, *size, *depth, *spmd, *dot, *metrics, *pb); err != nil {
+	if err := run(*progName, *mdgPath, *srcPath, *traceOut, *pprofOut, *machName, *policy, *faults,
+		*procs, *size, *depth, *recov, *spmd, *dot, *metrics, *pb); err != nil {
 		fmt.Fprintln(os.Stderr, "paradigm:", err)
 		os.Exit(1)
 	}
 }
 
-func run(progName, mdgPath, srcPath, traceOut, pprofOut, machName, policy string,
-	procs, size, depth int, spmd, dot, metrics bool, pb int) error {
+func run(progName, mdgPath, srcPath, traceOut, pprofOut, machName, policy, faults string,
+	procs, size, depth, recov int, spmd, dot, metrics bool, pb int) error {
 	var pol sched.Policy
 	switch policy {
 	case "est":
@@ -181,6 +184,32 @@ func run(progName, mdgPath, srcPath, traceOut, pprofOut, machName, policy string
 		paradigm.WithObserver(ob),
 		paradigm.WithScheduleOptions(paradigm.ScheduleOptions{PB: pb, Policy: pol}),
 	}
+	var plan *paradigm.FaultPlan
+	if faults != "" {
+		if spmd {
+			return fmt.Errorf("-faults applies to the MPMD pipeline, not -spmd")
+		}
+		fs, err := parseFaultSpec(faults)
+		if err != nil {
+			return err
+		}
+		hint := 0.0
+		if fs.random {
+			// The random schedule scales fail times by a fault-free
+			// pre-run's makespan (no observer: trace and metrics should
+			// describe the faulted run only).
+			clean, err := paradigm.RunContext(ctx, p, m, cal, procs,
+				paradigm.WithScheduleOptions(paradigm.ScheduleOptions{PB: pb, Policy: pol}))
+			if err != nil {
+				return err
+			}
+			hint = clean.Actual
+		}
+		if plan, err = fs.resolve(procs, hint); err != nil {
+			return err
+		}
+		opts = append(opts, paradigm.WithFaultPlan(plan), paradigm.WithRecovery(recov))
+	}
 	var res *paradigm.Result
 	if spmd {
 		res, err = paradigm.RunSPMDContext(ctx, p, m, cal, procs, opts...)
@@ -191,6 +220,16 @@ func run(progName, mdgPath, srcPath, traceOut, pprofOut, machName, policy string
 		return err
 	}
 	fmt.Printf("program: %s on %d processors (%s)\n\n", p.Name, procs, mode(spmd))
+	if plan != nil {
+		fmt.Printf("faults: %d deaths, %d message faults, %d stragglers injected\n",
+			len(plan.ProcFails), len(plan.MsgFaults), len(plan.Stragglers))
+		if res.Recovered {
+			fmt.Printf("recovery: survived loss of processors %v in %d attempt(s); replanned on %d survivors\n\n",
+				res.FailedProcs, res.RecoveryAttempts, procs-len(res.FailedProcs))
+		} else {
+			fmt.Printf("recovery: not needed (no fault halted the run)\n\n")
+		}
+	}
 	fmt.Printf("allocation: Phi = %.6f s (A_p = %.6f, C_p = %.6f)\n", res.Alloc.Phi, res.Alloc.Ap, res.Alloc.Cp)
 	fmt.Printf("continuous p_i: %s\n\n", formatAlloc(res.Alloc.P))
 	fmt.Print(res.Sched.Table(p.G))

@@ -22,6 +22,7 @@ package alloc
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 
@@ -56,6 +57,14 @@ type Options struct {
 	// annealed temperature stage (per start). Nil costs one pointer
 	// comparison per stage.
 	Observer obs.Observer
+	// FallbackHeuristic enables graceful degradation: when the annealed
+	// convex solve fails or returns a non-finite Φ, SolveCtx retries
+	// from widened perturbed multi-starts (bounded), then falls back to
+	// the greedy critical-path heuristic (SolveHeuristic). Each
+	// degradation step emits one obs.Replan event to Observer.
+	// Cancellation and infeasible/invalid inputs never degrade — they
+	// return immediately.
+	FallbackHeuristic bool
 }
 
 // Result reports one allocation.
@@ -100,6 +109,53 @@ func Solve(g *mdg.Graph, model costmodel.Model, procs int, opts Options) (Result
 // starts and between annealed temperature stages, so a cancelled context
 // aborts the optimization promptly with ctx.Err().
 func SolveCtx(ctx context.Context, g *mdg.Graph, model costmodel.Model, procs int, opts Options) (Result, error) {
+	res, err := solveConvex(ctx, g, model, procs, opts)
+	if err == nil && isFinite(res.Phi) {
+		return res, nil
+	}
+	if !opts.FallbackHeuristic {
+		return res, err
+	}
+	if degradeErr := ctx.Err(); degradeErr != nil {
+		return Result{}, degradeErr
+	}
+	if err != nil && (errors.Is(err, errs.ErrInfeasible) || errors.Is(err, errs.ErrBadGraph)) {
+		// The problem is wrong, not the solver: no retry can help.
+		return Result{}, err
+	}
+	// Bounded retries from wider perturbed multi-starts: a bad basin or a
+	// pathological annealing trajectory often yields to a different start.
+	for _, width := range []int{maxInt(3, 2*opts.MultiStart), maxInt(5, 4*opts.MultiStart)} {
+		retry := opts
+		retry.MultiStart = width
+		retry.FallbackHeuristic = false
+		r, rerr := solveConvex(ctx, g, model, procs, retry)
+		if cerr := ctx.Err(); cerr != nil {
+			return Result{}, cerr
+		}
+		if rerr == nil && isFinite(r.Phi) {
+			if opts.Observer != nil {
+				opts.Observer.Observe(obs.Replan{Stage: "multistart-retry", Procs: procs, Phi: r.Phi})
+			}
+			return r, nil
+		}
+	}
+	hr, herr := SolveHeuristic(g, model, procs)
+	if herr != nil || !isFinite(hr.Phi) {
+		if herr == nil {
+			herr = fmt.Errorf("alloc: heuristic Phi = %v", hr.Phi)
+		}
+		return Result{}, fmt.Errorf("alloc: convex solve failed (%v) and heuristic fallback failed: %w", err, herr)
+	}
+	if opts.Observer != nil {
+		opts.Observer.Observe(obs.Replan{Stage: "heuristic-fallback", Procs: procs, Phi: hr.Phi})
+	}
+	return hr, nil
+}
+
+// solveConvex is the annealed multi-start convex solve (the historical
+// SolveCtx body, byte-identical behaviour without FallbackHeuristic).
+func solveConvex(ctx context.Context, g *mdg.Graph, model costmodel.Model, procs int, opts Options) (Result, error) {
 	if err := ctx.Err(); err != nil {
 		return Result{}, err
 	}
@@ -124,6 +180,17 @@ func SolveCtx(ctx context.Context, g *mdg.Graph, model costmodel.Model, procs in
 		}
 	}
 	return best, nil
+}
+
+// isFinite guards the degradation path against NaN/Inf objectives a
+// broken solve can report without erroring.
+func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 // startPoints produces k deterministic start points inside the box.

@@ -1,13 +1,19 @@
 package alloc
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
 
+	"paradigm/internal/convex"
 	"paradigm/internal/costmodel"
+	"paradigm/internal/errs"
 	"paradigm/internal/mdg"
+	"paradigm/internal/obs"
 )
 
 var cm5Fit = costmodel.Model{Transfer: costmodel.TransferParams{
@@ -298,5 +304,94 @@ func TestMultiStartDeterministicAcrossWorkerWidths(t *testing.T) {
 	}
 	if serial.Solver.Evals != wide.Solver.Evals || serial.Solver.Iters != wide.Solver.Iters {
 		t.Fatalf("winning solver diagnostics differ across widths")
+	}
+}
+
+// --- Graceful degradation (PR 3) -------------------------------------------
+
+// failingStage returns an OnStage hook that fails every solve, the
+// injection point for solver-breakdown tests.
+func failingStage(stage int, temp float64, r convex.Result) error {
+	return fmt.Errorf("injected solver breakdown")
+}
+
+func TestFallbackHeuristicOnSolverBreakdown(t *testing.T) {
+	g := forkJoin(0.1)
+	model := cm5Fit
+	opts := Options{FallbackHeuristic: true}
+	opts.Anneal.OnStage = failingStage
+	rec := obs.NewRecorder()
+	opts.Observer = rec
+	res, err := SolveCtx(context.Background(), g, model, 8, opts)
+	if err != nil {
+		t.Fatalf("degraded solve failed: %v", err)
+	}
+	if math.IsNaN(res.Phi) || math.IsInf(res.Phi, 0) || res.Phi <= 0 {
+		t.Fatalf("fallback Phi = %v", res.Phi)
+	}
+	// The heuristic must have been reached (retries use the same broken
+	// anneal hook, so they fail too).
+	sawFallback := false
+	for _, e := range rec.Events() {
+		if r, ok := e.(obs.Replan); ok && r.Stage == "heuristic-fallback" {
+			sawFallback = true
+		}
+	}
+	if !sawFallback {
+		t.Fatal("no heuristic-fallback Replan event")
+	}
+	// Sanity: the fallback allocation is schedulable.
+	for _, p := range res.P {
+		if p < 1 || p > 8 {
+			t.Fatalf("fallback allocation out of box: %v", res.P)
+		}
+	}
+}
+
+func TestNoFallbackPreservesError(t *testing.T) {
+	g := forkJoin(0.1)
+	opts := Options{}
+	opts.Anneal.OnStage = failingStage
+	if _, err := SolveCtx(context.Background(), g, cm5Fit, 8, opts); err == nil {
+		t.Fatal("want solver error without FallbackHeuristic")
+	}
+}
+
+func TestFallbackDoesNotMaskCancellation(t *testing.T) {
+	g := forkJoin(0.1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := SolveCtx(ctx, g, cm5Fit, 8, Options{FallbackHeuristic: true})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestFallbackDoesNotMaskInfeasible(t *testing.T) {
+	g := forkJoin(0.1)
+	_, err := SolveCtx(context.Background(), g, cm5Fit, 0, Options{FallbackHeuristic: true})
+	if !errors.Is(err, errs.ErrInfeasible) {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestFallbackOffPathUnchanged(t *testing.T) {
+	// With a healthy solver, FallbackHeuristic must not change the result.
+	g := forkJoin(0.1)
+	a, err := SolveCtx(context.Background(), g, cm5Fit, 8, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SolveCtx(context.Background(), g, cm5Fit, 8, Options{FallbackHeuristic: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Phi != b.Phi {
+		t.Fatalf("healthy solve changed under FallbackHeuristic: %v vs %v", a.Phi, b.Phi)
+	}
+	for i := range a.P {
+		if a.P[i] != b.P[i] {
+			t.Fatalf("allocation %d changed: %v vs %v", i, a.P[i], b.P[i])
+		}
 	}
 }

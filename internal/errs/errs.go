@@ -26,4 +26,20 @@ var (
 	// ErrUnsupportedTransfer marks a data transfer whose kind is outside
 	// the modeled regimes (1D, 2D and the grid extensions).
 	ErrUnsupportedTransfer = errors.New("unsupported transfer kind")
+
+	// ErrDeadlock marks a simulated run that stopped making progress with
+	// every processor blocked (a scheduling or code-generation bug, or an
+	// injected fault whose cause could not be attributed).
+	ErrDeadlock = errors.New("simulation deadlock")
+
+	// ErrProcessorLost marks a simulated run halted by a fail-stop
+	// processor death: the surviving processors blocked on messages or
+	// barriers involving a dead processor. Recoverable by replanning on
+	// the survivors (see the recovery driver).
+	ErrProcessorLost = errors.New("processor lost")
+
+	// ErrMessageLost marks a simulated run halted by a dropped message: a
+	// receiver blocked on a tag the fault plan discarded. Recoverable by
+	// replanning — no processor state was lost.
+	ErrMessageLost = errors.New("message lost")
 )

@@ -1,0 +1,265 @@
+// Package fault defines deterministic, seeded fault schedules for the
+// simulated multicomputer — the failure model the paper's reliable-CM-5
+// assumption rules out.
+//
+// A Plan is a declarative list of fault events the simulator interprets
+// while executing MPMD streams:
+//
+//   - ProcFail: fail-stop processor death at a virtual time. The
+//     processor executes no instruction once its clock reaches the fail
+//     time, its blocks are considered lost, and its in-flight messages
+//     (still in the network at death) are dropped.
+//   - MsgFault: per-message loss, duplication or extra latency, matched
+//     by the global send sequence number (deterministic: the simulator's
+//     sweep order is fixed) or by message tag.
+//   - Straggler: a multiplicative kernel slowdown for one (node, proc)
+//     pair — OS noise far beyond the jitter model, enough to invert
+//     scheduling decisions.
+//
+// Plans are plain data: the same plan replayed against the same program
+// and machine yields a bit-identical simulation, which is what makes the
+// chaos harness's "recovered result equals the sequential reference"
+// check meaningful. Rand builds randomized-but-seeded plans for that
+// harness.
+package fault
+
+import (
+	"fmt"
+	"math"
+)
+
+// MsgFaultKind enumerates the message fault modes.
+type MsgFaultKind uint8
+
+const (
+	// Drop discards the message after the sender paid its send cost: the
+	// receiver blocks until the watchdog diagnoses the loss.
+	Drop MsgFaultKind = iota
+	// Duplicate delivers a spurious second copy; under tag-matched
+	// receive semantics the duplicate is discarded, costing the receiver
+	// one extra matching overhead.
+	Duplicate
+	// Delay holds the message in the network for Extra seconds beyond
+	// its modeled transit.
+	Delay
+)
+
+// String renders the kind name.
+func (k MsgFaultKind) String() string {
+	switch k {
+	case Drop:
+		return "drop"
+	case Duplicate:
+		return "duplicate"
+	case Delay:
+		return "delay"
+	default:
+		return fmt.Sprintf("MsgFaultKind(%d)", uint8(k))
+	}
+}
+
+// ProcFail is a fail-stop processor death: processor Proc executes no
+// instruction once its virtual clock reaches At.
+type ProcFail struct {
+	Proc int
+	At   float64
+}
+
+// MsgFault applies Kind to one message, selected by the global send
+// sequence number Seq (0-based, in simulator sweep order) or — when Tag
+// is non-empty — by the codegen message tag.
+type MsgFault struct {
+	Kind MsgFaultKind
+	Seq  int
+	Tag  string
+	// Extra is the added network latency in seconds (Delay only).
+	Extra float64
+}
+
+// Straggler scales the kernel execution cost of node Node on processor
+// Proc by Factor (>= 1): a deterministic slow processor.
+type Straggler struct {
+	Node, Proc int
+	Factor     float64
+}
+
+// Plan is one deterministic fault schedule.
+type Plan struct {
+	ProcFails  []ProcFail
+	MsgFaults  []MsgFault
+	Stragglers []Straggler
+}
+
+// Empty reports whether the plan injects nothing.
+func (p *Plan) Empty() bool {
+	return p == nil || (len(p.ProcFails) == 0 && len(p.MsgFaults) == 0 && len(p.Stragglers) == 0)
+}
+
+// Validate checks the plan against a system size.
+func (p *Plan) Validate(procs int) error {
+	if p == nil {
+		return nil
+	}
+	for _, f := range p.ProcFails {
+		if f.Proc < 0 || f.Proc >= procs {
+			return fmt.Errorf("fault: ProcFail.Proc = %d outside [0, %d)", f.Proc, procs)
+		}
+		if f.At < 0 || math.IsNaN(f.At) {
+			return fmt.Errorf("fault: ProcFail.At = %v, want >= 0", f.At)
+		}
+	}
+	for _, f := range p.MsgFaults {
+		if f.Tag == "" && f.Seq < 0 {
+			return fmt.Errorf("fault: MsgFault needs a Tag or a Seq >= 0, got Seq = %d", f.Seq)
+		}
+		if f.Kind == Delay && (f.Extra <= 0 || math.IsNaN(f.Extra)) {
+			return fmt.Errorf("fault: Delay needs Extra > 0, got %v", f.Extra)
+		}
+		if f.Kind > Delay {
+			return fmt.Errorf("fault: unknown message fault kind %d", f.Kind)
+		}
+	}
+	for _, s := range p.Stragglers {
+		if s.Proc < 0 || s.Proc >= procs {
+			return fmt.Errorf("fault: Straggler.Proc = %d outside [0, %d)", s.Proc, procs)
+		}
+		if s.Node < 0 {
+			return fmt.Errorf("fault: Straggler.Node = %d, want >= 0", s.Node)
+		}
+		if s.Factor < 1 || math.IsNaN(s.Factor) || math.IsInf(s.Factor, 0) {
+			return fmt.Errorf("fault: Straggler.Factor = %v, want >= 1 and finite", s.Factor)
+		}
+	}
+	return nil
+}
+
+// FailAt returns the earliest fail time for a processor, if any.
+func (p *Plan) FailAt(proc int) (float64, bool) {
+	if p == nil {
+		return 0, false
+	}
+	at, ok := math.Inf(1), false
+	for _, f := range p.ProcFails {
+		if f.Proc == proc && f.At < at {
+			at, ok = f.At, true
+		}
+	}
+	return at, ok
+}
+
+// MsgFaultFor returns the fault applying to a message, matching Tag
+// entries first, then Seq entries; the first match in plan order wins.
+func (p *Plan) MsgFaultFor(seq int, tag string) (MsgFault, bool) {
+	if p == nil {
+		return MsgFault{}, false
+	}
+	for _, f := range p.MsgFaults {
+		if f.Tag != "" && f.Tag == tag {
+			return f, true
+		}
+	}
+	for _, f := range p.MsgFaults {
+		if f.Tag == "" && f.Seq == seq {
+			return f, true
+		}
+	}
+	return MsgFault{}, false
+}
+
+// SlowdownFor returns the combined straggler factor for one (node, proc)
+// execution (1 when no straggler applies).
+func (p *Plan) SlowdownFor(node, proc int) float64 {
+	if p == nil {
+		return 1
+	}
+	f := 1.0
+	for _, s := range p.Stragglers {
+		if s.Node == node && s.Proc == proc {
+			f *= s.Factor
+		}
+	}
+	return f
+}
+
+// rng is a splitmix64 stream: deterministic across platforms and Go
+// versions (unlike math/rand's unspecified algorithm migrations).
+type rng struct{ state uint64 }
+
+func (r *rng) next() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	x := r.state
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// float64 returns a uniform value in [0, 1).
+func (r *rng) float64() float64 { return float64(r.next()>>11) / float64(1<<53) }
+
+// intn returns a uniform value in [0, n).
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// RandOptions shapes Rand's generated plans.
+type RandOptions struct {
+	// Procs is the system size faults are drawn over (required).
+	Procs int
+	// MakespanHint scales fail times: deaths land uniformly in
+	// (0, MakespanHint). Required when ProcFails > 0.
+	MakespanHint float64
+	// ProcFails, MsgDrops, MsgDelays, Stragglers set how many faults of
+	// each kind to draw.
+	ProcFails, MsgDrops, MsgDelays, Stragglers int
+	// Messages bounds the Seq draw for message faults (default 64).
+	Messages int
+	// Nodes bounds the Node draw for stragglers (default 8).
+	Nodes int
+}
+
+// Rand builds a randomized-but-seeded plan: the same seed and options
+// always produce the same plan. Distinct processors are drawn for
+// ProcFails so a k-fault plan kills exactly k processors.
+func Rand(seed uint64, o RandOptions) (*Plan, error) {
+	if o.Procs < 1 {
+		return nil, fmt.Errorf("fault: RandOptions.Procs = %d, want >= 1", o.Procs)
+	}
+	if o.ProcFails > 0 && o.MakespanHint <= 0 {
+		return nil, fmt.Errorf("fault: ProcFails > 0 needs MakespanHint > 0")
+	}
+	if o.ProcFails >= o.Procs {
+		return nil, fmt.Errorf("fault: cannot fail %d of %d processors", o.ProcFails, o.Procs)
+	}
+	if o.Messages <= 0 {
+		o.Messages = 64
+	}
+	if o.Nodes <= 0 {
+		o.Nodes = 8
+	}
+	r := &rng{state: seed}
+	p := &Plan{}
+	used := map[int]bool{}
+	for i := 0; i < o.ProcFails; i++ {
+		proc := r.intn(o.Procs)
+		for used[proc] {
+			proc = r.intn(o.Procs)
+		}
+		used[proc] = true
+		p.ProcFails = append(p.ProcFails, ProcFail{Proc: proc, At: r.float64() * o.MakespanHint})
+	}
+	for i := 0; i < o.MsgDrops; i++ {
+		p.MsgFaults = append(p.MsgFaults, MsgFault{Kind: Drop, Seq: r.intn(o.Messages)})
+	}
+	for i := 0; i < o.MsgDelays; i++ {
+		p.MsgFaults = append(p.MsgFaults, MsgFault{
+			Kind: Delay, Seq: r.intn(o.Messages), Extra: 1e-4 + 1e-2*r.float64(),
+		})
+	}
+	for i := 0; i < o.Stragglers; i++ {
+		p.Stragglers = append(p.Stragglers, Straggler{
+			Node: r.intn(o.Nodes), Proc: r.intn(o.Procs), Factor: 1 + 9*r.float64(),
+		})
+	}
+	return p, nil
+}

@@ -1,0 +1,127 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name  string
+		plan  *Plan
+		procs int
+		ok    bool
+	}{
+		{"nil plan", nil, 4, true},
+		{"empty plan", &Plan{}, 4, true},
+		{"good fail", &Plan{ProcFails: []ProcFail{{Proc: 3, At: 0.5}}}, 4, true},
+		{"proc out of range", &Plan{ProcFails: []ProcFail{{Proc: 4, At: 0.5}}}, 4, false},
+		{"negative time", &Plan{ProcFails: []ProcFail{{Proc: 0, At: -1}}}, 4, false},
+		{"drop by seq", &Plan{MsgFaults: []MsgFault{{Kind: Drop, Seq: 2}}}, 4, true},
+		{"drop unaddressed", &Plan{MsgFaults: []MsgFault{{Kind: Drop, Seq: -1}}}, 4, false},
+		{"delay without extra", &Plan{MsgFaults: []MsgFault{{Kind: Delay, Seq: 0}}}, 4, false},
+		{"straggler below one", &Plan{Stragglers: []Straggler{{Node: 0, Proc: 0, Factor: 0.5}}}, 4, false},
+		{"straggler ok", &Plan{Stragglers: []Straggler{{Node: 1, Proc: 2, Factor: 3}}}, 4, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.plan.Validate(tc.procs)
+			if (err == nil) != tc.ok {
+				t.Fatalf("Validate = %v, want ok=%v", err, tc.ok)
+			}
+		})
+	}
+}
+
+func TestLookups(t *testing.T) {
+	p := &Plan{
+		ProcFails: []ProcFail{{Proc: 2, At: 0.7}, {Proc: 2, At: 0.3}},
+		MsgFaults: []MsgFault{
+			{Kind: Drop, Seq: 5},
+			{Kind: Delay, Tag: "A@0->2#0", Extra: 0.01},
+		},
+		Stragglers: []Straggler{{Node: 1, Proc: 0, Factor: 2}, {Node: 1, Proc: 0, Factor: 3}},
+	}
+	if at, ok := p.FailAt(2); !ok || at != 0.3 {
+		t.Fatalf("FailAt(2) = %v, %v; want earliest 0.3", at, ok)
+	}
+	if _, ok := p.FailAt(0); ok {
+		t.Fatal("FailAt(0) should not match")
+	}
+	if f, ok := p.MsgFaultFor(5, "other"); !ok || f.Kind != Drop {
+		t.Fatalf("MsgFaultFor(5) = %+v, %v", f, ok)
+	}
+	// Tag matches win over Seq matches.
+	if f, ok := p.MsgFaultFor(5, "A@0->2#0"); !ok || f.Kind != Delay {
+		t.Fatalf("tag match lost to seq: %+v, %v", f, ok)
+	}
+	if _, ok := p.MsgFaultFor(4, "none"); ok {
+		t.Fatal("unexpected message fault match")
+	}
+	if got := p.SlowdownFor(1, 0); got != 6 {
+		t.Fatalf("SlowdownFor = %v, want compounded 6", got)
+	}
+	if got := p.SlowdownFor(2, 0); got != 1 {
+		t.Fatalf("SlowdownFor(no match) = %v, want 1", got)
+	}
+}
+
+func TestRandDeterministicAndDistinct(t *testing.T) {
+	opts := RandOptions{Procs: 8, MakespanHint: 2.0, ProcFails: 3, MsgDrops: 2, MsgDelays: 1, Stragglers: 2}
+	a, err := Rand(42, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Rand(42, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed produced different plans:\n%+v\n%+v", a, b)
+	}
+	c, err := Rand(43, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical plans")
+	}
+	seen := map[int]bool{}
+	for _, f := range a.ProcFails {
+		if seen[f.Proc] {
+			t.Fatalf("processor %d failed twice", f.Proc)
+		}
+		seen[f.Proc] = true
+		if f.At < 0 || f.At >= opts.MakespanHint {
+			t.Fatalf("fail time %v outside (0, %v)", f.At, opts.MakespanHint)
+		}
+	}
+	if err := a.Validate(8); err != nil {
+		t.Fatalf("generated plan invalid: %v", err)
+	}
+}
+
+func TestRandRejectsBadOptions(t *testing.T) {
+	if _, err := Rand(1, RandOptions{Procs: 0}); err == nil {
+		t.Fatal("want error for zero procs")
+	}
+	if _, err := Rand(1, RandOptions{Procs: 4, ProcFails: 1}); err == nil {
+		t.Fatal("want error for missing makespan hint")
+	}
+	if _, err := Rand(1, RandOptions{Procs: 2, ProcFails: 2, MakespanHint: 1}); err == nil {
+		t.Fatal("want error for failing every processor")
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	var p *Plan
+	if !p.Empty() {
+		t.Fatal("nil plan should be empty")
+	}
+	if !(&Plan{}).Empty() {
+		t.Fatal("zero plan should be empty")
+	}
+	if (&Plan{Stragglers: []Straggler{{Factor: 2}}}).Empty() {
+		t.Fatal("straggler plan should not be empty")
+	}
+}

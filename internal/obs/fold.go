@@ -69,5 +69,32 @@ func (m *metricsObserver) Observe(e Event) {
 		r.Counter("calib_fits_total").Inc()
 		r.Histogram("calib_fit_r2", ratioBuckets).Observe(ev.R2)
 		r.Histogram("calib_fit_residual_seconds", timeBuckets).Observe(ev.MaxAbsResidual)
+		if ev.Warning {
+			r.Counter("calib_fit_warnings_total").Inc()
+		}
+	case Fault:
+		r.Counter("fault_injected_total").Inc()
+		r.Counter("fault_injected_" + ev.FaultKind + "_total").Inc()
+	case Recovery:
+		r.Counter("recovery_attempts_total").Inc()
+		r.Counter("recovery_failed_procs_total").Add(ev.Failed)
+		r.Counter("recovery_restored_arrays_total").Add(ev.Restored)
+		r.Counter("recovery_residual_nodes_total").Add(ev.Residual)
+	case Replan:
+		r.Counter("replan_total").Inc()
+		r.Counter("replan_" + sanitizeMetricFragment(ev.Stage) + "_total").Inc()
+		r.Histogram("replan_phi", nil).Observe(ev.Phi)
 	}
+}
+
+// sanitizeMetricFragment maps an event label into a metric-name-safe
+// fragment (the Stage strings use '-' separators).
+func sanitizeMetricFragment(s string) string {
+	b := []byte(s)
+	for i, c := range b {
+		if c == '-' || c == ' ' {
+			b[i] = '_'
+		}
+	}
+	return string(b)
 }

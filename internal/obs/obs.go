@@ -52,6 +52,12 @@ const (
 	KindProcStat
 	// KindCalibFit: one training-sets fit summary.
 	KindCalibFit
+	// KindFault: one injected fault taking effect in the simulator.
+	KindFault
+	// KindRecovery: one recovery attempt after a halted simulation.
+	KindRecovery
+	// KindReplan: one replanning (or allocator degradation) decision.
+	KindReplan
 )
 
 // Event is one structured pipeline event.
@@ -153,16 +159,64 @@ func (ProcStat) Kind() Kind { return KindProcStat }
 
 // CalibFit reports one training-sets regression: the fit name (a Table 1
 // loop row or the Table 2 send/recv fit), its R², the worst absolute
-// residual over the sweep, and the sample count.
+// residual over the sweep, and the sample count. Warning is set when the
+// R² fell below the trainsets quality threshold — the fit is kept but
+// flagged instead of silently trusted.
 type CalibFit struct {
 	Name           string
 	R2             float64
 	MaxAbsResidual float64
 	Samples        int
+	Warning        bool
 }
 
 // Kind implements Event.
 func (CalibFit) Kind() Kind { return KindCalibFit }
+
+// Fault reports one injected fault taking effect in the simulator:
+// Kind is "proc-fail", "msg-drop", "msg-duplicate", "msg-delay" or
+// "straggler"; the coordinate fields that do not apply are -1/"".
+// Time is the virtual time at which the fault fired.
+type Fault struct {
+	FaultKind string
+	Proc      int
+	Node      int
+	Tag       string
+	Time      float64
+}
+
+// Kind implements Event.
+func (Fault) Kind() Kind { return KindFault }
+
+// Recovery reports one recovery attempt after a halted simulation:
+// Cause names the halt sentinel, Failed/Survivors count processors,
+// Restored counts arrays salvaged from surviving blocks, Residual
+// counts nodes that must re-execute.
+type Recovery struct {
+	Attempt   int
+	Cause     string
+	Failed    int
+	Survivors int
+	Restored  int
+	Residual  int
+}
+
+// Kind implements Event.
+func (Recovery) Kind() Kind { return KindRecovery }
+
+// Replan reports one replanning decision: a recovery-driven reschedule
+// (Stage "recovery") or an allocator degradation step (Stage
+// "multistart-retry" / "heuristic-fallback"). Phi is the objective of
+// the replacement allocation; Procs the system size it targets.
+type Replan struct {
+	Attempt int
+	Stage   string
+	Procs   int
+	Phi     float64
+}
+
+// Kind implements Event.
+func (Replan) Kind() Kind { return KindReplan }
 
 // Multi fans every event out to each non-nil observer. A result of nil
 // (no observers) preserves the nil fast path at the emit sites.

@@ -1,0 +1,46 @@
+// Failure-aware rescheduling support: the pure frontier computation the
+// recovery driver builds its residual program from. The driver itself
+// lives in the root package (codegen already imports sched, so the
+// orchestration that needs codegen cannot sit here).
+
+package sched
+
+import (
+	"fmt"
+
+	"paradigm/internal/mdg"
+)
+
+// CompletedFrontier computes the stably-complete node set of a partial
+// run: node v is stably complete iff done[v] and every predecessor is
+// stably complete. Under dataflow execution the done set is already
+// ancestor-closed — a barrier cannot execute before its inputs' producers
+// — but a corrupted partial state must demote such orphans to
+// incomplete so recovery re-runs them rather than trusting their blocks.
+//
+// Dummy START/STOP nodes run no barrier, so callers mark them done
+// before calling (they produce nothing and are vacuously complete).
+func CompletedFrontier(g *mdg.Graph, done []bool) ([]bool, error) {
+	if len(done) != g.NumNodes() {
+		return nil, fmt.Errorf("sched: done has %d entries for %d nodes", len(done), g.NumNodes())
+	}
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	stable := make([]bool, g.NumNodes())
+	for _, v := range order {
+		if !done[v] {
+			continue
+		}
+		ok := true
+		for _, u := range g.Preds(v) {
+			if !stable[u] {
+				ok = false
+				break
+			}
+		}
+		stable[v] = ok
+	}
+	return stable, nil
+}

@@ -1,0 +1,61 @@
+package sched
+
+import (
+	"testing"
+
+	"paradigm/internal/mdg"
+)
+
+// diamond builds START(0) -> a(1), b(2) -> STOP(3)-ish shape without
+// dummies: 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3.
+func diamond(t *testing.T) *mdg.Graph {
+	t.Helper()
+	var g mdg.Graph
+	n0 := g.AddNode(mdg.Node{Name: "n0", Alpha: 0.1, Tau: 1})
+	n1 := g.AddNode(mdg.Node{Name: "n1", Alpha: 0.1, Tau: 1})
+	n2 := g.AddNode(mdg.Node{Name: "n2", Alpha: 0.1, Tau: 1})
+	n3 := g.AddNode(mdg.Node{Name: "n3", Alpha: 0.1, Tau: 1})
+	tr := mdg.Transfer{Bytes: 8, Kind: mdg.Transfer1D}
+	g.AddEdge(n0, n1, tr)
+	g.AddEdge(n0, n2, tr)
+	g.AddEdge(n1, n3, tr)
+	g.AddEdge(n2, n3, tr)
+	return &g
+}
+
+func TestCompletedFrontier(t *testing.T) {
+	g := diamond(t)
+	cases := []struct {
+		name string
+		done []bool
+		want []bool
+	}{
+		{"nothing done", []bool{false, false, false, false}, []bool{false, false, false, false}},
+		{"all done", []bool{true, true, true, true}, []bool{true, true, true, true}},
+		{"one branch", []bool{true, true, false, false}, []bool{true, true, false, false}},
+		// An orphan (done without its ancestors) is demoted: its blocks
+		// cannot be trusted when its input producers never ran.
+		{"orphan leaf", []bool{false, false, false, true}, []bool{false, false, false, false}},
+		{"orphan branch", []bool{true, false, true, true}, []bool{true, false, true, false}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := CompletedFrontier(g, tc.done)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range got {
+				if got[i] != tc.want[i] {
+					t.Fatalf("frontier = %v, want %v", got, tc.want)
+				}
+			}
+		})
+	}
+}
+
+func TestCompletedFrontierSizeMismatch(t *testing.T) {
+	g := diamond(t)
+	if _, err := CompletedFrontier(g, []bool{true}); err == nil {
+		t.Fatal("want size-mismatch error")
+	}
+}

@@ -16,6 +16,15 @@
 // program's sequential reference. A scheduling or code-generation bug
 // either deadlocks (reported with a full blocked-processor diagnosis) or
 // produces wrong numbers — it cannot hide.
+//
+// Fault injection: Options.Faults attaches a deterministic fault.Plan.
+// A fail-stop processor executes no instruction once its clock reaches
+// its fail time; messages still in the network at its death are dropped,
+// as are messages a Drop fault discards. When the run stops making
+// progress, the virtual-time watchdog classifies the halt — processor
+// loss, message loss, or plain deadlock — and returns a HaltError whose
+// Partial result carries the surviving block stores and the set of
+// completed nodes, the state the recovery driver replans from.
 package sim
 
 import (
@@ -27,6 +36,8 @@ import (
 
 	"paradigm/internal/codegen"
 	"paradigm/internal/dist"
+	"paradigm/internal/errs"
+	"paradigm/internal/fault"
 	"paradigm/internal/kernels"
 	"paradigm/internal/machine"
 	"paradigm/internal/matrix"
@@ -57,6 +68,9 @@ type message struct {
 	// from and the send window feed the per-message Comm event.
 	from               int
 	sendStart, sendEnd float64
+	// dup marks a Duplicate-faulted message: the receiver pays one extra
+	// tag-matching overhead discarding the spurious copy.
+	dup bool
 }
 
 // Options configures a simulated run.
@@ -66,7 +80,43 @@ type Options struct {
 	// obs.ProcStat event per processor at run end. Nil costs one pointer
 	// comparison per would-be event.
 	Observer obs.Observer
+	// Faults, when non-nil, is the deterministic fault schedule this run
+	// interprets: fail-stop deaths, message loss/duplication/delay, and
+	// kernel stragglers. Each fault that fires emits one obs.Fault event.
+	Faults *fault.Plan
+	// VirtualDeadline, when > 0, halts the run with a deadlock diagnosis
+	// once any processor's virtual clock exceeds it — the watchdog bound
+	// for runs a straggler or fault has stretched beyond all plausibility.
+	VirtualDeadline float64
 }
+
+// HaltError reports a simulated run that stopped before completing: the
+// watchdog found no runnable instruction (or the virtual deadline
+// passed). It wraps one of the errs sentinels — ErrProcessorLost when a
+// fail-stop death is implicated, ErrMessageLost when a receiver waits on
+// a dropped message, ErrDeadlock otherwise — and carries the partial
+// machine state the recovery driver replans from.
+type HaltError struct {
+	// Sentinel is errs.ErrProcessorLost, errs.ErrMessageLost or
+	// errs.ErrDeadlock.
+	Sentinel error
+	// Failed lists fail-stop processors that died, ascending.
+	Failed []int
+	// Blocked describes each stuck processor and what it waits on.
+	Blocked string
+	// Partial is the machine state at the halt: clocks, completed nodes,
+	// and the surviving block stores (failed processors' blocks are
+	// lost — SalvageArray skips them).
+	Partial *Result
+}
+
+// Error implements error.
+func (e *HaltError) Error() string {
+	return fmt.Sprintf("sim: %v;%s", e.Sentinel, e.Blocked)
+}
+
+// Unwrap exposes the sentinel to errors.Is.
+func (e *HaltError) Unwrap() error { return e.Sentinel }
 
 // Result reports one simulated run.
 type Result struct {
@@ -87,6 +137,12 @@ type Result struct {
 	// final clock plus the intra-run waits is idle time. Indexed like
 	// ProcClock.
 	ProcBusy []float64
+	// NodeDone marks nodes whose group barrier executed; dummy
+	// (OpNone) nodes stay false — they run no barrier.
+	NodeDone []bool
+	// FailedProcs lists fail-stop processors that died during the run,
+	// ascending (empty without a fault plan).
+	FailedProcs []int
 
 	stores []map[string]*block
 	p      *prog.Program
@@ -114,12 +170,20 @@ func RunCtx(ctx context.Context, p *prog.Program, streams *codegen.Streams, mp m
 	nProcs := streams.Procs
 	nNodes := p.G.NumNodes()
 	ob := o.Observer
+	plan := o.Faults
+	if plan.Empty() {
+		plan = nil // one nil check per fault hook on the clean path
+	}
+	if err := plan.Validate(nProcs); err != nil {
+		return nil, err
+	}
 
 	res := &Result{
 		ProcClock:  make([]float64, nProcs),
 		NodeStart:  make([]float64, nNodes),
 		NodeFinish: make([]float64, nNodes),
 		ProcBusy:   make([]float64, nProcs),
+		NodeDone:   make([]bool, nNodes),
 		stores:     make([]map[string]*block, nProcs),
 		p:          p,
 	}
@@ -129,6 +193,37 @@ func RunCtx(ctx context.Context, p *prog.Program, streams *codegen.Streams, mp m
 
 	pc := make([]int, nProcs)
 	mailbox := map[string]message{}
+	// Fault bookkeeping: dead processors, and tags discarded by Drop
+	// faults or by a sender's death (for the watchdog's classification).
+	var dead []bool
+	dropped := map[string]bool{}
+	if plan != nil {
+		dead = make([]bool, nProcs)
+	}
+	// kill marks a processor dead at time at: it executes no further
+	// instruction, and its messages still in the network are dropped.
+	kill := func(pr int, at float64) {
+		dead[pr] = true
+		res.FailedProcs = append(res.FailedProcs, pr)
+		sort.Ints(res.FailedProcs)
+		var lost []string
+		for tag, m := range mailbox {
+			if m.from == pr && m.readyAt > at {
+				lost = append(lost, tag)
+			}
+		}
+		sort.Strings(lost) // deterministic event order under map iteration
+		for _, tag := range lost {
+			delete(mailbox, tag)
+			dropped[tag] = true
+			if ob != nil {
+				ob.Observe(obs.Fault{FaultKind: "msg-drop", Proc: pr, Node: -1, Tag: tag, Time: at})
+			}
+		}
+		if ob != nil {
+			ob.Observe(obs.Fault{FaultKind: "proc-fail", Proc: pr, Node: -1, Time: at})
+		}
+	}
 	type barrier struct {
 		arrived  map[int]bool
 		executed bool
@@ -161,7 +256,10 @@ func RunCtx(ctx context.Context, p *prog.Program, streams *codegen.Streams, mp m
 			if _, dup := mailbox[in.Tag]; dup {
 				return false, fmt.Errorf("sim: duplicate message tag %q", in.Tag)
 			}
-			mailbox[in.Tag] = message{
+			seq := res.Messages
+			res.Messages++
+			res.NetworkBytes += in.Payload.Bytes()
+			msg := message{
 				readyAt:   res.ProcClock[pr] + bytes*mp.NetPerByte,
 				payload:   in.Payload,
 				data:      data,
@@ -169,8 +267,30 @@ func RunCtx(ctx context.Context, p *prog.Program, streams *codegen.Streams, mp m
 				sendStart: sendStart,
 				sendEnd:   res.ProcClock[pr],
 			}
-			res.Messages++
-			res.NetworkBytes += in.Payload.Bytes()
+			if mf, hit := plan.MsgFaultFor(seq, in.Tag); hit {
+				switch mf.Kind {
+				case fault.Drop:
+					// The sender paid its cost; the payload never arrives.
+					// The blocked receiver is the watchdog's problem.
+					dropped[in.Tag] = true
+					if ob != nil {
+						ob.Observe(obs.Fault{FaultKind: "msg-drop", Proc: pr, Node: -1, Tag: in.Tag, Time: res.ProcClock[pr]})
+					}
+					pc[pr]++
+					return true, nil
+				case fault.Duplicate:
+					msg.dup = true
+					if ob != nil {
+						ob.Observe(obs.Fault{FaultKind: "msg-duplicate", Proc: pr, Node: -1, Tag: in.Tag, Time: res.ProcClock[pr]})
+					}
+				case fault.Delay:
+					msg.readyAt += mf.Extra
+					if ob != nil {
+						ob.Observe(obs.Fault{FaultKind: "msg-delay", Proc: pr, Node: -1, Tag: in.Tag, Time: res.ProcClock[pr]})
+					}
+				}
+			}
+			mailbox[in.Tag] = msg
 			pc[pr]++
 			return true, nil
 
@@ -183,6 +303,11 @@ func RunCtx(ctx context.Context, p *prog.Program, streams *codegen.Streams, mp m
 			bytes := float64(in.Payload.Bytes())
 			t := math.Max(res.ProcClock[pr], msg.readyAt)
 			cost := mp.RecvStartup + mp.MsgMatchOverhead + bytes*mp.RecvPerByte
+			if msg.dup {
+				// Discarding the spurious duplicate copy costs one extra
+				// tag match; the payload itself is idempotent.
+				cost += mp.MsgMatchOverhead
+			}
 			res.ProcClock[pr] = t + cost
 			res.ProcBusy[pr] += cost
 			if ob != nil {
@@ -247,7 +372,7 @@ func RunCtx(ctx context.Context, p *prog.Program, streams *codegen.Streams, mp m
 				return false, nil // blocked on slower group members
 			}
 			// Last arrival executes the node for the whole group.
-			if err := execNode(res, p, mp, in, b.start, ob); err != nil {
+			if err := execNode(res, p, mp, in, b.start, ob, plan); err != nil {
 				return false, err
 			}
 			b.executed = true
@@ -268,6 +393,19 @@ func RunCtx(ctx context.Context, p *prog.Program, streams *codegen.Streams, mp m
 		done := true
 		for pr := 0; pr < nProcs; pr++ {
 			for {
+				// Fail-stop check before every instruction: a processor
+				// whose clock reached its fail time while work remains
+				// dies here. A fail time past the last instruction has no
+				// effect — the processor already finished its stream.
+				if plan != nil && !dead[pr] && pc[pr] < len(streams.PerProc[pr]) {
+					if at, ok := plan.FailAt(pr); ok && res.ProcClock[pr] >= at {
+						kill(pr, at)
+						progress = true
+					}
+				}
+				if dead != nil && dead[pr] {
+					break
+				}
 				adv, err := step(pr)
 				if err != nil {
 					return nil, err
@@ -277,15 +415,42 @@ func RunCtx(ctx context.Context, p *prog.Program, streams *codegen.Streams, mp m
 				}
 				progress = true
 			}
-			if pc[pr] < len(streams.PerProc[pr]) {
+			if pc[pr] < len(streams.PerProc[pr]) && (dead == nil || !dead[pr]) {
 				done = false
 			}
 		}
+		if o.VirtualDeadline > 0 {
+			for pr := 0; pr < nProcs; pr++ {
+				if res.ProcClock[pr] > o.VirtualDeadline {
+					return nil, halt(streams, pc, dead, dropped, res,
+						fmt.Sprintf(" virtual deadline %g exceeded by P%d;", o.VirtualDeadline, pr))
+				}
+			}
+		}
 		if done {
-			break
+			incomplete := false
+			for _, fp := range res.FailedProcs {
+				if pc[fp] < len(streams.PerProc[fp]) {
+					incomplete = true
+					break
+				}
+			}
+			if !incomplete {
+				break
+			}
+			// Survivors ran out of work but a dead processor's stream never
+			// finished: the run cannot have produced every array, so a
+			// silent "success" here would hide the loss.
+			return nil, halt(streams, pc, dead, dropped, res, "")
 		}
 		if !progress {
-			return nil, deadlockError(streams, pc)
+			// A cancelled context is not a deadlock: re-check before
+			// diagnosing, so callers racing cancellation against a stuck
+			// sweep get context.Canceled, not a misleading halt report.
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			return nil, halt(streams, pc, dead, dropped, res, "")
 		}
 	}
 
@@ -309,7 +474,7 @@ func RunCtx(ctx context.Context, p *prog.Program, streams *codegen.Streams, mp m
 // execNode runs one kernel as a group: advances every member's clock by
 // its ground-truth cost (linear or grid layout) and computes the real
 // output blocks.
-func execNode(res *Result, p *prog.Program, mp machine.Params, in codegen.Exec, start float64, ob obs.Observer) error {
+func execNode(res *Result, p *prog.Program, mp machine.Params, in codegen.Exec, start float64, ob obs.Observer, plan *fault.Plan) error {
 	spec := p.Specs[in.Node]
 	k := spec.Kernel
 	q := len(in.Group)
@@ -344,6 +509,12 @@ func execNode(res *Result, p *prog.Program, mp machine.Params, in codegen.Exec, 
 			}
 			cost = k.ProcTime(mp, q, extent)
 		}
+		if f := plan.SlowdownFor(int(in.Node), proc); f > 1 {
+			cost *= f
+			if ob != nil {
+				ob.Observe(obs.Fault{FaultKind: "straggler", Proc: proc, Node: int(in.Node), Time: start})
+			}
+		}
 		t := start + cost*mp.Jitter(int(in.Node), proc)
 		res.ProcClock[proc] = t
 		res.ProcBusy[proc] += t - start
@@ -353,6 +524,9 @@ func execNode(res *Result, p *prog.Program, mp machine.Params, in codegen.Exec, 
 	}
 	res.NodeStart[in.Node] = start
 	res.NodeFinish[in.Node] = finish
+	if k.Op != kernels.OpNone {
+		res.NodeDone[in.Node] = true
+	}
 	if ob != nil {
 		ob.Observe(obs.NodeRun{
 			Node: int(in.Node), Start: start, Finish: finish, Procs: q,
@@ -544,24 +718,60 @@ func insert(b *block, rect codegen.Rect, data *matrix.Matrix) error {
 	return nil
 }
 
-// deadlockError reports which processors are blocked on what.
-func deadlockError(streams *codegen.Streams, pc []int) error {
+// halt classifies a stopped run and builds its HaltError: processor loss
+// when a fail-stop death is implicated, message loss when a live
+// processor waits on a dropped tag, plain deadlock otherwise. The
+// partial Result rides along for the recovery driver.
+func halt(streams *codegen.Streams, pc []int, dead []bool, dropped map[string]bool, res *Result, note string) error {
+	for _, c := range res.ProcClock {
+		if c > res.Makespan {
+			res.Makespan = c
+		}
+	}
+	sentinel := errs.ErrDeadlock
+	if len(res.FailedProcs) > 0 {
+		sentinel = errs.ErrProcessorLost
+	} else {
+		for pr, stream := range streams.PerProc {
+			if pc[pr] >= len(stream) {
+				continue
+			}
+			if in, ok := stream[pc[pr]].(codegen.Recv); ok && dropped[in.Tag] {
+				sentinel = errs.ErrMessageLost
+				break
+			}
+		}
+	}
 	var b strings.Builder
-	b.WriteString("sim: deadlock; blocked processors:")
+	b.WriteString(note)
+	b.WriteString(" blocked processors:")
 	for pr, stream := range streams.PerProc {
 		if pc[pr] >= len(stream) {
 			continue
 		}
+		if dead != nil && dead[pr] {
+			fmt.Fprintf(&b, " P%d@dead(pc %d/%d)", pr, pc[pr], len(stream))
+			continue
+		}
 		switch in := stream[pc[pr]].(type) {
 		case codegen.Recv:
-			fmt.Fprintf(&b, " P%d@recv(%s)", pr, in.Tag)
+			if dropped[in.Tag] {
+				fmt.Fprintf(&b, " P%d@recv(%s, dropped)", pr, in.Tag)
+			} else {
+				fmt.Fprintf(&b, " P%d@recv(%s)", pr, in.Tag)
+			}
 		case codegen.Exec:
 			fmt.Fprintf(&b, " P%d@exec(node %d)", pr, in.Node)
 		default:
 			fmt.Fprintf(&b, " P%d@%T", pr, in)
 		}
 	}
-	return fmt.Errorf("%s", b.String())
+	return &HaltError{
+		Sentinel: sentinel,
+		Failed:   append([]int(nil), res.FailedProcs...),
+		Blocked:  b.String(),
+		Partial:  res,
+	}
 }
 
 // Gather reassembles the named array from the producing node's blocks
@@ -588,6 +798,41 @@ func (r *Result) Gather(array string) (*matrix.Matrix, error) {
 		return nil, fmt.Errorf("sim: array %q blocks cover %d of %d elements", array, covered, arr.Rows*arr.Cols)
 	}
 	return out, nil
+}
+
+// SalvageArray reassembles the named array from surviving processors'
+// blocks. It succeeds only when the producing node's barrier executed
+// and every element is covered by a non-failed processor's store — the
+// recovery driver's test for "restore this array" versus "recompute its
+// producer".
+func (r *Result) SalvageArray(array string) (*matrix.Matrix, bool) {
+	producer, ok := r.p.Producer(array)
+	if !ok || !r.NodeDone[producer] {
+		return nil, false
+	}
+	failed := map[int]bool{}
+	for _, pr := range r.FailedProcs {
+		failed[pr] = true
+	}
+	arr := r.p.Arrays[array]
+	inst := codegen.Instance(array, producer)
+	out := matrix.New(arr.Rows, arr.Cols)
+	covered := 0
+	for pr := 0; pr < len(r.stores); pr++ {
+		if failed[pr] {
+			continue
+		}
+		b, ok := r.stores[pr][inst]
+		if !ok || b.data == nil {
+			continue
+		}
+		out.SetBlock(b.rect.R0, b.rect.C0, b.data)
+		covered += (b.rect.R1 - b.rect.R0) * (b.rect.C1 - b.rect.C0)
+	}
+	if covered != arr.Rows*arr.Cols {
+		return nil, false
+	}
+	return out, true
 }
 
 // BusyTimes returns each processor's final clock, sorted descending — a

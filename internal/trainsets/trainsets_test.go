@@ -1,6 +1,7 @@
 package trainsets
 
 import (
+	"context"
 	"math"
 	"testing"
 	"testing/quick"
@@ -8,6 +9,7 @@ import (
 	"paradigm/internal/kernels"
 	"paradigm/internal/machine"
 	"paradigm/internal/mdg"
+	"paradigm/internal/obs"
 )
 
 var cm5 = machine.CM5(64)
@@ -243,5 +245,95 @@ func TestStaticLoopParams(t *testing.T) {
 	z, err := StaticLoopParams(cm5, kernels.Kernel{Op: kernels.OpNone}, 8)
 	if err != nil || z.Tau != 0 {
 		t.Fatalf("OpNone static = %+v err %v", z, err)
+	}
+}
+
+func TestMeasureRobustMedian(t *testing.T) {
+	// Odd count: exact middle value of the sorted draws.
+	seq := []float64{5, 1, 3}
+	i := 0
+	v, err := measureRobust(3, func() float64 { v := seq[i%len(seq)]; i++; return v })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 3 {
+		t.Fatalf("median = %v, want 3", v)
+	}
+}
+
+func TestMeasureRobustRejectsNonFinite(t *testing.T) {
+	// NaN and Inf draws are discarded; bounded retry (2k draws) still
+	// collects enough finite readings.
+	seq := []float64{math.NaN(), 2, math.Inf(1), 4, 6}
+	i := 0
+	v, err := measureRobust(3, func() float64 { v := seq[i%len(seq)]; i++; return v })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 4 {
+		t.Fatalf("median = %v, want 4 (non-finite draws discarded)", v)
+	}
+}
+
+func TestMeasureRobustAllBadErrors(t *testing.T) {
+	if _, err := measureRobust(3, func() float64 { return math.NaN() }); err == nil {
+		t.Fatal("want error when every draw is non-finite")
+	}
+}
+
+func TestMeasureRobustEvenCountAverages(t *testing.T) {
+	// If the bounded retry ends with an even sample count the two middle
+	// values average. Force it: k=2, both draws finite.
+	seq := []float64{1, 3}
+	i := 0
+	v, err := measureRobust(2, func() float64 { v := seq[i%len(seq)]; i++; return v })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 2 {
+		t.Fatalf("even-count median = %v, want 2", v)
+	}
+}
+
+func TestMeasureRobustDeterministicOnStableMeasure(t *testing.T) {
+	// On the deterministic simulator every draw coincides, so the median
+	// equals the single measurement — the fit pipeline stays bit-identical.
+	v, err := measureRobust(3, func() float64 { return 0.125 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0.125 {
+		t.Fatalf("stable measure median = %v, want 0.125", v)
+	}
+}
+
+func TestCalibFitWarningTracksR2(t *testing.T) {
+	// Every CalibFit event's Warning flag must equal R2 < R2WarnThreshold;
+	// the clean CM-5 sweeps fit well, so none should warn.
+	rec := obs.NewRecorder()
+	cal, err := CalibrateCtx(context.Background(), machine.CM5(8), rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cal.Loop("Matrix Multiply (16x16)", kernels.Kernel{Op: kernels.OpMul, M: 16, N: 16, K: 16}); err != nil {
+		t.Fatal(err)
+	}
+	fits := 0
+	for _, e := range rec.Events() {
+		cf, ok := e.(obs.CalibFit)
+		if !ok {
+			continue
+		}
+		fits++
+		if cf.Warning != (cf.R2 < R2WarnThreshold) {
+			t.Fatalf("fit %q: Warning = %v with R2 = %v (threshold %v)",
+				cf.Name, cf.Warning, cf.R2, R2WarnThreshold)
+		}
+		if cf.Warning {
+			t.Fatalf("clean CM-5 fit %q unexpectedly warned (R2 = %v)", cf.Name, cf.R2)
+		}
+	}
+	if fits < 3 {
+		t.Fatalf("saw %d CalibFit events, want transfer-send, transfer-recv and the loop fit", fits)
 	}
 }

@@ -89,6 +89,21 @@ func TestSentinelErrors(t *testing.T) {
 			_, err := CompileSource("bad", "matrix a = init(4, 4, ramp)\nmatrix b = init(8, 8, ramp)\nmatrix c = a + b\n", cal)
 			return err
 		}, []error{ErrBadGraph}},
+		{"simulator watchdog halt", func() error {
+			// An impossibly tight virtual deadline trips the watchdog with
+			// no fault implicated: the halt wraps ErrDeadlock and carries
+			// the *HaltError diagnosis.
+			p := tinyProgram(t, cal)
+			_, err := RunContext(context.Background(), p, NewCM5(8), cal, 8,
+				WithVirtualDeadline(1e-12))
+			if err != nil {
+				var halt *HaltError
+				if !errors.As(err, &halt) {
+					t.Fatalf("watchdog halt is %T, want *HaltError", err)
+				}
+			}
+			return err
+		}, []error{ErrDeadlock}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -17,6 +17,7 @@ package paradigm
 
 import (
 	"context"
+	"errors"
 
 	"paradigm/internal/alloc"
 	"paradigm/internal/codegen"
@@ -75,6 +76,15 @@ var (
 	// ErrUnsupportedTransfer marks a transfer kind outside the modeled
 	// regimes.
 	ErrUnsupportedTransfer = errs.ErrUnsupportedTransfer
+	// ErrDeadlock marks a simulated run the watchdog stopped with no
+	// runnable instruction and no fault implicated (a scheduling or
+	// code-generation bug). The full diagnosis is in the *HaltError.
+	ErrDeadlock = errs.ErrDeadlock
+	// ErrProcessorLost marks a run halted by fail-stop processor death.
+	ErrProcessorLost = errs.ErrProcessorLost
+	// ErrMessageLost marks a run halted by a receiver waiting on a
+	// dropped message.
+	ErrMessageLost = errs.ErrMessageLost
 )
 
 // Option configures one pipeline call.
@@ -84,6 +94,12 @@ type config struct {
 	observer Observer
 	sched    ScheduleOptions
 	alloc    AllocOptions
+	// faults is the fault schedule handed to the simulator (nil: none).
+	faults *FaultPlan
+	// recoverMax bounds failure-aware rescheduling attempts (0: off).
+	recoverMax int
+	// deadline is the simulator's virtual-time watchdog bound (0: off).
+	deadline float64
 }
 
 // WithObserver attaches an observer to every instrumented stage of the
@@ -156,7 +172,9 @@ func ExecuteContext(ctx context.Context, p *Program, s *Schedule, m Machine, opt
 	if err != nil {
 		return nil, err
 	}
-	return sim.RunCtx(ctx, p, streams, m, sim.Options{Observer: c.observer})
+	return sim.RunCtx(ctx, p, streams, m, sim.Options{
+		Observer: c.observer, Faults: c.faults, VirtualDeadline: c.deadline,
+	})
 }
 
 // RunContext executes the full paper pipeline — allocate, schedule,
@@ -176,8 +194,14 @@ func RunContext(ctx context.Context, p *Program, m Machine, cal *Calibration, pr
 	if err != nil {
 		return nil, err
 	}
-	res, err := sim.RunCtx(ctx, p, streams, m.WithProcs(procs), sim.Options{Observer: c.observer})
+	res, err := sim.RunCtx(ctx, p, streams, m.WithProcs(procs), sim.Options{
+		Observer: c.observer, Faults: c.faults, VirtualDeadline: c.deadline,
+	})
 	if err != nil {
+		var halt *sim.HaltError
+		if c.recoverMax > 0 && errors.As(err, &halt) {
+			return recoverRun(ctx, p, m, cal, procs, halt, &c)
+		}
 		return nil, err
 	}
 	return &Result{Alloc: ar, Sched: s, Sim: res, Predicted: s.Makespan, Actual: res.Makespan}, nil

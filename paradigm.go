@@ -197,6 +197,13 @@ type Result struct {
 	Sim *SimResult
 	// Predicted and Actual are the two makespans.
 	Predicted, Actual float64
+	// Recovered reports that the run survived a fault through
+	// failure-aware rescheduling; RecoveryAttempts counts the replans and
+	// FailedProcs lists the processors lost in the final halted run.
+	// Alloc/Sched/Sim then describe the recovery run on the survivors.
+	Recovered        bool
+	RecoveryAttempts int
+	FailedProcs      []int
 }
 
 // Run executes the full paper pipeline — allocate, schedule, generate

@@ -1,0 +1,274 @@
+// Chaos harness for fault injection and failure-aware rescheduling: the
+// pipeline runs under seeded fault schedules and every recovered result
+// must match the sequential reference bit for bit — salvage restores
+// blocks exactly and re-run nodes repeat the same FP summation orders,
+// so tolerance is zero throughout.
+package paradigm
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"paradigm/internal/matrix"
+	"paradigm/internal/obs"
+)
+
+// mustVerifyExact gathers every array and requires a zero worst-case
+// deviation from the sequential reference.
+func mustVerifyExact(t *testing.T, p *Program, res *Result) {
+	t.Helper()
+	worst, err := Verify(p, res.Sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worst != 0 {
+		t.Fatalf("recovered run deviates from reference by %v, want bit-identical", worst)
+	}
+}
+
+// cleanMakespan runs the fault-free pipeline once for a fail-time hint.
+func cleanMakespan(t *testing.T, p *Program, m Machine, cal *Calibration, procs int) float64 {
+	t.Helper()
+	res, err := Run(p, m, cal, procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustVerifyExact(t, p, res)
+	return res.Actual
+}
+
+func TestChaosRecoveryComplexMatMul(t *testing.T) {
+	cal := testCal(t)
+	p, err := ComplexMatMul(32, cal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewCM5(8)
+	hint := cleanMakespan(t, p, m, cal, 8)
+
+	recovered := 0
+	for seed := uint64(1); seed <= 6; seed++ {
+		plan, err := RandomFaultPlan(seed, FaultRandOptions{
+			Procs: 8, MakespanHint: hint, ProcFails: 1, MsgDelays: 2, Stragglers: 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := RunContext(context.Background(), p, m, cal, 8,
+			WithFaultPlan(plan), WithRecovery(2))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		mustVerifyExact(t, p, res)
+		if res.Recovered {
+			recovered++
+			if len(res.FailedProcs) == 0 {
+				t.Fatalf("seed %d: recovered run reports no failed processors", seed)
+			}
+			if res.RecoveryAttempts < 1 {
+				t.Fatalf("seed %d: RecoveryAttempts = %d", seed, res.RecoveryAttempts)
+			}
+		}
+	}
+	if recovered == 0 {
+		t.Fatal("no seed exercised the recovery path — fail times never landed mid-run")
+	}
+}
+
+func TestChaosRecoveryStrassen(t *testing.T) {
+	cal := testCal(t)
+	p, err := Strassen(32, cal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewCM5(8)
+	hint := cleanMakespan(t, p, m, cal, 8)
+
+	recovered := 0
+	for seed := uint64(10); seed <= 15; seed++ {
+		plan, err := RandomFaultPlan(seed, FaultRandOptions{
+			Procs: 8, MakespanHint: hint, ProcFails: 1, MsgDelays: 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := RunContext(context.Background(), p, m, cal, 8,
+			WithFaultPlan(plan), WithRecovery(2))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		mustVerifyExact(t, p, res)
+		if res.Recovered {
+			recovered++
+		}
+	}
+	if recovered == 0 {
+		t.Fatal("no seed exercised the recovery path")
+	}
+}
+
+// TestEveryProcFailureRecovers is the property-style check: ANY single
+// processor failure before makespan/2 on the Strassen MDG recovers with
+// correct numerics.
+func TestEveryProcFailureRecovers(t *testing.T) {
+	cal := testCal(t)
+	p, err := Strassen(32, cal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewCM5(8)
+	hint := cleanMakespan(t, p, m, cal, 8)
+
+	for pr := 0; pr < 8; pr++ {
+		for _, frac := range []float64{0.1, 0.4} {
+			plan := &FaultPlan{ProcFails: []ProcFail{{Proc: pr, At: hint * frac}}}
+			res, err := RunContext(context.Background(), p, m, cal, 8,
+				WithFaultPlan(plan), WithRecovery(2))
+			if err != nil {
+				t.Fatalf("proc %d at %.0f%%: %v", pr, frac*100, err)
+			}
+			mustVerifyExact(t, p, res)
+			// A processor dead mid-run must have forced recovery; a fail
+			// time past its last instruction legitimately does not.
+			if res.Recovered && (len(res.FailedProcs) != 1 || res.FailedProcs[0] != pr) {
+				t.Fatalf("proc %d: FailedProcs = %v", pr, res.FailedProcs)
+			}
+		}
+	}
+}
+
+// TestMessageLossRecovers drops early messages by sequence number: the
+// watchdog classifies the halt as message loss (no processor died) and
+// recovery replans on the full system size.
+func TestMessageLossRecovers(t *testing.T) {
+	cal := testCal(t)
+	p, err := ComplexMatMul(32, cal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewCM5(8)
+	for seq := 0; seq < 3; seq++ {
+		plan := &FaultPlan{MsgFaults: []MsgFault{{Kind: FaultDrop, Seq: seq}}}
+		res, err := RunContext(context.Background(), p, m, cal, 8,
+			WithFaultPlan(plan), WithRecovery(2))
+		if err != nil {
+			t.Fatalf("drop seq %d: %v", seq, err)
+		}
+		mustVerifyExact(t, p, res)
+		if !res.Recovered {
+			t.Fatalf("drop seq %d: run did not recover (message never blocked a receive?)", seq)
+		}
+		if len(res.FailedProcs) != 0 {
+			t.Fatalf("drop seq %d: message loss reported failed procs %v", seq, res.FailedProcs)
+		}
+	}
+}
+
+// TestRecoveryWithoutOptionSurfacesHalt: a fault plan without
+// WithRecovery must surface the classified halt unchanged.
+func TestRecoveryWithoutOptionSurfacesHalt(t *testing.T) {
+	cal := testCal(t)
+	p, err := ComplexMatMul(32, cal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := &FaultPlan{ProcFails: []ProcFail{{Proc: 0, At: 0}}}
+	_, err = RunContext(context.Background(), p, NewCM5(8), cal, 8, WithFaultPlan(plan))
+	if err == nil {
+		t.Fatal("want halt without recovery enabled")
+	}
+	if !errors.Is(err, ErrProcessorLost) {
+		t.Fatalf("err = %v, want ErrProcessorLost", err)
+	}
+	var halt *HaltError
+	if !errors.As(err, &halt) {
+		t.Fatalf("err = %T, want *HaltError", err)
+	}
+}
+
+// TestFaultFreeByteIdentical: attaching an empty fault plan and recovery
+// must leave the fault-free pipeline byte-identical — same makespan,
+// same message count, same data.
+func TestFaultFreeByteIdentical(t *testing.T) {
+	cal := testCal(t)
+	p, err := ComplexMatMul(32, cal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewCM5(8)
+	plain, err := Run(p, m, cal, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulted, err := RunContext(context.Background(), p, m, cal, 8,
+		WithFaultPlan(&FaultPlan{}), WithRecovery(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faulted.Recovered {
+		t.Fatal("fault-free run claims recovery")
+	}
+	if plain.Actual != faulted.Actual || plain.Sim.Messages != faulted.Sim.Messages {
+		t.Fatalf("empty plan changed the run: %v/%d vs %v/%d",
+			plain.Actual, plain.Sim.Messages, faulted.Actual, faulted.Sim.Messages)
+	}
+	for name := range p.Arrays {
+		a, err := plain.Sim.Gather(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := faulted.Sim.Gather(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := matrix.MaxAbsDiff(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d != 0 {
+			t.Fatalf("array %q differs between plain and empty-plan runs", name)
+		}
+	}
+}
+
+// TestRecoveryEventsEmitted: a recovering run emits Fault, Recovery and
+// Replan events through the call-level observer, and the metrics fold
+// counts them.
+func TestRecoveryEventsEmitted(t *testing.T) {
+	cal := testCal(t)
+	p, err := ComplexMatMul(32, cal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewCM5(8)
+	hint := cleanMakespan(t, p, m, cal, 8)
+	rec := NewEventRecorder()
+	reg := NewMetrics()
+	plan := &FaultPlan{ProcFails: []ProcFail{{Proc: 1, At: hint / 4}}}
+	res, err := RunContext(context.Background(), p, m, cal, 8,
+		WithFaultPlan(plan), WithRecovery(2),
+		WithObserver(MultiObserver(rec, NewMetricsObserver(reg))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Recovered {
+		t.Skip("processor 1 finished before the fail time on this schedule")
+	}
+	kinds := map[obs.Kind]int{}
+	for _, e := range rec.Events() {
+		kinds[e.Kind()]++
+	}
+	for _, want := range []obs.Kind{obs.KindFault, obs.KindRecovery, obs.KindReplan} {
+		if kinds[want] == 0 {
+			t.Fatalf("no %v events recorded (got %v)", want, kinds)
+		}
+	}
+	text := reg.Snapshot().Text()
+	for _, metric := range []string{"fault_injected", "recovery_attempts_total", "replan_total"} {
+		if !strings.Contains(text, metric) {
+			t.Fatalf("metrics snapshot missing %q:\n%s", metric, text)
+		}
+	}
+}
