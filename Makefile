@@ -1,12 +1,18 @@
-# Developer / CI entry points. `make ci` is the gate: vet, build, the
-# full test suite under the race detector, and a short benchmark smoke
-# run proving the benchmarks still execute.
+# Developer / CI entry points. `make ci` is the gate: formatting, vet,
+# build, the full test suite under the race detector, a fuzz smoke run
+# over the oracle's targets, and a short benchmark smoke run proving the
+# benchmarks still execute.
 
 GO ?= go
+FUZZTIME ?= 10s
 
-.PHONY: ci vet build test race bench-smoke bench-current bench-json bench-pr2 bench-pr3
+.PHONY: ci fmt-check vet build test test-race race fuzz-smoke bench-smoke bench-current bench-json bench-pr2 bench-pr3
 
-ci: vet build race bench-smoke bench-pr2 bench-pr3
+ci: fmt-check vet build test-race fuzz-smoke bench-smoke bench-pr2 bench-pr3
+
+# gofmt gate: fails listing the offending files, mutating nothing.
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 vet:
 	$(GO) vet ./...
@@ -17,8 +23,19 @@ build:
 test:
 	$(GO) test ./...
 
-race:
+# Tier-1 suite under the race detector — the CI form of `make test`.
+test-race:
 	$(GO) test -race ./...
+
+race: test-race
+
+# Coverage-guided smoke run of every oracle fuzz target (the committed
+# seed corpora also run as plain subtests under `make test`). Each target
+# gets FUZZTIME of exploration; a crasher fails the gate.
+fuzz-smoke:
+	$(GO) test ./internal/oracle/ -run '^$$' -fuzz '^FuzzSolve$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/oracle/ -run '^$$' -fuzz '^FuzzPSA$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/oracle/ -run '^$$' -fuzz '^FuzzMDGParse$$' -fuzztime $(FUZZTIME)
 
 # One iteration of the calibration- and allocation-path benchmarks: fast,
 # and enough to catch a benchmark that no longer compiles or errors out.

@@ -371,6 +371,45 @@ func (g *Graph) CriticalPath(nodeW func(NodeID) float64, edgeW func(Edge) float6
 	return y, cp, nil
 }
 
+// Relabel returns a copy of g with node i renamed to perm[i]; perm must
+// be a permutation of [0, NumNodes). Edges are remapped consistently and
+// emitted in ascending (from, to) order so two isomorphic relabelings
+// produce identical edge lists. The relation consumers rely on (see
+// internal/oracle's metamorphic suite) is that node identity carries no
+// cost: any weight evaluation of the relabeled graph under a permuted
+// allocation equals the original's.
+func (g *Graph) Relabel(perm []NodeID) (*Graph, error) {
+	n := len(g.Nodes)
+	if len(perm) != n {
+		return nil, fmt.Errorf("mdg: %w: permutation has %d entries for %d nodes", errs.ErrBadGraph, len(perm), n)
+	}
+	seen := make([]bool, n)
+	for _, v := range perm {
+		if v < 0 || int(v) >= n || seen[v] {
+			return nil, fmt.Errorf("mdg: %w: not a permutation of [0,%d)", errs.ErrBadGraph, n)
+		}
+		seen[v] = true
+	}
+	out := &Graph{Nodes: make([]Node, n), Edges: make([]Edge, 0, len(g.Edges))}
+	for i, nd := range g.Nodes {
+		out.Nodes[perm[i]] = nd
+	}
+	for _, e := range g.Edges {
+		out.Edges = append(out.Edges, Edge{
+			From:      perm[e.From],
+			To:        perm[e.To],
+			Transfers: append([]Transfer(nil), e.Transfers...),
+		})
+	}
+	sort.Slice(out.Edges, func(a, b int) bool {
+		if out.Edges[a].From != out.Edges[b].From {
+			return out.Edges[a].From < out.Edges[b].From
+		}
+		return out.Edges[a].To < out.Edges[b].To
+	})
+	return out, nil
+}
+
 // DOT renders the graph in Graphviz format with node names and α/τ labels.
 func (g *Graph) DOT(title string) string {
 	var b strings.Builder

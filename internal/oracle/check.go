@@ -1,0 +1,369 @@
+package oracle
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"paradigm/internal/alloc"
+	"paradigm/internal/costmodel"
+	"paradigm/internal/mdg"
+	"paradigm/internal/obs"
+	"paradigm/internal/sched"
+	"paradigm/internal/sim"
+)
+
+// CheckAllocation verifies an allocation result against the oracle's
+// independent re-derivation: every p_i inside [1, procs], the reported
+// Φ/A_p/C_p equal to the re-derived values with Φ = max(A_p, C_p), and —
+// the property the whole convex formulation rests on — log-space midpoint
+// convexity of the exact objective, probed at Options.ConvexProbes random
+// point pairs (Lemmas 1–2 make Φ a generalized posynomial, hence convex
+// under x = ln p; a non-convex probe means a cost term left the class).
+func CheckAllocation(g *mdg.Graph, model costmodel.Model, procs int, r alloc.Result, o Options) error {
+	o = o.withDefaults()
+	if procs < 1 {
+		return fmt.Errorf("oracle: procs = %d", procs)
+	}
+	if err := g.Validate(); err != nil {
+		return fmt.Errorf("oracle: invalid graph: %w", err)
+	}
+	n := g.NumNodes()
+	if len(r.P) != n {
+		return fmt.Errorf("oracle: allocation has %d entries for %d nodes", len(r.P), n)
+	}
+	const boxTol = 1e-9
+	for i, p := range r.P {
+		if math.IsNaN(p) || p < 1-boxTol || p > float64(procs)*(1+boxTol) {
+			return fmt.Errorf("oracle: node %d allocation %v outside [1, %d]", i, p, procs)
+		}
+	}
+	phi, ap, cp, ok := phiEval(g, model.Transfer, r.P, procs)
+	if !ok {
+		return fmt.Errorf("oracle: graph is cyclic")
+	}
+	if !o.close(ap, r.Ap) {
+		return fmt.Errorf("oracle: A_p re-derived %v, reported %v", ap, r.Ap)
+	}
+	if !o.close(cp, r.Cp) {
+		return fmt.Errorf("oracle: C_p re-derived %v, reported %v", cp, r.Cp)
+	}
+	if !o.close(phi, r.Phi) {
+		return fmt.Errorf("oracle: Φ re-derived %v, reported %v", phi, r.Phi)
+	}
+	if !o.close(r.Phi, math.Max(r.Ap, r.Cp)) {
+		return fmt.Errorf("oracle: Φ %v != max(A_p %v, C_p %v)", r.Phi, r.Ap, r.Cp)
+	}
+	return checkConvexity(g, model.Transfer, procs, o)
+}
+
+// checkConvexity probes f(x) = Φ(e^x) for midpoint convexity at random
+// pairs inside the log box [0, ln procs]^n: convex f satisfies
+// f((x+y)/2) <= (f(x)+f(y))/2 everywhere.
+func checkConvexity(g *mdg.Graph, tp costmodel.TransferParams, procs int, o Options) error {
+	if o.ConvexProbes < 0 || g.NumNodes() == 0 {
+		return nil
+	}
+	n := g.NumNodes()
+	rng := newRNG(o.Seed)
+	ub := math.Log(float64(procs))
+	x := make([]float64, n)
+	y := make([]float64, n)
+	mid := make([]float64, n)
+	expOf := func(v []float64) []float64 {
+		p := make([]float64, n)
+		for i := range p {
+			p[i] = math.Exp(v[i])
+		}
+		return p
+	}
+	for probe := 0; probe < o.ConvexProbes; probe++ {
+		for i := 0; i < n; i++ {
+			x[i] = rng.float() * ub
+			y[i] = rng.float() * ub
+			mid[i] = (x[i] + y[i]) / 2
+		}
+		fx, _, _, ok1 := phiEval(g, tp, expOf(x), procs)
+		fy, _, _, ok2 := phiEval(g, tp, expOf(y), procs)
+		fm, _, _, ok3 := phiEval(g, tp, expOf(mid), procs)
+		if !ok1 || !ok2 || !ok3 {
+			return fmt.Errorf("oracle: graph is cyclic")
+		}
+		chord := (fx + fy) / 2
+		if fm > chord*(1+1e-9)+1e-12 {
+			return fmt.Errorf("oracle: convexity violated at probe %d: f(mid) %v > chord %v (Φ left the generalized-posynomial class)",
+				probe, fm, chord)
+		}
+	}
+	return nil
+}
+
+// CheckSchedule verifies a schedule against the oracle's independent
+// semantics: every node scheduled exactly once on a distinct in-range
+// processor set of its allocated size, durations equal to the re-derived
+// node weights, every precedence edge separated by the re-derived network
+// delay, no processor running two nodes over a positive-measure interval,
+// the makespan equal to the last finish (and to STOP's finish when a
+// unique STOP exists), and the two lower bounds any feasible schedule
+// must respect: the critical path C_p at the integer allocation and the
+// processor-time area Σ T_i·q_i / procs.
+func CheckSchedule(g *mdg.Graph, model costmodel.Model, s *sched.Schedule) error {
+	o := Options{}.withDefaults()
+	if s == nil {
+		return fmt.Errorf("oracle: nil schedule")
+	}
+	if err := g.Validate(); err != nil {
+		return fmt.Errorf("oracle: invalid graph: %w", err)
+	}
+	n := g.NumNodes()
+	if n == 0 {
+		return fmt.Errorf("oracle: empty graph")
+	}
+	if len(s.Entries) != n || len(s.Alloc) != n {
+		return fmt.Errorf("oracle: schedule covers %d entries / %d allocs for %d nodes", len(s.Entries), len(s.Alloc), n)
+	}
+	if s.ProcsTotal < 1 {
+		return fmt.Errorf("oracle: schedule has %d processors", s.ProcsTotal)
+	}
+	if s.PB != 0 {
+		if s.PB < 1 || s.PB > s.ProcsTotal || s.PB&(s.PB-1) != 0 {
+			return fmt.Errorf("oracle: PB %d is not a power of two in [1, %d]", s.PB, s.ProcsTotal)
+		}
+	}
+	pf := make([]float64, n)
+	for i, q := range s.Alloc {
+		if q < 1 || q > s.ProcsTotal {
+			return fmt.Errorf("oracle: node %d allocation %d outside [1, %d]", i, q, s.ProcsTotal)
+		}
+		if s.PB != 0 && q > s.PB {
+			return fmt.Errorf("oracle: node %d allocation %d exceeds PB %d", i, q, s.PB)
+		}
+		pf[i] = float64(q)
+	}
+
+	// Per-entry invariants and per-processor busy intervals.
+	type iv struct {
+		lo, hi float64
+		node   int
+	}
+	perProc := make([][]iv, s.ProcsTotal)
+	lastFinish := 0.0
+	area := 0.0
+	for i, e := range s.Entries {
+		if int(e.Node) != i {
+			return fmt.Errorf("oracle: entry %d names node %d", i, e.Node)
+		}
+		if math.IsNaN(e.Start) || math.IsNaN(e.Finish) || e.Start < 0 || e.Finish < e.Start {
+			return fmt.Errorf("oracle: node %d has invalid window [%v, %v]", i, e.Start, e.Finish)
+		}
+		if len(e.Procs) != s.Alloc[i] {
+			return fmt.Errorf("oracle: node %d runs on %d processors, allocated %d", i, len(e.Procs), s.Alloc[i])
+		}
+		seen := make(map[int]bool, len(e.Procs))
+		for _, p := range e.Procs {
+			if p < 0 || p >= s.ProcsTotal {
+				return fmt.Errorf("oracle: node %d uses processor %d outside [0, %d)", i, p, s.ProcsTotal)
+			}
+			if seen[p] {
+				return fmt.Errorf("oracle: node %d lists processor %d twice", i, p)
+			}
+			seen[p] = true
+			perProc[p] = append(perProc[p], iv{e.Start, e.Finish, i})
+		}
+		w := nodeWeight(g, model.Transfer, mdg.NodeID(i), pf)
+		if !o.close(e.Finish-e.Start, w) {
+			return fmt.Errorf("oracle: node %d duration %v, re-derived weight %v", i, e.Finish-e.Start, w)
+		}
+		area += w * pf[i]
+		if e.Finish > lastFinish {
+			lastFinish = e.Finish
+		}
+	}
+
+	// Precedence with re-derived network delays.
+	for _, e := range g.Edges {
+		_, net, _ := edgeCosts(model.Transfer, e, pf[e.From], pf[e.To])
+		from, to := s.Entries[e.From], s.Entries[e.To]
+		if to.Start+o.RelTol*math.Max(1, from.Finish+net) < from.Finish+net {
+			return fmt.Errorf("oracle: edge %d->%d violated: start %v < finish %v + delay %v",
+				e.From, e.To, to.Start, from.Finish, net)
+		}
+	}
+
+	// Positive-measure processor exclusivity (zero-width dummy nodes may
+	// share instants).
+	const eps = 1e-9
+	for p, ivs := range perProc {
+		sort.Slice(ivs, func(a, b int) bool {
+			if ivs[a].lo != ivs[b].lo {
+				return ivs[a].lo < ivs[b].lo
+			}
+			return ivs[a].hi < ivs[b].hi
+		})
+		for k := 1; k < len(ivs); k++ {
+			prev, cur := ivs[k-1], ivs[k]
+			if cur.lo < prev.hi-eps {
+				return fmt.Errorf("oracle: processor %d runs nodes %d and %d concurrently ([%v,%v] vs [%v,%v])",
+					p, prev.node, cur.node, prev.lo, prev.hi, cur.lo, cur.hi)
+			}
+		}
+	}
+
+	// Makespan consistency and lower bounds.
+	if !o.close(s.Makespan, lastFinish) {
+		return fmt.Errorf("oracle: makespan %v, last finish %v", s.Makespan, lastFinish)
+	}
+	if stop, uniq := uniqueSink(g); uniq && !o.close(s.Makespan, s.Entries[stop].Finish) {
+		return fmt.Errorf("oracle: makespan %v, STOP finish %v", s.Makespan, s.Entries[stop].Finish)
+	}
+	_, _, cp, ok := phiEval(g, model.Transfer, pf, s.ProcsTotal)
+	if !ok {
+		return fmt.Errorf("oracle: graph is cyclic")
+	}
+	slack := 1 + 1e-9
+	if s.Makespan*slack+1e-12 < cp {
+		return fmt.Errorf("oracle: makespan %v below critical-path bound %v", s.Makespan, cp)
+	}
+	if s.Makespan*slack+1e-12 < area/float64(s.ProcsTotal) {
+		return fmt.Errorf("oracle: makespan %v below area bound %v", s.Makespan, area/float64(s.ProcsTotal))
+	}
+	return nil
+}
+
+// uniqueSink reports the unique node without successors, if any.
+func uniqueSink(g *mdg.Graph) (mdg.NodeID, bool) {
+	hasSucc := make([]bool, g.NumNodes())
+	for _, e := range g.Edges {
+		hasSucc[e.From] = true
+	}
+	sink, found := mdg.NodeID(-1), false
+	for i, h := range hasSucc {
+		if !h {
+			if found {
+				return -1, false
+			}
+			sink, found = mdg.NodeID(i), true
+		}
+	}
+	return sink, found
+}
+
+// Trace is an obs.Observer recording the communication and node-execution
+// events of one simulated run for CheckRun. Safe for concurrent use.
+type Trace struct {
+	Comms []obs.Comm
+	Runs  []obs.NodeRun
+}
+
+// Observe implements obs.Observer.
+func (t *Trace) Observe(e obs.Event) {
+	switch ev := e.(type) {
+	case obs.Comm:
+		t.Comms = append(t.Comms, ev)
+	case obs.NodeRun:
+		t.Runs = append(t.Runs, ev)
+	}
+}
+
+// CheckRun verifies a completed simulated run against its recorded trace:
+//
+//   - message conservation: every sent message was received exactly once
+//     (Result.Messages counts sends, the trace counts receives) and the
+//     byte totals agree;
+//   - per-message causality: send precedes network readiness precedes
+//     receive, with non-negative spans;
+//   - node windows: each executed node ran exactly once, its trace window
+//     matching Result.NodeStart/NodeFinish;
+//   - schedule ordering: along every transfer-carrying edge between
+//     executed nodes, the consumer's barrier starts no earlier than the
+//     producer's (message causality through the simulated network);
+//   - makespan: equal to the slowest processor clock, no earlier than any
+//     node finish (the run's realized critical path), with per-processor
+//     busy time never exceeding the clock.
+func CheckRun(g *mdg.Graph, tr *Trace, r *sim.Result) error {
+	o := Options{}.withDefaults()
+	if r == nil || tr == nil {
+		return fmt.Errorf("oracle: nil run or trace")
+	}
+	const eps = 1e-9
+	if len(tr.Comms) != r.Messages {
+		return fmt.Errorf("oracle: %d messages sent, %d received (loss or duplication)", r.Messages, len(tr.Comms))
+	}
+	bytes := 0
+	for i, c := range tr.Comms {
+		bytes += c.Bytes
+		if c.SendStart < -eps || c.SendEnd < c.SendStart-eps {
+			return fmt.Errorf("oracle: comm %d (%s) has invalid send window [%v, %v]", i, c.Tag, c.SendStart, c.SendEnd)
+		}
+		if c.NetReady < c.SendEnd-eps {
+			return fmt.Errorf("oracle: comm %d (%s) ready %v before send end %v", i, c.Tag, c.NetReady, c.SendEnd)
+		}
+		if c.RecvStart < c.NetReady-eps || c.RecvEnd < c.RecvStart-eps {
+			return fmt.Errorf("oracle: comm %d (%s) has invalid receive window [%v, %v] (ready %v)",
+				i, c.Tag, c.RecvStart, c.RecvEnd, c.NetReady)
+		}
+	}
+	if bytes != r.NetworkBytes {
+		return fmt.Errorf("oracle: %d network bytes counted, trace carries %d", r.NetworkBytes, bytes)
+	}
+
+	n := g.NumNodes()
+	if len(r.NodeStart) != n || len(r.NodeFinish) != n || len(r.NodeDone) != n {
+		return fmt.Errorf("oracle: run covers %d nodes, graph has %d", len(r.NodeStart), n)
+	}
+	ran := make([]bool, n)
+	for _, ev := range tr.Runs {
+		if ev.Node < 0 || ev.Node >= n {
+			return fmt.Errorf("oracle: trace runs unknown node %d", ev.Node)
+		}
+		if ran[ev.Node] {
+			return fmt.Errorf("oracle: node %d executed twice", ev.Node)
+		}
+		ran[ev.Node] = true
+		if ev.Finish < ev.Start-eps {
+			return fmt.Errorf("oracle: node %d window [%v, %v]", ev.Node, ev.Start, ev.Finish)
+		}
+		if !o.close(ev.Start, r.NodeStart[ev.Node]) || !o.close(ev.Finish, r.NodeFinish[ev.Node]) {
+			return fmt.Errorf("oracle: node %d trace window [%v, %v] != result window [%v, %v]",
+				ev.Node, ev.Start, ev.Finish, r.NodeStart[ev.Node], r.NodeFinish[ev.Node])
+		}
+	}
+	for i, done := range r.NodeDone {
+		if done && !ran[i] {
+			return fmt.Errorf("oracle: node %d done without a trace event", i)
+		}
+	}
+
+	// Message causality orders barrier starts along dataflow edges.
+	for _, e := range g.Edges {
+		if len(e.Transfers) == 0 || !r.NodeDone[e.From] || !r.NodeDone[e.To] {
+			continue
+		}
+		if r.NodeStart[e.To] < r.NodeStart[e.From]-eps {
+			return fmt.Errorf("oracle: edge %d->%d: consumer started %v before producer %v",
+				e.From, e.To, r.NodeStart[e.To], r.NodeStart[e.From])
+		}
+	}
+
+	maxClock, maxFinish := 0.0, 0.0
+	for pr, c := range r.ProcClock {
+		if c > maxClock {
+			maxClock = c
+		}
+		if r.ProcBusy[pr] > c*(1+o.RelTol)+eps {
+			return fmt.Errorf("oracle: processor %d busy %v exceeds clock %v", pr, r.ProcBusy[pr], c)
+		}
+	}
+	for _, f := range r.NodeFinish {
+		if f > maxFinish {
+			maxFinish = f
+		}
+	}
+	if !o.close(r.Makespan, maxClock) {
+		return fmt.Errorf("oracle: makespan %v, slowest clock %v", r.Makespan, maxClock)
+	}
+	if r.Makespan*(1+o.RelTol)+eps < maxFinish {
+		return fmt.Errorf("oracle: makespan %v below last node finish %v (realized critical path)", r.Makespan, maxFinish)
+	}
+	return nil
+}

@@ -1,0 +1,137 @@
+package oracle
+
+import (
+	"testing"
+
+	"paradigm/internal/alloc"
+	"paradigm/internal/mdg"
+	"paradigm/internal/sched"
+)
+
+// The differential suites pit the production solvers against the exact
+// references on a population of generated small MDGs. The brute-force grid
+// evaluates only feasible points of the continuous program, so its Φ upper-
+// bounds the true optimum: a convex solver claiming global optimality must
+// come in at or below it (to within grid/anneal resolution, 1%). The
+// exhaustive scheduler brackets every linear extension, so the PSA — one
+// particular linear extension under the same placement rule — must land
+// inside [Best, Worst].
+//
+// The model is the CM-5 fit with Tn = 0: the allocator's 1D net term is a
+// convex upper bound on the exact cost, and comparing against the exact
+// oracle is only apples-to-apples when that term vanishes.
+
+const diffSeeds = 200
+
+func TestDifferentialAllocVsBruteForce(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential population test")
+	}
+	const procs = 8
+	worst := 0.0
+	for seed := uint64(1); seed <= diffSeeds; seed++ {
+		g := RandomGraph(seed, GenOptions{})
+		r, err := alloc.Solve(g, cm5Fit, procs, alloc.Options{})
+		if err != nil {
+			t.Fatalf("seed %d: solve: %v", seed, err)
+		}
+		if err := CheckAllocation(g, cm5Fit, procs, r, Options{}); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		bf, err := BruteForceAlloc(g, cm5Fit, procs, BruteForceOptions{})
+		if err != nil {
+			t.Fatalf("seed %d: brute force: %v", seed, err)
+		}
+		if r.Phi > bf.Phi*1.01 {
+			t.Errorf("seed %d: Solve Φ = %g exceeds brute-force optimum %g by more than 1%% (ratio %g, n = %d)",
+				seed, r.Phi, bf.Phi, r.Phi/bf.Phi, g.NumNodes())
+		}
+		if ratio := r.Phi / bf.Phi; ratio > worst {
+			worst = ratio
+		}
+	}
+	t.Logf("%d graphs, worst Solve/BruteForce Φ ratio = %.6f", diffSeeds, worst)
+}
+
+func TestDifferentialPSAVsExhaustive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential population test")
+	}
+	const procs = 8
+	bracketed := 0
+	for seed := uint64(1); seed <= diffSeeds; seed++ {
+		g := RandomGraph(seed, GenOptions{})
+		if _, _, err := g.EnsureStartStop(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		r, err := alloc.Solve(g, cm5Fit, procs, alloc.Options{})
+		if err != nil {
+			t.Fatalf("seed %d: solve: %v", seed, err)
+		}
+		s, err := sched.Run(g, cm5Fit, r.P, procs, sched.Options{})
+		if err != nil {
+			t.Fatalf("seed %d: sched: %v", seed, err)
+		}
+		if err := CheckSchedule(g, cm5Fit, s); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		ex, err := ExhaustiveSchedules(g, cm5Fit, s.Alloc, procs, 0)
+		if err != nil {
+			t.Fatalf("seed %d: exhaustive: %v", seed, err)
+		}
+		const tol = 1e-9
+		if s.Makespan > ex.Worst*(1+tol) {
+			t.Errorf("seed %d: PSA makespan %g exceeds exhaustive worst-case %g over %d extensions",
+				seed, s.Makespan, ex.Worst, ex.Count)
+		}
+		if s.Makespan < ex.Best*(1-tol) {
+			t.Errorf("seed %d: PSA makespan %g beats exhaustive best %g — reference placement diverged",
+				seed, s.Makespan, ex.Best)
+		}
+		bracketed++
+	}
+	t.Logf("%d schedules bracketed by their exhaustive references", bracketed)
+}
+
+// TestBruteForceRefinementMonotone checks the reference against itself:
+// refinement rounds may only improve on the coarse grid.
+func TestBruteForceRefinementMonotone(t *testing.T) {
+	for seed := uint64(1); seed <= 10; seed++ {
+		g := RandomGraph(seed, GenOptions{})
+		coarse, err := BruteForceAlloc(g, cm5Fit, 8, BruteForceOptions{RefineRounds: -1})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		fine, err := BruteForceAlloc(g, cm5Fit, 8, BruteForceOptions{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if fine.Phi > coarse.Phi {
+			t.Errorf("seed %d: refinement worsened Φ: %g -> %g", seed, coarse.Phi, fine.Phi)
+		}
+	}
+}
+
+func TestExhaustiveSchedulesOverflow(t *testing.T) {
+	g := RandomGraph(2, GenOptions{})
+	if _, _, err := g.EnsureStartStop(); err != nil {
+		t.Fatal(err)
+	}
+	al := make([]int, g.NumNodes())
+	for i := range al {
+		al[i] = 1
+	}
+	if _, err := ExhaustiveSchedules(g, cm5Fit, al, 4, 1); err == nil {
+		t.Fatal("limit 1 must overflow on any graph with > 1 extension")
+	}
+}
+
+func TestBruteForceRejectsLargeGraph(t *testing.T) {
+	var g mdg.Graph
+	for i := 0; i < 7; i++ {
+		g.AddNode(mdg.Node{Name: string(rune('a' + i)), Alpha: 0.5, Tau: 1})
+	}
+	if _, err := BruteForceAlloc(&g, cm5Fit, 8, BruteForceOptions{}); err == nil {
+		t.Fatal("brute force accepted a graph above its tractability bound")
+	}
+}

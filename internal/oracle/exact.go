@@ -1,0 +1,356 @@
+package oracle
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"paradigm/internal/costmodel"
+	"paradigm/internal/mdg"
+)
+
+// --- Exact reference allocator --------------------------------------------
+
+// BruteForceOptions tunes the exact allocation reference.
+type BruteForceOptions struct {
+	// MaxNodes caps the instance size (default 6): the grid is
+	// exponential in n, the tractability boundary the differential suite
+	// respects.
+	MaxNodes int
+	// GridPoints per node (default: the largest K with K^n <= 20000,
+	// clamped to [3, 17]).
+	GridPoints int
+	// RefineRounds of per-coordinate geometric line search around the
+	// coarse-grid winner (default 3; negative disables).
+	RefineRounds int
+}
+
+func (o BruteForceOptions) withDefaults(n int) BruteForceOptions {
+	if o.MaxNodes <= 0 {
+		o.MaxNodes = 6
+	}
+	if o.GridPoints <= 0 {
+		k := 17
+		for k > 3 && pow(k, n) > 20000 {
+			k--
+		}
+		o.GridPoints = k
+	}
+	if o.GridPoints < 2 {
+		o.GridPoints = 2
+	}
+	if o.RefineRounds == 0 {
+		o.RefineRounds = 3
+	}
+	return o
+}
+
+func pow(base, exp int) int {
+	v := 1
+	for i := 0; i < exp; i++ {
+		if v > 1<<30 {
+			return v
+		}
+		v *= base
+	}
+	return v
+}
+
+// BruteForceResult is the exact reference allocation.
+type BruteForceResult struct {
+	// P is the best allocation found on the (refined) grid.
+	P []float64
+	// Phi, Ap, Cp are the oracle-evaluated objective values at P.
+	Phi, Ap, Cp float64
+	// Evals counts objective evaluations spent.
+	Evals int
+}
+
+// BruteForceAlloc grid-searches discretized allocations for the global
+// minimum of Φ = max(A_p, C_p) on a small MDG: each p_i ranges over a
+// geometric grid spanning [1, procs] (endpoints included), every
+// combination is evaluated with the oracle's independent cost semantics,
+// and the winner is optionally tightened by per-coordinate refinement.
+//
+// Because every grid point is a feasible point of the continuous program,
+// the returned Phi upper-bounds the true optimum; a convex solver claiming
+// global optimality must therefore come in at or below it (up to grid
+// resolution), which is the differential test.
+func BruteForceAlloc(g *mdg.Graph, model costmodel.Model, procs int, o BruteForceOptions) (BruteForceResult, error) {
+	if procs < 1 {
+		return BruteForceResult{}, fmt.Errorf("oracle: procs = %d", procs)
+	}
+	if err := g.Validate(); err != nil {
+		return BruteForceResult{}, fmt.Errorf("oracle: invalid graph: %w", err)
+	}
+	n := g.NumNodes()
+	o = o.withDefaults(n)
+	if n == 0 {
+		return BruteForceResult{}, fmt.Errorf("oracle: empty graph")
+	}
+	if n > o.MaxNodes {
+		return BruteForceResult{}, fmt.Errorf("oracle: %d nodes exceeds brute-force bound %d", n, o.MaxNodes)
+	}
+	tp := model.Transfer
+
+	// Geometric grid over [1, procs].
+	k := o.GridPoints
+	grid := make([]float64, k)
+	for i := range grid {
+		grid[i] = math.Pow(float64(procs), float64(i)/float64(k-1))
+	}
+	grid[0], grid[k-1] = 1, float64(procs)
+
+	best := BruteForceResult{Phi: math.Inf(1), P: make([]float64, n)}
+	idx := make([]int, n)
+	p := make([]float64, n)
+	for {
+		for i, gi := range idx {
+			p[i] = grid[gi]
+		}
+		phi, ap, cp, ok := phiEval(g, tp, p, procs)
+		best.Evals++
+		if !ok {
+			return BruteForceResult{}, fmt.Errorf("oracle: graph is cyclic")
+		}
+		if phi < best.Phi {
+			best.Phi, best.Ap, best.Cp = phi, ap, cp
+			copy(best.P, p)
+		}
+		// Odometer increment.
+		d := 0
+		for d < n {
+			idx[d]++
+			if idx[d] < k {
+				break
+			}
+			idx[d] = 0
+			d++
+		}
+		if d == n {
+			break
+		}
+	}
+
+	// Per-coordinate refinement: a geometric line search around the
+	// winner with a shrinking span, narrowing toward the continuous
+	// optimum without re-running the full grid.
+	span := math.Pow(float64(procs), 1/float64(k-1)) // one grid step
+	for round := 0; round < o.RefineRounds; round++ {
+		for i := 0; i < n; i++ {
+			copy(p, best.P)
+			base := best.P[i]
+			for s := 0; s < 9; s++ {
+				f := math.Pow(span, float64(s)/4-1) // span^-1 .. span^+1
+				v := base * f
+				if v < 1 {
+					v = 1
+				}
+				if v > float64(procs) {
+					v = float64(procs)
+				}
+				p[i] = v
+				phi, ap, cp, _ := phiEval(g, tp, p, procs)
+				best.Evals++
+				if phi < best.Phi {
+					best.Phi, best.Ap, best.Cp = phi, ap, cp
+					copy(best.P, p)
+				}
+			}
+		}
+		span = math.Sqrt(span)
+	}
+	return best, nil
+}
+
+// --- Exhaustive list-schedule reference -----------------------------------
+
+// ExhaustiveResult brackets every list schedule of an MDG.
+type ExhaustiveResult struct {
+	// Best and Worst are the minimum and maximum makespans over every
+	// linear extension of the precedence order, under the PSA placement
+	// rule. Any list schedule — the PSA's lowest-EST order included —
+	// must land inside [Best, Worst].
+	Best, Worst float64
+	// BestOrder is a linear extension achieving Best.
+	BestOrder []mdg.NodeID
+	// Count is the number of linear extensions enumerated.
+	Count int
+}
+
+// ExhaustiveSchedules enumerates every linear extension of g (every order
+// a list scheduler could process the nodes in) under a fixed integer
+// allocation, places each with the same buddy/earliest-free rule the PSA
+// uses, and returns the min/max makespan bracket. limit caps the number
+// of extensions (default 200000); exceeding it is an error, keeping the
+// reference honest about what it covered.
+func ExhaustiveSchedules(g *mdg.Graph, model costmodel.Model, alloc []int, procs, limit int) (ExhaustiveResult, error) {
+	if procs < 1 {
+		return ExhaustiveResult{}, fmt.Errorf("oracle: procs = %d", procs)
+	}
+	if err := g.Validate(); err != nil {
+		return ExhaustiveResult{}, fmt.Errorf("oracle: invalid graph: %w", err)
+	}
+	n := g.NumNodes()
+	if n == 0 {
+		return ExhaustiveResult{}, fmt.Errorf("oracle: empty graph")
+	}
+	if len(alloc) != n {
+		return ExhaustiveResult{}, fmt.Errorf("oracle: allocation has %d entries for %d nodes", len(alloc), n)
+	}
+	for i, q := range alloc {
+		if q < 1 || q > procs {
+			return ExhaustiveResult{}, fmt.Errorf("oracle: node %d allocation %d outside [1, %d]", i, q, procs)
+		}
+	}
+	if limit <= 0 {
+		limit = 200000
+	}
+
+	// Structure and weights re-derived independently, once.
+	tp := model.Transfer
+	pf := make([]float64, n)
+	for i, q := range alloc {
+		pf[i] = float64(q)
+	}
+	weight := make([]float64, n)
+	for i := 0; i < n; i++ {
+		weight[i] = nodeWeight(g, tp, mdg.NodeID(i), pf)
+	}
+	preds := make([][]int, n)
+	net := make(map[[2]int]float64, len(g.Edges))
+	indeg := make([]int, n)
+	for _, e := range g.Edges {
+		preds[e.To] = append(preds[e.To], int(e.From))
+		_, d, _ := edgeCosts(tp, e, pf[e.From], pf[e.To])
+		net[[2]int{int(e.From), int(e.To)}] = d
+		indeg[e.To]++
+	}
+	succs := make([][]int, n)
+	for _, e := range g.Edges {
+		succs[e.From] = append(succs[e.From], int(e.To))
+	}
+
+	res := ExhaustiveResult{Best: math.Inf(1), Worst: math.Inf(-1)}
+	finish := make([]float64, n)
+	order := make([]mdg.NodeID, 0, n)
+	freeAt := make([]float64, procs)
+	buddy := isPow2(procs)
+	var overflow bool
+
+	var walk func(depth int, makespan float64)
+	walk = func(depth int, makespan float64) {
+		if overflow {
+			return
+		}
+		if depth == n {
+			res.Count++
+			if res.Count > limit {
+				overflow = true
+				return
+			}
+			if makespan < res.Best {
+				res.Best = makespan
+				res.BestOrder = append(res.BestOrder[:0], order...)
+			}
+			if makespan > res.Worst {
+				res.Worst = makespan
+			}
+			return
+		}
+		for v := 0; v < n; v++ {
+			if indeg[v] != 0 || finish[v] >= 0 {
+				continue
+			}
+			est := 0.0
+			for _, m := range preds[v] {
+				if t := finish[m] + net[[2]int{m, v}]; t > est {
+					est = t
+				}
+			}
+			procSet, pst := place(freeAt, alloc[v], est, buddy)
+			startT := math.Max(est, pst)
+			finishT := startT + weight[v]
+
+			saved := make([]float64, len(procSet))
+			for i, pr := range procSet {
+				saved[i] = freeAt[pr]
+				freeAt[pr] = finishT
+			}
+			finish[v] = finishT
+			for _, s := range succs[v] {
+				indeg[s]--
+			}
+			order = append(order, mdg.NodeID(v))
+
+			walk(depth+1, math.Max(makespan, finishT))
+
+			order = order[:len(order)-1]
+			for _, s := range succs[v] {
+				indeg[s]++
+			}
+			finish[v] = -1
+			for i, pr := range procSet {
+				freeAt[pr] = saved[i]
+			}
+		}
+	}
+	for i := range finish {
+		finish[i] = -1
+	}
+	walk(0, 0)
+	if overflow {
+		return res, fmt.Errorf("oracle: more than %d linear extensions; graph too wide for the exhaustive reference", limit)
+	}
+	if res.Count == 0 {
+		return res, fmt.Errorf("oracle: no linear extension (cyclic graph)")
+	}
+	return res, nil
+}
+
+// place mirrors the PSA's processor placement semantics, independently
+// restated: aligned contiguous buddy blocks when both the system size and
+// the request are powers of two (the block minimizing max(est, block PST),
+// ties to the lowest base), otherwise the q earliest-free processors
+// (ties to the lowest id) with the PST of the slowest chosen.
+func place(freeAt []float64, q int, est float64, buddy bool) ([]int, float64) {
+	if buddy && isPow2(q) {
+		bestStart := math.Inf(1)
+		bestPST := 0.0
+		bestBase := -1
+		for base := 0; base+q <= len(freeAt); base += q {
+			pst := 0.0
+			for i := base; i < base+q; i++ {
+				if freeAt[i] > pst {
+					pst = freeAt[i]
+				}
+			}
+			if start := math.Max(est, pst); start < bestStart {
+				bestStart, bestPST, bestBase = start, pst, base
+			}
+		}
+		sel := make([]int, q)
+		for i := range sel {
+			sel[i] = bestBase + i
+		}
+		return sel, bestPST
+	}
+	ids := make([]int, len(freeAt))
+	for i := range ids {
+		ids[i] = i
+	}
+	sort.SliceStable(ids, func(a, b int) bool { return freeAt[ids[a]] < freeAt[ids[b]] })
+	sel := append([]int(nil), ids[:q]...)
+	sort.Ints(sel)
+	pst := 0.0
+	for _, pr := range sel {
+		if freeAt[pr] > pst {
+			pst = freeAt[pr]
+		}
+	}
+	return sel, pst
+}
+
+// isPow2 reports whether v is a positive power of two (restated locally:
+// the oracle does not import internal/bounds).
+func isPow2(v int) bool { return v > 0 && v&(v-1) == 0 }

@@ -1,0 +1,154 @@
+package oracle
+
+import (
+	"fmt"
+
+	"paradigm/internal/costmodel"
+	"paradigm/internal/mdg"
+)
+
+// Metamorphic relations: properties the cost semantics must satisfy
+// without knowing the true optimum. Each checker transforms an instance,
+// re-evaluates with the oracle's independent arithmetic, and verifies the
+// predicted covariance. The solver-level versions of these relations
+// (does alloc.Solve's optimal Φ scale/shrink the same way?) live in the
+// metamorphic test suite; these checkers are the exact fixed-allocation
+// core they build on.
+
+// ScaleModel multiplies every transfer cost coefficient by k: with the
+// node τ scaled alongside (ScaleTau), the whole objective is k-homogeneous.
+func ScaleModel(m costmodel.Model, k float64) costmodel.Model {
+	t := m.Transfer
+	t.Tss *= k
+	t.Tps *= k
+	t.Tsr *= k
+	t.Tpr *= k
+	t.Tn *= k
+	return costmodel.Model{Transfer: t}
+}
+
+// ScaleTau returns a copy of g with every node's τ multiplied by k.
+// Structure, α and transfers are unchanged.
+func ScaleTau(g *mdg.Graph, k float64) *mdg.Graph {
+	var out mdg.Graph
+	for _, n := range g.Nodes {
+		n.Tau *= k
+		out.AddNode(n)
+	}
+	for _, e := range g.Edges {
+		out.AddEdge(e.From, e.To, e.Transfers...)
+	}
+	return &out
+}
+
+// CheckCostScaling verifies the k-homogeneity relation at a fixed
+// allocation: scaling every τ_i and every transfer coefficient by k > 0
+// scales Φ, A_p and C_p by exactly k. Both sides are evaluated with the
+// oracle's independent arithmetic.
+func CheckCostScaling(g *mdg.Graph, model costmodel.Model, procs int, p []float64, k float64, o Options) error {
+	o = o.withDefaults()
+	if k <= 0 {
+		return fmt.Errorf("oracle: scale factor %v, want > 0", k)
+	}
+	phi0, ap0, cp0, ok := phiEval(g, model.Transfer, p, procs)
+	if !ok {
+		return fmt.Errorf("oracle: graph is cyclic")
+	}
+	gs := ScaleTau(g, k)
+	ms := ScaleModel(model, k)
+	phi1, ap1, cp1, ok := phiEval(gs, ms.Transfer, p, procs)
+	if !ok {
+		return fmt.Errorf("oracle: scaled graph is cyclic")
+	}
+	if !o.close(phi1, k*phi0) || !o.close(ap1, k*ap0) || !o.close(cp1, k*cp0) {
+		return fmt.Errorf("oracle: cost scaling by %v broke homogeneity: Φ %v -> %v (want %v), A_p %v -> %v, C_p %v -> %v",
+			k, phi0, phi1, k*phi0, ap0, ap1, cp0, cp1)
+	}
+	return nil
+}
+
+// CheckProcMonotonicity verifies that adding processors never increases
+// the objective at a fixed feasible allocation: growing the system from
+// procs to more (p unchanged, still inside the smaller box) leaves C_p
+// unchanged and shrinks A_p by exactly procs/more, so Φ cannot rise.
+func CheckProcMonotonicity(g *mdg.Graph, model costmodel.Model, p []float64, procs, more int, o Options) error {
+	o = o.withDefaults()
+	if more < procs || procs < 1 {
+		return fmt.Errorf("oracle: processor counts %d -> %d must grow", procs, more)
+	}
+	phi0, ap0, cp0, ok := phiEval(g, model.Transfer, p, procs)
+	if !ok {
+		return fmt.Errorf("oracle: graph is cyclic")
+	}
+	phi1, ap1, cp1, ok := phiEval(g, model.Transfer, p, more)
+	if !ok {
+		return fmt.Errorf("oracle: graph is cyclic")
+	}
+	if phi1 > phi0*(1+o.RelTol) {
+		return fmt.Errorf("oracle: Φ rose from %v to %v when processors grew %d -> %d", phi0, phi1, procs, more)
+	}
+	if !o.close(cp1, cp0) {
+		return fmt.Errorf("oracle: C_p changed (%v -> %v) with the system size; it must not", cp0, cp1)
+	}
+	if !o.close(ap1*float64(more), ap0*float64(procs)) {
+		return fmt.Errorf("oracle: A_p did not rescale by the processor ratio: %v·%d != %v·%d", ap1, more, ap0, procs)
+	}
+	return nil
+}
+
+// RandomPerm returns a deterministic pseudo-random permutation of [0, n).
+func RandomPerm(seed uint64, n int) []mdg.NodeID {
+	r := newRNG(seed)
+	perm := make([]mdg.NodeID, n)
+	for i := range perm {
+		perm[i] = mdg.NodeID(i)
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.intn(i + 1)
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	return perm
+}
+
+// PermuteFloats maps p (indexed by old node id) into the relabeled index
+// space: out[perm[i]] = p[i].
+func PermuteFloats(p []float64, perm []mdg.NodeID) []float64 {
+	out := make([]float64, len(p))
+	for i, v := range p {
+		out[perm[i]] = v
+	}
+	return out
+}
+
+// PermuteInts is PermuteFloats for integer allocations.
+func PermuteInts(a []int, perm []mdg.NodeID) []int {
+	out := make([]int, len(a))
+	for i, v := range a {
+		out[perm[i]] = v
+	}
+	return out
+}
+
+// CheckRelabelInvariance verifies that node identity carries no cost:
+// relabeling the graph by perm (and permuting the allocation alongside)
+// leaves Φ, A_p and C_p unchanged up to float association noise.
+func CheckRelabelInvariance(g *mdg.Graph, model costmodel.Model, procs int, p []float64, perm []mdg.NodeID, o Options) error {
+	o = o.withDefaults()
+	rg, err := g.Relabel(perm)
+	if err != nil {
+		return fmt.Errorf("oracle: relabel: %w", err)
+	}
+	phi0, ap0, cp0, ok := phiEval(g, model.Transfer, p, procs)
+	if !ok {
+		return fmt.Errorf("oracle: graph is cyclic")
+	}
+	phi1, ap1, cp1, ok := phiEval(rg, model.Transfer, PermuteFloats(p, perm), procs)
+	if !ok {
+		return fmt.Errorf("oracle: relabeled graph is cyclic")
+	}
+	if !o.close(phi0, phi1) || !o.close(ap0, ap1) || !o.close(cp0, cp1) {
+		return fmt.Errorf("oracle: relabeling changed the objective: Φ %v -> %v, A_p %v -> %v, C_p %v -> %v",
+			phi0, phi1, ap0, ap1, cp0, cp1)
+	}
+	return nil
+}

@@ -223,6 +223,11 @@ func PSA(g *mdg.Graph, model costmodel.Model, alloc []int, procs int, policy Pol
 // receives one obs.PSAPick event per scheduling decision.
 func psa(g *mdg.Graph, model costmodel.Model, alloc []int, procs int, policy Policy, o obs.Observer) (*Schedule, error) {
 	n := g.NumNodes()
+	if n == 0 {
+		// An empty MDG used to surface mdg.StartStop's unwrapped error;
+		// callers dispatching with errors.Is need the sentinel.
+		return nil, fmt.Errorf("sched: %w: empty MDG", errs.ErrBadGraph)
+	}
 	if len(alloc) != n {
 		return nil, fmt.Errorf("sched: %w: allocation has %d entries for %d nodes", errs.ErrInfeasible, len(alloc), n)
 	}
@@ -403,6 +408,9 @@ func pickBuddyBlock(freeAt []float64, q int, est float64) ([]int, float64) {
 func SPMD(g *mdg.Graph, model costmodel.Model, procs int) (*Schedule, error) {
 	if procs < 1 {
 		return nil, fmt.Errorf("sched: %w: procs = %d, want >= 1", errs.ErrInfeasible, procs)
+	}
+	if g.NumNodes() == 0 {
+		return nil, fmt.Errorf("sched: %w: empty MDG", errs.ErrBadGraph)
 	}
 	if err := g.Validate(); err != nil {
 		return nil, err

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"strings"
@@ -10,6 +11,7 @@ import (
 	"paradigm/internal/alloc"
 	"paradigm/internal/bounds"
 	"paradigm/internal/costmodel"
+	"paradigm/internal/errs"
 	"paradigm/internal/mdg"
 )
 
@@ -511,5 +513,21 @@ func TestAllPoliciesValidOnRandomGraphs(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestEmptyMDGWrapsErrBadGraph: an empty graph must surface the typed
+// sentinel (regression: mdg.StartStop's unwrapped error used to leak
+// through psa, defeating errors.Is dispatch).
+func TestEmptyMDGWrapsErrBadGraph(t *testing.T) {
+	var g mdg.Graph
+	if _, err := PSA(&g, cm5Fit, nil, 4, LowestEST); !errors.Is(err, errs.ErrBadGraph) {
+		t.Fatalf("PSA on empty MDG: err = %v, want errs.ErrBadGraph", err)
+	}
+	if _, err := Run(&g, cm5Fit, nil, 4, Options{}); !errors.Is(err, errs.ErrBadGraph) {
+		t.Fatalf("Run on empty MDG: err = %v, want errs.ErrBadGraph", err)
+	}
+	if _, err := SPMD(&g, cm5Fit, 4); !errors.Is(err, errs.ErrBadGraph) {
+		t.Fatalf("SPMD on empty MDG: err = %v, want errs.ErrBadGraph", err)
 	}
 }

@@ -17,13 +17,13 @@ import (
 
 // event is one Chrome trace event (the "X" complete-event form).
 type event struct {
-	Name string            `json:"name"`
-	Cat  string            `json:"cat"`
-	Ph   string            `json:"ph"`
-	Ts   float64           `json:"ts"`  // microseconds
-	Dur  float64           `json:"dur"` // microseconds
-	Pid  int               `json:"pid"`
-	Tid  int               `json:"tid"`
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`  // microseconds
+	Dur  float64        `json:"dur"` // microseconds
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
 	Args map[string]any `json:"args,omitempty"`
 }
 
