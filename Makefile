@@ -6,9 +6,9 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: ci fmt-check vet build test test-race race fuzz-smoke bench-smoke bench-current bench-json bench-pr2 bench-pr3
+.PHONY: ci fmt-check vet build test test-race race fuzz-smoke bench-smoke bench-current bench-json bench-pr2 bench-pr3 bench-pr5 smoke-paradigmd
 
-ci: fmt-check vet build test-race fuzz-smoke bench-smoke bench-pr2 bench-pr3
+ci: fmt-check vet build test-race fuzz-smoke bench-smoke bench-pr2 bench-pr3 bench-pr5 smoke-paradigmd
 
 # gofmt gate: fails listing the offending files, mutating nothing.
 fmt-check:
@@ -36,6 +36,7 @@ fuzz-smoke:
 	$(GO) test ./internal/oracle/ -run '^$$' -fuzz '^FuzzSolve$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/oracle/ -run '^$$' -fuzz '^FuzzPSA$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/oracle/ -run '^$$' -fuzz '^FuzzMDGParse$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/ckpt/ -run '^$$' -fuzz '^FuzzWALDecode$$' -fuzztime $(FUZZTIME)
 
 # One iteration of the calibration- and allocation-path benchmarks: fast,
 # and enough to catch a benchmark that no longer compiles or errors out.
@@ -65,3 +66,17 @@ bench-pr2:
 bench-pr3:
 	$(GO) test -run '^$$' -bench 'BenchmarkRunNoFaults|BenchmarkRunWithRecovery' -benchtime=1x -benchmem . | tee bench_pr3.txt
 	$(GO) run ./cmd/benchjson -current bench_pr3.txt -label "PR 3: fault injection + recovery (Run no-faults vs with-recovery)" -o BENCH_PR3.json
+
+# PR 5 crash-safety benchmarks: the production-scale Run baseline vs the
+# same run committing every stage boundary to the write-ahead checkpoint
+# log (the <3% overhead budget of DESIGN.md §11), folded into
+# BENCH_PR5.json for the trajectory harness.
+bench-pr5:
+	$(GO) test -run '^$$' -bench 'BenchmarkRunNoCheckpoint|BenchmarkRunWithCheckpoint' -benchtime=1x -benchmem . | tee bench_pr5.txt
+	$(GO) run ./cmd/benchjson -current bench_pr5.txt -label "PR 5: crash-safe checkpointing (Run without vs with WAL)" -o BENCH_PR5.json
+
+# Boot the scheduling service on an ephemeral port, submit a job, poll
+# it to completion, fetch its schedule and the metrics page, then drain:
+# the end-to-end smoke of cmd/paradigmd.
+smoke-paradigmd:
+	$(GO) run ./cmd/paradigmd -addr 127.0.0.1:0 -smoke

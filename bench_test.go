@@ -12,6 +12,7 @@ package paradigm
 
 import (
 	"context"
+	"path/filepath"
 	"sync"
 	"testing"
 
@@ -470,5 +471,49 @@ func BenchmarkRunWithRecovery(b *testing.B) {
 		if !res.Recovered {
 			b.Fatal("benchmark plan did not trigger recovery")
 		}
+	}
+}
+
+// BenchmarkRunNoCheckpoint is the full Complex Matrix Multiply pipeline
+// (n=256 on 64 processors — the paper's production scale) with
+// checkpointing off: the baseline the WAL overhead below is measured
+// against (the <3% budget of DESIGN.md §11).
+func BenchmarkRunNoCheckpoint(b *testing.B) {
+	e := env(b)
+	p, err := programs.ComplexMatMul(256, e.Cal)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunContext(context.Background(), p, e.Machine, e.Cal, 64); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunWithCheckpoint is the same pipeline with a write-ahead
+// checkpoint log attached: five stage commits per run on a fresh WAL,
+// each an encode + CRC + record append + commit-pointer publish
+// (process-crash durability, the default — see DESIGN.md §11).
+func BenchmarkRunWithCheckpoint(b *testing.B) {
+	e := env(b)
+	p, err := programs.ComplexMatMul(256, e.Cal)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dir := b.TempDir()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cp, err := CreateCheckpoint(filepath.Join(dir, "bench.wal"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := RunContext(context.Background(), p, e.Machine, e.Cal, 64, WithCheckpoint(cp)); err != nil {
+			b.Fatal(err)
+		}
+		cp.Close()
 	}
 }

@@ -1,0 +1,237 @@
+// Crash-safe checkpointing: the public face of internal/ckpt.
+//
+// WithCheckpoint attaches a write-ahead checkpoint log to a pipeline
+// call. Each completed stage (calibration fit, allocation vector, PSA
+// schedule, codegen program, recovery salvage) commits one CRC-checked
+// record: the log file is created with an atomic rename and each commit
+// appends the record, then publishes it by rewriting the header's
+// commit pointer in place (crash-atomic under process death). A killed
+// run re-invoked with the same log resumes from the last committed
+// stage and — because every stage is deterministic — produces a
+// bit-identical result, which the chaos tests verify with
+// oracle.CheckRun on the resumed trace.
+//
+//	cp, err := paradigm.OpenCheckpoint("run.wal") // resumes if it exists
+//	res, err := paradigm.RunContext(ctx, p, m, cal, 64,
+//	    paradigm.WithCheckpoint(cp))
+//
+// The log is bound to one job: a meta record (program, system size,
+// machine) is committed first and validated on resume, so replaying a
+// log against a different job fails with ErrCheckpointMismatch instead
+// of resuming silently. A damaged log (truncation, bit flip) fails with
+// ErrCheckpointCorrupt at open time.
+package paradigm
+
+import (
+	"fmt"
+
+	"paradigm/internal/ckpt"
+	"paradigm/internal/obs"
+)
+
+// Checkpoint sentinels (see internal/ckpt).
+var (
+	// ErrCheckpointCorrupt marks a checkpoint log that fails structural
+	// or CRC validation — it is refused, never resumed silently.
+	ErrCheckpointCorrupt = ckpt.ErrCorrupt
+	// ErrCheckpointVersion marks a log written by an incompatible
+	// format version.
+	ErrCheckpointVersion = ckpt.ErrVersion
+	// ErrCheckpointMismatch marks a valid log that belongs to a
+	// different job (program, machine, or system size).
+	ErrCheckpointMismatch = ckpt.ErrMismatch
+)
+
+// Checkpoint is an open write-ahead checkpoint log. Use one Checkpoint
+// per pipeline run; it is not safe for concurrent pipeline calls.
+type Checkpoint struct{ log *ckpt.Log }
+
+// CreateCheckpoint starts a fresh log at path, truncating any previous
+// one — the "start over" entry point.
+func CreateCheckpoint(path string) (*Checkpoint, error) {
+	l, err := ckpt.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Checkpoint{log: l}, nil
+}
+
+// OpenCheckpoint resumes the log at path if it exists or creates a
+// fresh one — the "checkpoint this run, resuming a killed attempt"
+// entry point.
+func OpenCheckpoint(path string) (*Checkpoint, error) {
+	l, err := ckpt.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Checkpoint{log: l}, nil
+}
+
+// LoadCheckpoint opens an existing log strictly: a missing or damaged
+// file is an error.
+func LoadCheckpoint(path string) (*Checkpoint, error) {
+	l, err := ckpt.Load(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Checkpoint{log: l}, nil
+}
+
+// Path returns the log's file path.
+func (cp *Checkpoint) Path() string { return cp.log.Path() }
+
+// Stages lists the committed stage names in commit order.
+func (cp *Checkpoint) Stages() []string { return cp.log.Stages() }
+
+// OnCommit registers a hook invoked after each commit is durable on
+// disk (the chaos tests kill the process from it).
+func (cp *Checkpoint) OnCommit(fn func(stage string, seq int)) { cp.log.OnCommit(fn) }
+
+// SetFullSync selects the durability mode. The default (off) commits
+// with two page-cache writes, which survive process death — the
+// pipeline's crash model — at microsecond cost per stage. Full sync
+// fsyncs the appended record before the commit pointer is written and
+// the pointer after it, so committed stages also survive kernel crashes
+// and power loss, at fsync cost per commit.
+func (cp *Checkpoint) SetFullSync(on bool) { cp.log.SetFullSync(on) }
+
+// Close releases the checkpoint's file handle. The log stays usable: a
+// later commit reopens it. Services that hold many finished jobs call
+// this to bound open descriptors.
+func (cp *Checkpoint) Close() error { return cp.log.Close() }
+
+// WithCheckpoint attaches cp to the call: completed stages commit to
+// the log, already-committed stages are restored from it (emitting one
+// obs.Resume event each) instead of recomputed. A nil cp is a no-op.
+func WithCheckpoint(cp *Checkpoint) Option {
+	return func(c *config) { c.ckpt = cp }
+}
+
+// ckptActive reports whether a usable checkpoint is attached.
+func (c *config) ckptActive() bool { return c.ckpt != nil && c.ckpt.log != nil }
+
+// emit sends e to the call's observer under the usual nil guard.
+func (c *config) emit(e obs.Event) {
+	if c.observer != nil {
+		c.observer.Observe(e)
+	}
+}
+
+// ckptCommit commits a stage payload and emits the Checkpoint event.
+func (c *config) ckptCommit(stage string, payload []byte) error {
+	if err := c.ckpt.log.Commit(stage, payload); err != nil {
+		return err
+	}
+	c.emit(obs.Checkpoint{Stage: stage, Seq: c.ckpt.log.Len() - 1, Bytes: len(payload)})
+	return nil
+}
+
+// ckptBindRun binds the log to this run's identity: the first run
+// commits a meta record; a resume validates it and refuses a log that
+// belongs to a different job.
+func (c *config) ckptBindRun(p *Program, mp Machine, procs int) error {
+	if !c.ckptActive() {
+		return nil
+	}
+	if data, _, ok := c.ckpt.log.Lookup(ckpt.StageMeta); ok {
+		meta, err := ckpt.DecodeMeta(data)
+		if err != nil {
+			return err
+		}
+		return meta.Check(p.Name, procs, p.G.NumNodes(), mp)
+	}
+	payload, err := ckpt.EncodeMeta(ckpt.Meta{
+		Program: p.Name, Procs: procs, Nodes: p.G.NumNodes(), Machine: mp,
+	})
+	if err != nil {
+		return fmt.Errorf("paradigm: encode checkpoint meta: %w", err)
+	}
+	return c.ckptCommit(ckpt.StageMeta, payload)
+}
+
+// ckptDone commits the run outcome, or — when a done record already
+// exists (a run resumed after its final commit) — validates this run's
+// outcome against it: the last line of defense that resume was
+// bit-identical.
+func (c *config) ckptDone(res *Result) error {
+	if !c.ckptActive() {
+		return nil
+	}
+	d := ckpt.DoneState{
+		Makespan:     res.Sim.Makespan,
+		Messages:     res.Sim.Messages,
+		NetworkBytes: res.Sim.NetworkBytes,
+		Recovered:    res.Recovered,
+		Attempts:     res.RecoveryAttempts,
+	}
+	if data, seq, ok := c.ckpt.log.Lookup(ckpt.StageDone); ok {
+		prev, err := ckpt.DecodeDone(data)
+		if err != nil {
+			return err
+		}
+		if prev != d {
+			return fmt.Errorf("%w: resumed run diverged from the committed outcome (makespan %v vs %v, messages %d vs %d)",
+				ErrCheckpointMismatch, d.Makespan, prev.Makespan, d.Messages, prev.Messages)
+		}
+		c.emit(obs.Resume{Stage: ckpt.StageDone, Seq: seq})
+		return nil
+	}
+	payload, err := ckpt.EncodeDone(d)
+	if err != nil {
+		return fmt.Errorf("paradigm: encode checkpoint outcome: %w", err)
+	}
+	return c.ckptCommit(ckpt.StageDone, payload)
+}
+
+// ckptSalvage commits one recovery attempt's salvage state, or — when
+// the attempt was already committed by a killed run — validates that
+// this run's recomputed salvage is bit-identical to the committed one
+// (recovery is deterministic; a divergence is a real bug, not noise).
+func (c *config) ckptSalvage(stage string, s ckpt.SalvageState) error {
+	if data, seq, ok := c.ckpt.log.Lookup(stage); ok {
+		prev, err := ckpt.DecodeSalvage(data)
+		if err != nil {
+			return err
+		}
+		if err := salvageEqual(prev, s); err != nil {
+			return fmt.Errorf("%w: resumed recovery diverged at %s: %v", ErrCheckpointMismatch, stage, err)
+		}
+		c.emit(obs.Resume{Stage: stage, Seq: seq})
+		return nil
+	}
+	payload, err := ckpt.EncodeSalvage(s)
+	if err != nil {
+		return fmt.Errorf("paradigm: encode salvage state: %w", err)
+	}
+	return c.ckptCommit(stage, payload)
+}
+
+// salvageEqual compares two salvage states bit-for-bit.
+func salvageEqual(a, b ckpt.SalvageState) error {
+	if a.Attempt != b.Attempt || a.Survivors != b.Survivors || len(a.Failed) != len(b.Failed) {
+		return fmt.Errorf("attempt/survivors/failed differ")
+	}
+	for i := range a.Failed {
+		if a.Failed[i] != b.Failed[i] {
+			return fmt.Errorf("failed processor sets differ")
+		}
+	}
+	if len(a.Arrays) != len(b.Arrays) {
+		return fmt.Errorf("restored %d arrays, committed %d", len(b.Arrays), len(a.Arrays))
+	}
+	for name, am := range a.Arrays {
+		bm, ok := b.Arrays[name]
+		if !ok {
+			return fmt.Errorf("array %q missing from recomputed salvage", name)
+		}
+		if am.Rows != bm.Rows || am.Cols != bm.Cols || len(am.Data) != len(bm.Data) {
+			return fmt.Errorf("array %q shape differs", name)
+		}
+		for i := range am.Data {
+			if am.Data[i] != bm.Data[i] {
+				return fmt.Errorf("array %q differs at element %d", name, i)
+			}
+		}
+	}
+	return nil
+}

@@ -8,6 +8,8 @@
 //	paradigm -program example  -procs 4             # the Figure 1-2 example
 //	paradigm -mdg graph.json   -procs 32 -dot       # allocate/schedule a raw MDG
 //	paradigm -program cmm -procs 8 -faults 'kill:1@0.01' -recover 2   # chaos run
+//	paradigm -program cmm -procs 8 -checkpoint run.wal              # crash-safe run
+//	paradigm -program cmm -procs 8 -checkpoint run.wal -resume      # resume a killed run
 //
 // Output: the allocation, the PSA schedule (table + Gantt), the Theorem
 // 1-3 bounds, and — for executable programs — the simulated execution
@@ -53,17 +55,19 @@ func main() {
 		depth    = flag.Int("depth", 1, "Strassen recursion depth (program strassen only)")
 		faults   = flag.String("faults", "", "fault schedule, e.g. 'kill:1@0.02,delay:3@0.005' or 'rand:42' (see cmd/paradigm/faults.go)")
 		recov    = flag.Int("recover", 0, "max failure-aware rescheduling attempts after a fault halt (0 = surface the halt)")
+		ckptPath = flag.String("checkpoint", "", "write-ahead checkpoint log path; an existing log resumes the killed run")
+		resume   = flag.Bool("resume", false, "require an existing checkpoint log (error instead of starting fresh)")
 	)
 	flag.Parse()
-	if err := run(*progName, *mdgPath, *srcPath, *traceOut, *pprofOut, *machName, *policy, *faults,
-		*procs, *size, *depth, *recov, *spmd, *dot, *metrics, *pb); err != nil {
+	if err := run(*progName, *mdgPath, *srcPath, *traceOut, *pprofOut, *machName, *policy, *faults, *ckptPath,
+		*procs, *size, *depth, *recov, *spmd, *dot, *metrics, *pb, *resume); err != nil {
 		fmt.Fprintln(os.Stderr, "paradigm:", err)
 		os.Exit(1)
 	}
 }
 
-func run(progName, mdgPath, srcPath, traceOut, pprofOut, machName, policy, faults string,
-	procs, size, depth, recov int, spmd, dot, metrics bool, pb int) error {
+func run(progName, mdgPath, srcPath, traceOut, pprofOut, machName, policy, faults, ckptPath string,
+	procs, size, depth, recov int, spmd, dot, metrics bool, pb int, resume bool) error {
 	var pol sched.Policy
 	switch policy {
 	case "est":
@@ -113,8 +117,37 @@ func run(progName, mdgPath, srcPath, traceOut, pprofOut, machName, policy, fault
 	}
 	ob := paradigm.MultiObserver(observers...)
 
+	// Crash safety: an existing WAL resumes the killed run (committed
+	// stages — calibration included — are restored, not recomputed).
+	if resume && ckptPath == "" {
+		return fmt.Errorf("-resume requires -checkpoint")
+	}
+	if ckptPath != "" && spmd {
+		return fmt.Errorf("-checkpoint applies to the MPMD pipeline, not -spmd")
+	}
+	var cp *paradigm.Checkpoint
+	if ckptPath != "" {
+		var cerr error
+		if resume {
+			cp, cerr = paradigm.LoadCheckpoint(ckptPath)
+		} else {
+			cp, cerr = paradigm.OpenCheckpoint(ckptPath)
+		}
+		if cerr != nil {
+			return cerr
+		}
+		defer cp.Close()
+		if stages := cp.Stages(); len(stages) > 0 {
+			fmt.Printf("checkpoint: resuming %s from committed stages %v\n\n", ckptPath, stages)
+		}
+	}
+	calOpts := []paradigm.Option{paradigm.WithObserver(ob)}
+	if cp != nil {
+		calOpts = append(calOpts, paradigm.WithCheckpoint(cp))
+	}
+
 	m := profile(procs)
-	cal, err := paradigm.CalibrateContext(ctx, profile(64), paradigm.WithObserver(ob))
+	cal, err := paradigm.CalibrateContext(ctx, profile(64), calOpts...)
 	if err != nil {
 		return err
 	}
@@ -183,6 +216,9 @@ func run(progName, mdgPath, srcPath, traceOut, pprofOut, machName, policy, fault
 	opts := []paradigm.Option{
 		paradigm.WithObserver(ob),
 		paradigm.WithScheduleOptions(paradigm.ScheduleOptions{PB: pb, Policy: pol}),
+	}
+	if cp != nil {
+		opts = append(opts, paradigm.WithCheckpoint(cp))
 	}
 	var plan *paradigm.FaultPlan
 	if faults != "" {

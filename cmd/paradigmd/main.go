@@ -1,0 +1,470 @@
+// Command paradigmd is a long-running scheduling service over the
+// PARADIGM pipeline: submit an allocation-and-scheduling job, poll its
+// status, fetch the resulting schedule, and scrape the pipeline's
+// metrics registry — with the crash-safety surface of the library wired
+// through (per-job write-ahead checkpoints, per-stage budgets, a shared
+// circuit breaker around the convex solve, and panic containment at
+// every boundary).
+//
+// Endpoints:
+//
+//	POST /jobs               {"program":"cmm","size":32,"procs":8}  -> 202 {"id":...}
+//	GET  /jobs               job summaries, submission order
+//	GET  /jobs/{id}          one job's status and result summary
+//	GET  /jobs/{id}/schedule the finished schedule (text table)
+//	GET  /metrics            metrics registry, deterministic text form
+//	GET  /healthz            "ok" (200) or "draining" (503)
+//
+// Admission control: the submit queue is bounded; a full queue sheds
+// load with 429, a draining server refuses with 503. SIGTERM/SIGINT
+// starts a graceful drain — accepted jobs finish, new ones are refused,
+// then the listener shuts down.
+//
+//	paradigmd -addr :8080 -workers 2 -queue 16 -checkpoint-dir /var/lib/paradigm
+//	paradigmd -smoke   # self-contained start/submit/poll/drain cycle
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"paradigm"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:8080", "listen address")
+		workers = flag.Int("workers", 2, "concurrent pipeline workers")
+		queue   = flag.Int("queue", 16, "bounded submit queue size (full: 429)")
+		ckptDir = flag.String("checkpoint-dir", "", "directory for per-job write-ahead checkpoint logs (empty: no checkpointing)")
+		machine = flag.String("machine", "cm5", "machine profile: cm5 | paragon")
+		budget  = flag.Duration("stage-budget", 0, "per-stage deadline applied to every pipeline stage (0: unbounded)")
+		smoke   = flag.Bool("smoke", false, "start, run one job end to end, drain, and exit (CI smoke mode)")
+	)
+	flag.Parse()
+	if err := run(*addr, *machine, *ckptDir, *workers, *queue, *budget, *smoke); err != nil {
+		fmt.Fprintln(os.Stderr, "paradigmd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, machine, ckptDir string, workers, queue int, budget time.Duration, smoke bool) error {
+	profile := paradigm.NewCM5
+	switch machine {
+	case "cm5":
+	case "paragon":
+		profile = paradigm.NewParagon
+	default:
+		return fmt.Errorf("unknown machine %q (want cm5 or paragon)", machine)
+	}
+	if workers < 1 || queue < 1 {
+		return fmt.Errorf("need at least one worker and a positive queue size")
+	}
+	cal, err := paradigm.Calibrate(profile(64))
+	if err != nil {
+		return err
+	}
+	srv := newServer(cal, profile, ckptDir, queue, budget)
+	srv.start(workers)
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv.handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+	log.Printf("paradigmd listening on %s (%d workers, queue %d)", ln.Addr(), workers, queue)
+
+	if smoke {
+		if err := smokeCycle(ln.Addr().String()); err != nil {
+			return fmt.Errorf("smoke: %w", err)
+		}
+		srv.drain()
+		shutdownHTTP(hs)
+		<-serveErr
+		fmt.Println("smoke ok: submitted, completed, fetched schedule and metrics, drained")
+		return nil
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case s := <-sig:
+		log.Printf("received %v: draining", s)
+		srv.drain()
+		shutdownHTTP(hs)
+		<-serveErr
+		log.Printf("drained %d jobs, exiting", srv.completed())
+		return nil
+	case err := <-serveErr:
+		return err
+	}
+}
+
+func shutdownHTTP(hs *http.Server) {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	_ = hs.Shutdown(ctx)
+}
+
+// jobRequest is the submit payload.
+type jobRequest struct {
+	Program string `json:"program"`           // cmm | strassen
+	Size    int    `json:"size"`              // matrix size
+	Procs   int    `json:"procs"`             // system size p
+	Recover int    `json:"recover,omitempty"` // max recovery attempts
+}
+
+// jobView is the status representation returned by the API.
+type jobView struct {
+	ID      string  `json:"id"`
+	Program string  `json:"program"`
+	Size    int     `json:"size"`
+	Procs   int     `json:"procs"`
+	Status  string  `json:"status"` // queued | running | done | failed
+	Error   string  `json:"error,omitempty"`
+	Phi     float64 `json:"phi,omitempty"`
+	Actual  float64 `json:"actual,omitempty"`
+}
+
+type job struct {
+	jobView
+	req jobRequest
+	res *paradigm.Result
+	p   *paradigm.Program
+}
+
+type server struct {
+	cal     *paradigm.Calibration
+	profile func(int) paradigm.Machine
+	ckptDir string
+	budgets paradigm.StageBudgets
+	breaker *paradigm.Breaker
+	reg     *paradigm.Metrics
+	obs     paradigm.Observer
+
+	mu    sync.Mutex
+	jobs  map[string]*job
+	order []string
+	next  int
+
+	queue    chan *job
+	drainCh  chan struct{}
+	draining atomic.Bool
+	wg       sync.WaitGroup
+	done     atomic.Uint64
+}
+
+func newServer(cal *paradigm.Calibration, profile func(int) paradigm.Machine, ckptDir string, queue int, budget time.Duration) *server {
+	reg := paradigm.NewMetrics()
+	return &server{
+		cal:     cal,
+		profile: profile,
+		ckptDir: ckptDir,
+		budgets: paradigm.StageBudgets{
+			Calibrate: budget, Allocate: budget, Schedule: budget, Codegen: budget, Execute: budget,
+		},
+		breaker: paradigm.NewBreaker(paradigm.BreakerOptions{}),
+		reg:     reg,
+		obs:     paradigm.NewMetricsObserver(reg),
+		jobs:    map[string]*job{},
+		queue:   make(chan *job, queue),
+		drainCh: make(chan struct{}),
+	}
+}
+
+func (s *server) start(workers int) {
+	for i := 0; i < workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+}
+
+// drain stops admission, lets the workers finish every accepted job,
+// and returns when the queue is empty.
+func (s *server) drain() {
+	if s.draining.CompareAndSwap(false, true) {
+		close(s.drainCh)
+	}
+	s.wg.Wait()
+}
+
+func (s *server) completed() uint64 { return s.done.Load() }
+
+func (s *server) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case j := <-s.queue:
+			s.runJob(j)
+		case <-s.drainCh:
+			// Draining: finish whatever was accepted, then exit.
+			for {
+				select {
+				case j := <-s.queue:
+					s.runJob(j)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+func (s *server) runJob(j *job) {
+	s.mu.Lock()
+	j.Status = "running"
+	s.mu.Unlock()
+
+	res, p, err := s.execute(j.req, j.ID)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err != nil {
+		j.Status = "failed"
+		j.Error = err.Error()
+		s.reg.Counter("paradigmd_jobs_failed_total").Inc()
+	} else {
+		j.Status = "done"
+		j.res, j.p = res, p
+		j.Phi, j.Actual = res.Alloc.Phi, res.Actual
+		s.reg.Counter("paradigmd_jobs_completed_total").Inc()
+	}
+	s.done.Add(1)
+}
+
+// execute runs one job through the full governed pipeline. Panic
+// containment lives in the library: a malformed job comes back as a
+// typed error, never as a worker crash.
+func (s *server) execute(req jobRequest, id string) (*paradigm.Result, *paradigm.Program, error) {
+	var (
+		p   *paradigm.Program
+		err error
+	)
+	switch req.Program {
+	case "cmm":
+		p, err = paradigm.ComplexMatMul(req.Size, s.cal)
+	case "strassen":
+		p, err = paradigm.Strassen(req.Size, s.cal)
+	default:
+		return nil, nil, fmt.Errorf("unknown program %q (want cmm or strassen)", req.Program)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	opts := []paradigm.Option{
+		paradigm.WithObserver(s.obs),
+		paradigm.WithStageBudgets(s.budgets),
+		paradigm.WithBreaker(s.breaker),
+		paradigm.WithRetry(paradigm.RetryPolicy{MaxAttempts: 2}),
+	}
+	if req.Recover > 0 {
+		opts = append(opts, paradigm.WithRecovery(req.Recover))
+	}
+	if s.ckptDir != "" {
+		cp, err := paradigm.OpenCheckpoint(filepath.Join(s.ckptDir, "job-"+id+".wal"))
+		if err != nil {
+			return nil, nil, err
+		}
+		defer cp.Close()
+		opts = append(opts, paradigm.WithCheckpoint(cp))
+	}
+	res, err := paradigm.RunContext(context.Background(), p, s.profile(req.Procs), s.cal, req.Procs, opts...)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, p, nil
+}
+
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/jobs", s.handleJobs)
+	mux.HandleFunc("/jobs/", s.handleJob)
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		io.WriteString(w, s.reg.Snapshot().Text())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		if s.draining.Load() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		io.WriteString(w, "ok\n")
+	})
+	return mux
+}
+
+func (s *server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		s.submit(w, r)
+	case http.MethodGet:
+		s.mu.Lock()
+		views := make([]jobView, 0, len(s.order))
+		for _, id := range s.order {
+			views = append(views, s.jobs[id].jobView)
+		}
+		s.mu.Unlock()
+		writeJSON(w, http.StatusOK, views)
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+func (s *server) submit(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.reg.Counter("paradigmd_jobs_rejected_total").Inc()
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	var req jobRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&req); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if req.Size <= 0 || req.Procs <= 0 {
+		http.Error(w, "size and procs must be positive", http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	s.next++
+	j := &job{req: req, jobView: jobView{
+		ID: fmt.Sprintf("%d", s.next), Program: req.Program,
+		Size: req.Size, Procs: req.Procs, Status: "queued",
+	}}
+	// The enqueue attempt is non-blocking, so it can stay under the
+	// lock: a job is registered if and only if it was admitted.
+	select {
+	case s.queue <- j:
+		s.jobs[j.ID] = j
+		s.order = append(s.order, j.ID)
+		s.mu.Unlock()
+		s.reg.Counter("paradigmd_jobs_submitted_total").Inc()
+		writeJSON(w, http.StatusAccepted, map[string]string{"id": j.ID})
+	default:
+		// Load shed: the bounded queue is full.
+		s.mu.Unlock()
+		s.reg.Counter("paradigmd_jobs_rejected_total").Inc()
+		http.Error(w, "queue full", http.StatusTooManyRequests)
+	}
+}
+
+func (s *server) handleJob(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/jobs/")
+	id, sub, _ := strings.Cut(rest, "/")
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		http.Error(w, "no such job", http.StatusNotFound)
+		return
+	}
+	switch sub {
+	case "":
+		s.mu.Lock()
+		view := j.jobView
+		s.mu.Unlock()
+		writeJSON(w, http.StatusOK, view)
+	case "schedule":
+		s.mu.Lock()
+		res, p, status := j.res, j.p, j.Status
+		s.mu.Unlock()
+		if res == nil {
+			http.Error(w, "job not finished: "+status, http.StatusConflict)
+			return
+		}
+		io.WriteString(w, res.Sched.Table(p.G))
+	default:
+		http.Error(w, "not found", http.StatusNotFound)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// smokeCycle drives one job through a live server over real HTTP: the
+// self-contained CI gate that the service starts, schedules, answers,
+// and drains.
+func smokeCycle(addr string) error {
+	base := "http://" + addr
+	resp, err := http.Post(base+"/jobs", "application/json",
+		strings.NewReader(`{"program":"cmm","size":16,"procs":4}`))
+	if err != nil {
+		return err
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return fmt.Errorf("submit: %s: %s", resp.Status, body)
+	}
+	var accepted struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(body, &accepted); err != nil {
+		return err
+	}
+
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			return errors.New("job did not finish within 60s")
+		}
+		resp, err := http.Get(base + "/jobs/" + accepted.ID)
+		if err != nil {
+			return err
+		}
+		var view jobView
+		err = json.NewDecoder(resp.Body).Decode(&view)
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		if view.Status == "failed" {
+			return fmt.Errorf("job failed: %s", view.Error)
+		}
+		if view.Status == "done" {
+			if view.Actual <= 0 {
+				return fmt.Errorf("done job reports non-positive makespan %v", view.Actual)
+			}
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	resp, err = http.Get(base + "/jobs/" + accepted.ID + "/schedule")
+	if err != nil {
+		return err
+	}
+	sched, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || len(sched) == 0 {
+		return fmt.Errorf("schedule fetch: %s", resp.Status)
+	}
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(metrics), "paradigmd_jobs_completed_total 1") {
+		return fmt.Errorf("metrics missing completion counter:\n%s", metrics)
+	}
+	return nil
+}

@@ -1,0 +1,190 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"paradigm"
+)
+
+func testServer(t *testing.T, queue int, workers int) (*server, *httptest.Server) {
+	t.Helper()
+	cal, err := paradigm.Calibrate(paradigm.NewCM5(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newServer(cal, paradigm.NewCM5, t.TempDir(), queue, 0)
+	srv.start(workers)
+	hs := httptest.NewServer(srv.handler())
+	t.Cleanup(hs.Close)
+	return srv, hs
+}
+
+func submitJob(t *testing.T, base, body string) *http.Response {
+	t.Helper()
+	resp, err := http.Post(base+"/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestServiceJobLifecycle(t *testing.T) {
+	srv, hs := testServer(t, 4, 1)
+	resp := submitJob(t, hs.URL, `{"program":"cmm","size":16,"procs":4}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %s", resp.Status)
+	}
+	var acc struct{ ID string }
+	if err := json.NewDecoder(resp.Body).Decode(&acc); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	var view jobView
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(hs.URL + "/jobs/" + acc.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if view.Status == "done" || view.Status == "failed" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %q", view.Status)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if view.Status != "done" || view.Actual <= 0 {
+		t.Fatalf("job = %+v", view)
+	}
+
+	resp, err := http.Get(hs.URL + "/jobs/" + acc.ID + "/schedule")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("schedule = %s", resp.Status)
+	}
+
+	resp, err = http.Get(hs.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(text), "paradigmd_jobs_completed_total 1") {
+		t.Fatalf("metrics missing completion counter:\n%s", text)
+	}
+	if srv.completed() != 1 {
+		t.Fatalf("completed = %d, want 1", srv.completed())
+	}
+}
+
+// A malformed job must come back as a failed status, not a crashed
+// worker: the library's panic containment holds the boundary.
+func TestServiceBadJobFails(t *testing.T) {
+	_, hs := testServer(t, 4, 1)
+	resp := submitJob(t, hs.URL, `{"program":"nope","size":8,"procs":4}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %s", resp.Status)
+	}
+	var acc struct{ ID string }
+	if err := json.NewDecoder(resp.Body).Decode(&acc); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(hs.URL + "/jobs/" + acc.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var view jobView
+		if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if view.Status == "failed" {
+			if !strings.Contains(view.Error, "unknown program") {
+				t.Fatalf("failure reason = %q", view.Error)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("bad job never failed: %+v", view)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// Admission control: with no workers draining the queue, submissions
+// past the bound are shed with 429, and invalid payloads are 400s.
+func TestServiceLoadShedding(t *testing.T) {
+	srv, hs := testServer(t, 1, 0) // no workers: the queue only fills
+	if resp := submitJob(t, hs.URL, `{"program":"cmm","size":16,"procs":4}`); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit = %s", resp.Status)
+	}
+	resp := submitJob(t, hs.URL, `{"program":"cmm","size":16,"procs":4}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow submit = %s, want 429", resp.Status)
+	}
+	resp.Body.Close()
+	if !strings.Contains(srv.reg.Snapshot().Text(), "paradigmd_jobs_rejected_total 1") {
+		t.Fatal("rejection not counted")
+	}
+	if resp := submitJob(t, hs.URL, `{"size":0,"procs":0}`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("invalid payload = %s, want 400", resp.Status)
+	}
+	// The shed job must not be listed.
+	listResp, err := http.Get(hs.URL + "/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer listResp.Body.Close()
+	var views []jobView
+	if err := json.NewDecoder(listResp.Body).Decode(&views); err != nil {
+		t.Fatal(err)
+	}
+	if len(views) != 1 {
+		t.Fatalf("listed %d jobs, want 1", len(views))
+	}
+}
+
+// Graceful drain: accepted jobs finish, new submissions are refused
+// with 503, and health flips to draining.
+func TestServiceGracefulDrain(t *testing.T) {
+	srv, hs := testServer(t, 4, 1)
+	if resp := submitJob(t, hs.URL, `{"program":"cmm","size":16,"procs":4}`); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %s", resp.Status)
+	}
+	srv.drain()
+	if srv.completed() != 1 {
+		t.Fatalf("drain finished %d jobs, want 1", srv.completed())
+	}
+	if resp := submitJob(t, hs.URL, `{"program":"cmm","size":16,"procs":4}`); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain submit = %s, want 503", resp.Status)
+	}
+	resp, err := http.Get(hs.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz while draining = %s, want 503", resp.Status)
+	}
+}

@@ -1,0 +1,429 @@
+// Stage payload codecs: the snapshots the pipeline commits at each
+// stage boundary (JSON, except the large MPMD program which is binary),
+// with strict decoders that validate structure before the snapshot is
+// trusted. Every decode failure wraps ErrCorrupt (the
+// bytes are damaged) and every job-shape disagreement wraps ErrMismatch
+// (the bytes are fine but belong to a different job) — callers never
+// have to guess which happened.
+//
+// Bit-identical resume rests on two facts: Go's encoding/json marshals
+// float64 in shortest-round-trip form (decode(encode(x)) == x exactly),
+// and every stage snapshot below carries only plain exported data — no
+// solver diagnostics, caches, or other state that could differ between
+// the original and resumed processes.
+package ckpt
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"paradigm/internal/alloc"
+	"paradigm/internal/codegen"
+	"paradigm/internal/machine"
+	"paradigm/internal/matrix"
+	"paradigm/internal/mdg"
+	"paradigm/internal/sched"
+	"paradigm/internal/trainsets"
+)
+
+// Meta identifies the job a log belongs to. It is committed first and
+// validated on resume: a log replayed against a different program,
+// machine, or system size fails with ErrMismatch instead of silently
+// resuming the wrong run.
+type Meta struct {
+	Program string         `json:"program"`
+	Procs   int            `json:"procs"`
+	Nodes   int            `json:"nodes"`
+	Machine machine.Params `json:"machine"`
+}
+
+// EncodeMeta marshals the job identity.
+func EncodeMeta(m Meta) ([]byte, error) { return json.Marshal(m) }
+
+// DecodeMeta unmarshals and sanity-checks a meta payload.
+func DecodeMeta(data []byte) (Meta, error) {
+	var m Meta
+	if err := json.Unmarshal(data, &m); err != nil {
+		return Meta{}, fmt.Errorf("%w: meta: %v", ErrCorrupt, err)
+	}
+	if m.Procs < 1 || m.Nodes < 1 {
+		return Meta{}, fmt.Errorf("%w: meta procs=%d nodes=%d", ErrCorrupt, m.Procs, m.Nodes)
+	}
+	return m, nil
+}
+
+// Check compares the stored identity against the job being resumed.
+func (m Meta) Check(program string, procs, nodes int, mp machine.Params) error {
+	if m.Program != program || m.Procs != procs || m.Nodes != nodes {
+		return fmt.Errorf("%w: log is for %q (p=%d, %d nodes), resuming %q (p=%d, %d nodes)",
+			ErrMismatch, m.Program, m.Procs, m.Nodes, program, procs, nodes)
+	}
+	if m.Machine != mp {
+		return fmt.Errorf("%w: log is for machine %q, resuming on %q", ErrMismatch, m.Machine.Name, mp.Name)
+	}
+	return nil
+}
+
+// AllocState is the allocation-stage snapshot: the continuous vector and
+// objective decomposition, without the solver's convergence diagnostics
+// (iteration counts differ between a fresh solve and a resumed no-op,
+// and nothing downstream reads them).
+type AllocState struct {
+	P   []float64 `json:"p"`
+	Phi float64   `json:"phi"`
+	Ap  float64   `json:"ap"`
+	Cp  float64   `json:"cp"`
+}
+
+// EncodeAlloc snapshots an allocation result.
+func EncodeAlloc(r alloc.Result) ([]byte, error) {
+	return json.Marshal(AllocState{P: r.P, Phi: r.Phi, Ap: r.Ap, Cp: r.Cp})
+}
+
+// DecodeAlloc restores an allocation result for a graph with nodes
+// nodes.
+func DecodeAlloc(data []byte, nodes int) (alloc.Result, error) {
+	var st AllocState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return alloc.Result{}, fmt.Errorf("%w: alloc: %v", ErrCorrupt, err)
+	}
+	for _, v := range append([]float64{st.Phi, st.Ap, st.Cp}, st.P...) {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return alloc.Result{}, fmt.Errorf("%w: alloc: non-finite value", ErrCorrupt)
+		}
+	}
+	if len(st.P) != nodes {
+		return alloc.Result{}, fmt.Errorf("%w: alloc vector has %d entries for %d nodes",
+			ErrMismatch, len(st.P), nodes)
+	}
+	return alloc.Result{P: st.P, Phi: st.Phi, Ap: st.Ap, Cp: st.Cp}, nil
+}
+
+// EncodeSchedule snapshots a PSA schedule (all fields exported: direct).
+func EncodeSchedule(s *sched.Schedule) ([]byte, error) { return json.Marshal(s) }
+
+// DecodeSchedule restores a schedule for a graph with nodes nodes on
+// procs processors.
+func DecodeSchedule(data []byte, nodes, procs int) (*sched.Schedule, error) {
+	var s sched.Schedule
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("%w: sched: %v", ErrCorrupt, err)
+	}
+	if len(s.Entries) != nodes || len(s.Alloc) != nodes {
+		return nil, fmt.Errorf("%w: schedule covers %d nodes (alloc %d), resuming %d",
+			ErrMismatch, len(s.Entries), len(s.Alloc), nodes)
+	}
+	if s.ProcsTotal != procs {
+		return nil, fmt.Errorf("%w: schedule is for %d processors, resuming %d",
+			ErrMismatch, s.ProcsTotal, procs)
+	}
+	for i, e := range s.Entries {
+		for _, p := range e.Procs {
+			if p < 0 || p >= procs {
+				return nil, fmt.Errorf("%w: sched entry %d uses processor %d outside [0,%d)",
+					ErrCorrupt, i, p, procs)
+			}
+		}
+	}
+	return &s, nil
+}
+
+// The MPMD program is by far the largest stage payload (hundreds of KB
+// at production scale), so unlike the other stages it uses a compact
+// varint binary encoding instead of JSON: an order of magnitude smaller
+// and cheaper to commit, with the same exact round-trip (instructions
+// carry only ints and strings). Layout:
+//
+//	format[u8] procs[uvarint] streams[uvarint]
+//	per stream: count[uvarint], then per instruction an opcode byte
+//	followed by its fields; ints are zig-zag varints, strings and
+//	groups are length-prefixed.
+const streamsFormat = 1
+
+// Instruction opcodes in the binary streams encoding.
+const (
+	opSend = 1
+	opRecv = 2
+	opMove = 3
+	opExec = 4
+)
+
+func appendStr(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func appendInt(b []byte, v int) []byte { return binary.AppendVarint(b, int64(v)) }
+
+func appendRect(b []byte, r codegen.Rect) []byte {
+	b = appendInt(b, r.R0)
+	b = appendInt(b, r.R1)
+	b = appendInt(b, r.C0)
+	return appendInt(b, r.C1)
+}
+
+// streamsReader is a cursor over the binary streams payload. The first
+// decode error sticks; every later read returns zero values, so decode
+// loops stay linear and check err once.
+type streamsReader struct {
+	data []byte
+	err  error
+}
+
+func (r *streamsReader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("%w: codegen: %s", ErrCorrupt, fmt.Sprintf(format, args...))
+	}
+}
+
+func (r *streamsReader) byte() byte {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.data) == 0 {
+		r.fail("truncated payload")
+		return 0
+	}
+	b := r.data[0]
+	r.data = r.data[1:]
+	return b
+}
+
+func (r *streamsReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.data)
+	if n <= 0 {
+		r.fail("bad uvarint")
+		return 0
+	}
+	r.data = r.data[n:]
+	return v
+}
+
+func (r *streamsReader) int() int {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.data)
+	if n <= 0 {
+		r.fail("bad varint")
+		return 0
+	}
+	r.data = r.data[n:]
+	return int(v)
+}
+
+func (r *streamsReader) str() string {
+	n := r.uvarint()
+	if r.err != nil {
+		return ""
+	}
+	if n > uint64(len(r.data)) {
+		r.fail("string length %d exceeds remaining %d bytes", n, len(r.data))
+		return ""
+	}
+	s := string(r.data[:n])
+	r.data = r.data[n:]
+	return s
+}
+
+func (r *streamsReader) rect() codegen.Rect {
+	return codegen.Rect{R0: r.int(), R1: r.int(), C0: r.int(), C1: r.int()}
+}
+
+// EncodeStreams snapshots a generated MPMD program.
+func EncodeStreams(st *codegen.Streams) ([]byte, error) {
+	out := make([]byte, 0, 64<<10)
+	out = append(out, streamsFormat)
+	out = binary.AppendUvarint(out, uint64(st.Procs))
+	out = binary.AppendUvarint(out, uint64(len(st.PerProc)))
+	for _, stream := range st.PerProc {
+		out = binary.AppendUvarint(out, uint64(len(stream)))
+		for _, in := range stream {
+			switch v := in.(type) {
+			case codegen.Send:
+				out = append(out, opSend)
+				out = appendStr(out, v.Tag)
+				out = appendInt(out, v.To)
+				out = appendRect(out, v.Payload)
+				out = appendStr(out, v.SrcInstance)
+			case codegen.Recv:
+				out = append(out, opRecv)
+				out = appendStr(out, v.Tag)
+				out = appendInt(out, v.From)
+				out = appendRect(out, v.Payload)
+				out = appendStr(out, v.DstInstance)
+				out = appendRect(out, v.Block)
+			case codegen.Move:
+				out = append(out, opMove)
+				out = appendRect(out, v.Payload)
+				out = appendStr(out, v.SrcInstance)
+				out = appendStr(out, v.DstInstance)
+				out = appendRect(out, v.Block)
+			case codegen.Exec:
+				out = append(out, opExec)
+				out = appendInt(out, int(v.Node))
+				out = binary.AppendUvarint(out, uint64(len(v.Group)))
+				for _, g := range v.Group {
+					out = appendInt(out, g)
+				}
+				out = appendInt(out, v.MySlot)
+			default:
+				return nil, fmt.Errorf("ckpt: unknown instruction type %T", in)
+			}
+		}
+	}
+	return out, nil
+}
+
+// DecodeStreams restores an MPMD program for procs processors.
+func DecodeStreams(data []byte, procs int) (*codegen.Streams, error) {
+	r := &streamsReader{data: data}
+	if f := r.byte(); r.err == nil && f != streamsFormat {
+		return nil, fmt.Errorf("%w: codegen: unknown streams format %d", ErrCorrupt, f)
+	}
+	gotProcs := int(r.uvarint())
+	streams := int(r.uvarint())
+	if r.err != nil {
+		return nil, r.err
+	}
+	if gotProcs != procs {
+		return nil, fmt.Errorf("%w: streams are for %d processors, resuming %d",
+			ErrMismatch, gotProcs, procs)
+	}
+	if streams != gotProcs {
+		return nil, fmt.Errorf("%w: %d streams for %d processors", ErrCorrupt, streams, gotProcs)
+	}
+	st := &codegen.Streams{Procs: gotProcs, PerProc: make([][]codegen.Instr, gotProcs)}
+	for pi := 0; pi < streams; pi++ {
+		count := r.uvarint()
+		if r.err != nil {
+			return nil, r.err
+		}
+		if count > uint64(len(r.data)) {
+			return nil, fmt.Errorf("%w: codegen: stream %d declares %d instructions with %d bytes left",
+				ErrCorrupt, pi, count, len(r.data))
+		}
+		out := make([]codegen.Instr, 0, count)
+		for i := uint64(0); i < count; i++ {
+			switch op := r.byte(); op {
+			case opSend:
+				out = append(out, codegen.Send{Tag: r.str(), To: r.int(),
+					Payload: r.rect(), SrcInstance: r.str()})
+			case opRecv:
+				out = append(out, codegen.Recv{Tag: r.str(), From: r.int(),
+					Payload: r.rect(), DstInstance: r.str(), Block: r.rect()})
+			case opMove:
+				out = append(out, codegen.Move{Payload: r.rect(),
+					SrcInstance: r.str(), DstInstance: r.str(), Block: r.rect()})
+			case opExec:
+				e := codegen.Exec{Node: mdg.NodeID(r.int())}
+				n := r.uvarint()
+				if r.err != nil {
+					return nil, r.err
+				}
+				if n > uint64(len(r.data))+1 {
+					return nil, fmt.Errorf("%w: codegen: group of %d members with %d bytes left",
+						ErrCorrupt, n, len(r.data))
+				}
+				if n > 0 {
+					e.Group = make([]int, n)
+					for gi := range e.Group {
+						e.Group[gi] = r.int()
+					}
+				}
+				e.MySlot = r.int()
+				out = append(out, e)
+			default:
+				if r.err != nil {
+					return nil, r.err
+				}
+				return nil, fmt.Errorf("%w: codegen: unknown instruction opcode %d", ErrCorrupt, op)
+			}
+			if r.err != nil {
+				return nil, r.err
+			}
+		}
+		st.PerProc[pi] = out
+	}
+	if len(r.data) != 0 {
+		return nil, fmt.Errorf("%w: codegen: %d trailing bytes", ErrCorrupt, len(r.data))
+	}
+	return st, nil
+}
+
+// EncodeCalibration snapshots a calibration fit.
+func EncodeCalibration(s trainsets.Snapshot) ([]byte, error) { return json.Marshal(s) }
+
+// DecodeCalibration restores a calibration snapshot for machine mp.
+func DecodeCalibration(data []byte, mp machine.Params) (trainsets.Snapshot, error) {
+	var s trainsets.Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return trainsets.Snapshot{}, fmt.Errorf("%w: calibrate: %v", ErrCorrupt, err)
+	}
+	if len(s.ProcSweep) == 0 {
+		return trainsets.Snapshot{}, fmt.Errorf("%w: calibrate: empty processor sweep", ErrCorrupt)
+	}
+	if s.Machine != mp {
+		return trainsets.Snapshot{}, fmt.Errorf("%w: calibration is for machine %q, resuming on %q",
+			ErrMismatch, s.Machine.Name, mp.Name)
+	}
+	return s, nil
+}
+
+// SalvageState is the partial-sim-state snapshot one recovery attempt
+// commits: which processors died, and every array restored bit-for-bit
+// from surviving blocks via the CompletedFrontier/SalvageArray
+// machinery. On a resumed run the recomputed salvage is validated
+// against this record — a divergence means non-deterministic recovery
+// and fails loudly.
+type SalvageState struct {
+	Attempt   int                       `json:"attempt"`
+	Survivors int                       `json:"survivors"`
+	Failed    []int                     `json:"failed"`
+	Arrays    map[string]*matrix.Matrix `json:"arrays"`
+}
+
+// EncodeSalvage snapshots one recovery attempt's salvage.
+func EncodeSalvage(s SalvageState) ([]byte, error) { return json.Marshal(s) }
+
+// DecodeSalvage restores a salvage snapshot.
+func DecodeSalvage(data []byte) (SalvageState, error) {
+	var s SalvageState
+	if err := json.Unmarshal(data, &s); err != nil {
+		return SalvageState{}, fmt.Errorf("%w: salvage: %v", ErrCorrupt, err)
+	}
+	for name, m := range s.Arrays {
+		if m == nil || len(m.Data) != m.Rows*m.Cols {
+			return SalvageState{}, fmt.Errorf("%w: salvage array %q has inconsistent shape", ErrCorrupt, name)
+		}
+	}
+	return s, nil
+}
+
+// DoneState records the completed run's headline numbers. A resumed run
+// that finds a done record validates its own result against it instead
+// of re-committing — the final guard that resume was bit-identical.
+type DoneState struct {
+	Makespan     float64 `json:"makespan"`
+	Messages     int     `json:"messages"`
+	NetworkBytes int     `json:"network_bytes"`
+	Recovered    bool    `json:"recovered"`
+	Attempts     int     `json:"attempts"`
+}
+
+// EncodeDone snapshots the run outcome.
+func EncodeDone(d DoneState) ([]byte, error) { return json.Marshal(d) }
+
+// DecodeDone restores a run outcome.
+func DecodeDone(data []byte) (DoneState, error) {
+	var d DoneState
+	if err := json.Unmarshal(data, &d); err != nil {
+		return DoneState{}, fmt.Errorf("%w: done: %v", ErrCorrupt, err)
+	}
+	return d, nil
+}

@@ -13,6 +13,7 @@
 package codegen
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -151,6 +152,13 @@ func PlacementFor(arr prog.Array, axis dist.Axis, group []int) (dist.Placement, 
 // cover exactly the program's MDG (same node count) and be valid for its
 // processor count.
 func Generate(p *prog.Program, s *sched.Schedule) (*Streams, error) {
+	return GenerateCtx(context.Background(), p, s)
+}
+
+// GenerateCtx is Generate with cancellation: ctx is checked once per
+// node in the emission loop (each node can emit O(p²) redistribution
+// messages, so emission is the long pole on large systems).
+func GenerateCtx(ctx context.Context, p *prog.Program, s *sched.Schedule) (*Streams, error) {
 	n := p.G.NumNodes()
 	if len(s.Entries) != n {
 		return nil, fmt.Errorf("codegen: schedule covers %d nodes, program has %d", len(s.Entries), n)
@@ -248,6 +256,9 @@ func Generate(p *prog.Program, s *sched.Schedule) (*Streams, error) {
 	}
 
 	for _, ni := range order {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		node := mdg.NodeID(ni)
 		spec := p.Specs[node]
 		if spec.Kernel.Op == kernels.OpNone {

@@ -263,3 +263,17 @@ func Rand(seed uint64, o RandOptions) (*Plan, error) {
 	}
 	return p, nil
 }
+
+// RNG is the exported face of the splitmix64 stream: the deterministic
+// randomness source for everything that must replay identically under a
+// seed (fault plans here, retry-backoff jitter in internal/resil).
+type RNG struct{ r rng }
+
+// NewRNG returns a stream seeded with seed.
+func NewRNG(seed uint64) *RNG { return &RNG{r: rng{state: seed}} }
+
+// Float64 returns a uniform value in [0, 1).
+func (g *RNG) Float64() float64 { return g.r.float64() }
+
+// Intn returns a uniform value in [0, n).
+func (g *RNG) Intn(n int) int { return g.r.intn(n) }

@@ -84,6 +84,20 @@ func (m *metricsObserver) Observe(e Event) {
 		r.Counter("replan_total").Inc()
 		r.Counter("replan_" + sanitizeMetricFragment(ev.Stage) + "_total").Inc()
 		r.Histogram("replan_phi", nil).Observe(ev.Phi)
+	case Checkpoint:
+		r.Counter("ckpt_commits_total").Inc()
+		r.Counter("ckpt_commit_bytes_total").Add(ev.Bytes)
+		r.Histogram("ckpt_record_bytes", byteBuckets).Observe(float64(ev.Bytes))
+	case Resume:
+		r.Counter("ckpt_resume_total").Inc()
+		r.Counter("ckpt_resume_" + sanitizeMetricFragment(ev.Stage) + "_total").Inc()
+	case Retry:
+		r.Counter("retry_total").Inc()
+		r.Counter("retry_" + sanitizeMetricFragment(ev.Stage) + "_total").Inc()
+		r.Histogram("retry_delay_seconds", timeBuckets).Observe(ev.DelaySeconds)
+	case Breaker:
+		r.Counter("breaker_decisions_total").Inc()
+		r.Counter("breaker_" + sanitizeMetricFragment(ev.State) + "_total").Inc()
 	}
 }
 

@@ -58,6 +58,14 @@ const (
 	KindRecovery
 	// KindReplan: one replanning (or allocator degradation) decision.
 	KindReplan
+	// KindCheckpoint: one stage snapshot committed to the WAL.
+	KindCheckpoint
+	// KindResume: one stage restored from a committed WAL record.
+	KindResume
+	// KindRetry: one budget-governed stage retry about to back off.
+	KindRetry
+	// KindBreaker: one circuit-breaker decision at a stage boundary.
+	KindBreaker
 )
 
 // Event is one structured pipeline event.
@@ -217,6 +225,52 @@ type Replan struct {
 
 // Kind implements Event.
 func (Replan) Kind() Kind { return KindReplan }
+
+// Checkpoint reports one stage snapshot made durable in the write-ahead
+// checkpoint log: the stage name, its sequence number in commit order,
+// and the payload size.
+type Checkpoint struct {
+	Stage string
+	Seq   int
+	Bytes int
+}
+
+// Kind implements Event.
+func (Checkpoint) Kind() Kind { return KindCheckpoint }
+
+// Resume reports one stage restored from a committed checkpoint record
+// instead of recomputed — the signature of a resumed run.
+type Resume struct {
+	Stage string
+	Seq   int
+}
+
+// Kind implements Event.
+func (Resume) Kind() Kind { return KindResume }
+
+// Retry reports one budget-governed retry: attempt numbers the failure
+// (1-based), DelaySeconds is the decorrelated-jitter backoff about to be
+// slept, Err the failure being retried.
+type Retry struct {
+	Stage        string
+	Attempt      int
+	DelaySeconds float64
+	Err          string
+}
+
+// Kind implements Event.
+func (Retry) Kind() Kind { return KindRetry }
+
+// Breaker reports one circuit-breaker decision: State is the breaker
+// state observed at the decision ("open" means the call was shed to the
+// heuristic fallback without touching the solver).
+type Breaker struct {
+	Stage string
+	State string
+}
+
+// Kind implements Event.
+func (Breaker) Kind() Kind { return KindBreaker }
 
 // Multi fans every event out to each non-nil observer. A result of nil
 // (no observers) preserves the nil fast path at the emit sites.

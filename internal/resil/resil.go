@@ -1,0 +1,266 @@
+// Package resil is the budget-governance layer of the pipeline: stage
+// deadline budgets, bounded retry with decorrelated-jitter backoff, and
+// a circuit breaker — the three mechanisms that keep a wedged solver
+// from holding a caller forever while preserving the pipeline's typed
+// error semantics.
+//
+// Error-classification contract. None of these mechanisms may mask a
+// *semantic* failure: ErrInfeasible and ErrBadGraph mean the problem is
+// wrong, not slow, and retrying or degrading on them would hide a real
+// bug; a parent-context cancellation means the caller gave up and must
+// see its own error. Only *budget* failures — a stage deadline expiring
+// while the parent context is still live — count toward retry and
+// breaker state. Classify encodes this triage and the pipeline calls it
+// before every retry/breaker decision.
+//
+// Determinism. Backoff jitter draws from the same seeded splitmix64
+// stream the fault injector uses (fault.NewRNG), and the sleep itself is
+// injectable, so tests replay an exact retry trajectory with zero wall
+// clock.
+package resil
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"paradigm/internal/errs"
+	"paradigm/internal/fault"
+)
+
+// RetryPolicy bounds the retry loop around a budget-governed stage.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts (first try included).
+	// Values <= 1 disable retry.
+	MaxAttempts int
+	// BaseDelay seeds the backoff (default 10ms); MaxDelay caps it
+	// (default 2s).
+	BaseDelay, MaxDelay time.Duration
+	// Seed drives the decorrelated jitter deterministically.
+	Seed uint64
+	// Sleep replaces the context-aware timer sleep (tests pass a
+	// recorder; nil uses the real clock).
+	Sleep func(ctx context.Context, d time.Duration) error
+}
+
+func (p RetryPolicy) base() time.Duration {
+	if p.BaseDelay > 0 {
+		return p.BaseDelay
+	}
+	return 10 * time.Millisecond
+}
+
+func (p RetryPolicy) cap() time.Duration {
+	if p.MaxDelay > 0 {
+		return p.MaxDelay
+	}
+	return 2 * time.Second
+}
+
+// Backoff generates the decorrelated-jitter delay sequence
+//
+//	d_0 = base,  d_n = min(cap, base + U[0,1) · (3·d_{n-1} − base))
+//
+// (the "decorrelated jitter" recurrence): each delay is drawn relative
+// to the previous one rather than the attempt number, which spreads
+// synchronized retriers apart while staying within [base, cap].
+type Backoff struct {
+	policy RetryPolicy
+	prev   time.Duration
+	rng    *fault.RNG
+}
+
+// NewBackoff starts a delay sequence under p, seeded by p.Seed.
+func NewBackoff(p RetryPolicy) *Backoff {
+	return &Backoff{policy: p, rng: fault.NewRNG(p.Seed)}
+}
+
+// Next returns the following delay in the sequence.
+func (b *Backoff) Next() time.Duration {
+	base, ceiling := b.policy.base(), b.policy.cap()
+	if b.prev == 0 {
+		b.prev = base
+		return base
+	}
+	span := 3*b.prev - base
+	if span < 0 {
+		span = 0
+	}
+	d := base + time.Duration(b.rng.Float64()*float64(span))
+	if d > ceiling {
+		d = ceiling
+	}
+	b.prev = d
+	return d
+}
+
+// Sleep waits for d or until ctx is done, whichever first, honouring a
+// custom sleeper from the policy.
+func Sleep(ctx context.Context, d time.Duration, custom func(context.Context, time.Duration) error) error {
+	if custom != nil {
+		return custom(ctx, d)
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// Class is the retry/breaker triage of a stage failure.
+type Class int
+
+const (
+	// Fatal failures must surface unchanged: semantic errors
+	// (ErrInfeasible, ErrBadGraph, ErrUnsupportedTransfer) and
+	// parent-context cancellation. Retrying would mask a real bug or a
+	// caller that already gave up.
+	Fatal Class = iota
+	// Budget failures are stage-deadline expiries with a live parent:
+	// the stage was slow, not wrong. These drive retry and trip the
+	// breaker.
+	Budget
+	// Transient failures are everything else (e.g. a solver breakdown):
+	// retryable, but they do not count toward the breaker, whose job is
+	// specifically to stop waiting on a stage that keeps timing out.
+	Transient
+)
+
+// Classify triages err for a stage whose parent context is parent.
+func Classify(parent context.Context, err error) Class {
+	if err == nil {
+		return Transient
+	}
+	if parent.Err() != nil {
+		return Fatal
+	}
+	if errors.Is(err, errs.ErrInfeasible) || errors.Is(err, errs.ErrBadGraph) ||
+		errors.Is(err, errs.ErrUnsupportedTransfer) {
+		return Fatal
+	}
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		// The parent is live (checked above), so the deadline/cancel
+		// belongs to the stage budget.
+		return Budget
+	}
+	return Transient
+}
+
+// Breaker state names (State()).
+const (
+	StateClosed   = "closed"
+	StateOpen     = "open"
+	StateHalfOpen = "half-open"
+)
+
+// BreakerOptions tunes the circuit breaker.
+type BreakerOptions struct {
+	// Threshold is the number of consecutive budget failures that trips
+	// the breaker (default 3).
+	Threshold int
+	// Cooldown is how long the breaker stays open before allowing one
+	// half-open probe (default 30s).
+	Cooldown time.Duration
+	// Now replaces the clock for tests (nil: time.Now).
+	Now func() time.Time
+}
+
+// Breaker is a three-state circuit breaker: Closed (calls flow; counting
+// consecutive failures) → Open after Threshold failures (calls are
+// refused for Cooldown) → HalfOpen (one probe call; success closes,
+// failure re-opens). Safe for concurrent use — the service shares one
+// breaker across workers so repeated solver timeouts on any job shed
+// load for all of them.
+type Breaker struct {
+	opts BreakerOptions
+
+	mu          sync.Mutex
+	state       string
+	consecutive int
+	openedAt    time.Time
+	probing     bool
+}
+
+// NewBreaker returns a closed breaker.
+func NewBreaker(o BreakerOptions) *Breaker {
+	if o.Threshold <= 0 {
+		o.Threshold = 3
+	}
+	if o.Cooldown <= 0 {
+		o.Cooldown = 30 * time.Second
+	}
+	if o.Now == nil {
+		o.Now = time.Now
+	}
+	return &Breaker{opts: o, state: StateClosed}
+}
+
+// Allow reports whether a call may proceed. In the open state it returns
+// false until the cooldown elapses, then admits exactly one half-open
+// probe; further calls are refused until that probe reports.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case StateClosed:
+		return true
+	case StateOpen:
+		if b.opts.Now().Sub(b.openedAt) >= b.opts.Cooldown {
+			b.state = StateHalfOpen
+			b.probing = true
+			return true
+		}
+		return false
+	default: // half-open
+		if b.probing {
+			return false // a probe is already in flight
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// Success reports a completed call: any state resets to closed.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = StateClosed
+	b.consecutive = 0
+	b.probing = false
+}
+
+// Failure reports a budget failure. Closed counts toward the threshold;
+// a failed half-open probe re-opens immediately.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case StateClosed:
+		b.consecutive++
+		if b.consecutive >= b.opts.Threshold {
+			b.state = StateOpen
+			b.openedAt = b.opts.Now()
+		}
+	case StateHalfOpen:
+		b.state = StateOpen
+		b.openedAt = b.opts.Now()
+		b.probing = false
+	case StateOpen:
+		// A failure racing the trip: refresh the cooldown window.
+		b.openedAt = b.opts.Now()
+	}
+}
+
+// State returns the current state name ("closed", "open", "half-open").
+func (b *Breaker) State() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == StateOpen && b.opts.Now().Sub(b.openedAt) >= b.opts.Cooldown {
+		return StateHalfOpen
+	}
+	return b.state
+}

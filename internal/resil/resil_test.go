@@ -1,0 +1,165 @@
+package resil
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"paradigm/internal/errs"
+)
+
+// The decorrelated-jitter sequence must be deterministic under a seed
+// and bounded by [base, cap].
+func TestBackoffDeterministicAndBounded(t *testing.T) {
+	p := RetryPolicy{BaseDelay: 10 * time.Millisecond, MaxDelay: 200 * time.Millisecond, Seed: 42}
+	a, b := NewBackoff(p), NewBackoff(p)
+	var prev time.Duration
+	for i := 0; i < 50; i++ {
+		da, db := a.Next(), b.Next()
+		if da != db {
+			t.Fatalf("step %d: same seed diverged: %v vs %v", i, da, db)
+		}
+		if da < p.BaseDelay || da > p.MaxDelay {
+			t.Fatalf("step %d: delay %v outside [%v, %v]", i, da, p.BaseDelay, p.MaxDelay)
+		}
+		prev = da
+	}
+	if prev == 0 {
+		t.Fatal("no delays generated")
+	}
+	// A different seed must give a different trajectory (decorrelation).
+	c := NewBackoff(RetryPolicy{BaseDelay: 10 * time.Millisecond, MaxDelay: 200 * time.Millisecond, Seed: 43})
+	c.Next() // first delay is always base
+	a2 := NewBackoff(p)
+	a2.Next()
+	same := true
+	for i := 0; i < 10; i++ {
+		if a2.Next() != c.Next() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical jitter")
+	}
+}
+
+func TestBackoffDefaults(t *testing.T) {
+	b := NewBackoff(RetryPolicy{})
+	if d := b.Next(); d != 10*time.Millisecond {
+		t.Fatalf("first default delay = %v, want 10ms", d)
+	}
+	for i := 0; i < 100; i++ {
+		if d := b.Next(); d > 2*time.Second {
+			t.Fatalf("default cap exceeded: %v", d)
+		}
+	}
+}
+
+func TestSleepHonoursContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := Sleep(ctx, time.Hour, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Sleep on cancelled ctx = %v", err)
+	}
+	var got time.Duration
+	err := Sleep(context.Background(), 5*time.Second, func(_ context.Context, d time.Duration) error {
+		got = d
+		return nil
+	})
+	if err != nil || got != 5*time.Second {
+		t.Fatalf("custom sleeper: err=%v d=%v", err, got)
+	}
+}
+
+func TestClassify(t *testing.T) {
+	bg := context.Background()
+	cancelled, cancel := context.WithCancel(bg)
+	cancel()
+	cases := []struct {
+		name   string
+		parent context.Context
+		err    error
+		want   Class
+	}{
+		{"infeasible", bg, fmt.Errorf("x: %w", errs.ErrInfeasible), Fatal},
+		{"bad-graph", bg, fmt.Errorf("x: %w", errs.ErrBadGraph), Fatal},
+		{"unsupported-transfer", bg, fmt.Errorf("x: %w", errs.ErrUnsupportedTransfer), Fatal},
+		{"parent-cancelled", cancelled, context.Canceled, Fatal},
+		{"parent-cancelled-any-error", cancelled, fmt.Errorf("solver broke"), Fatal},
+		{"stage-deadline", bg, fmt.Errorf("x: %w", context.DeadlineExceeded), Budget},
+		{"solver-breakdown", bg, fmt.Errorf("line search failed"), Transient},
+	}
+	for _, tc := range cases {
+		if got := Classify(tc.parent, tc.err); got != tc.want {
+			t.Errorf("%s: Classify = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// clock is a manual test clock.
+type clock struct{ now time.Time }
+
+func (c *clock) Now() time.Time { return c.now }
+
+func TestBreakerStateMachine(t *testing.T) {
+	ck := &clock{now: time.Unix(0, 0)}
+	b := NewBreaker(BreakerOptions{Threshold: 3, Cooldown: time.Minute, Now: ck.Now})
+
+	if b.State() != StateClosed || !b.Allow() {
+		t.Fatal("fresh breaker not closed/allowing")
+	}
+	// Two failures: still closed. Third: open.
+	b.Failure()
+	b.Failure()
+	if b.State() != StateClosed {
+		t.Fatalf("state after 2 failures = %s", b.State())
+	}
+	b.Failure()
+	if b.State() != StateOpen {
+		t.Fatalf("state after 3 failures = %s", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker allowed a call before cooldown")
+	}
+	// Cooldown elapses: exactly one half-open probe is admitted.
+	ck.now = ck.now.Add(2 * time.Minute)
+	if !b.Allow() {
+		t.Fatal("half-open probe refused after cooldown")
+	}
+	if b.Allow() {
+		t.Fatal("second concurrent probe admitted in half-open")
+	}
+	// Probe fails: re-open, cooldown restarts.
+	b.Failure()
+	if b.State() != StateOpen || b.Allow() {
+		t.Fatal("failed probe did not re-open the breaker")
+	}
+	// Next probe succeeds: closed, counting resets.
+	ck.now = ck.now.Add(2 * time.Minute)
+	if !b.Allow() {
+		t.Fatal("probe refused after second cooldown")
+	}
+	b.Success()
+	if b.State() != StateClosed || !b.Allow() {
+		t.Fatal("successful probe did not close the breaker")
+	}
+	// The consecutive counter was reset: two failures stay closed.
+	b.Failure()
+	b.Failure()
+	if b.State() != StateClosed {
+		t.Fatal("failure count survived the reset")
+	}
+}
+
+func TestBreakerSuccessResetsCount(t *testing.T) {
+	b := NewBreaker(BreakerOptions{Threshold: 2, Cooldown: time.Minute})
+	b.Failure()
+	b.Success()
+	b.Failure()
+	if b.State() != StateClosed {
+		t.Fatal("interleaved successes should keep the breaker closed")
+	}
+}

@@ -23,6 +23,7 @@ package sched
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -141,6 +142,13 @@ func RoundAndBound(cont []float64, procs, pb int, skipRounding bool, o obs.Obser
 // schedule. cont is the continuous allocation from the convex program
 // (indexed by NodeID).
 func Run(g *mdg.Graph, model costmodel.Model, cont []float64, procs int, opts Options) (*Schedule, error) {
+	return RunCtx(context.Background(), g, model, cont, procs, opts)
+}
+
+// RunCtx is Run with cancellation: ctx is checked on every
+// list-scheduling pick, mirroring the allocator's per-temperature-stage
+// checks.
+func RunCtx(ctx context.Context, g *mdg.Graph, model costmodel.Model, cont []float64, procs int, opts Options) (*Schedule, error) {
 	if procs < 1 {
 		return nil, fmt.Errorf("sched: %w: procs = %d, want >= 1", errs.ErrInfeasible, procs)
 	}
@@ -159,7 +167,7 @@ func Run(g *mdg.Graph, model costmodel.Model, cont []float64, procs int, opts Op
 	if err != nil {
 		return nil, err
 	}
-	s, err := psa(g, model, alloc, procs, opts.Policy, opts.Observer)
+	s, err := psa(ctx, g, model, alloc, procs, opts.Policy, opts.Observer)
 	if err != nil {
 		return nil, err
 	}
@@ -216,12 +224,12 @@ func (q *readyQueue) Pop() interface{} {
 // [1, procs]) onto procs processors. The graph must have unique START and
 // STOP nodes (use mdg.EnsureStartStop).
 func PSA(g *mdg.Graph, model costmodel.Model, alloc []int, procs int, policy Policy) (*Schedule, error) {
-	return psa(g, model, alloc, procs, policy, nil)
+	return psa(context.Background(), g, model, alloc, procs, policy, nil)
 }
 
 // psa is the list scheduler behind PSA and Run; a non-nil observer
 // receives one obs.PSAPick event per scheduling decision.
-func psa(g *mdg.Graph, model costmodel.Model, alloc []int, procs int, policy Policy, o obs.Observer) (*Schedule, error) {
+func psa(ctx context.Context, g *mdg.Graph, model costmodel.Model, alloc []int, procs int, policy Policy, o obs.Observer) (*Schedule, error) {
 	n := g.NumNodes()
 	if n == 0 {
 		// An empty MDG used to surface mdg.StartStop's unwrapped error;
@@ -295,6 +303,9 @@ func psa(g *mdg.Graph, model costmodel.Model, alloc []int, procs int, policy Pol
 	buddy := bounds.IsPow2(procs)
 	makespan := 0.0
 	for rq.Len() > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		it := heap.Pop(rq).(readyItem)
 		node := it.node
 		if scheduled[node] {

@@ -512,3 +512,57 @@ func (c *Calibration) LoopFits() []LoopFit {
 	sort.Slice(out, func(a, b int) bool { return out[a].Name < out[b].Name })
 	return out
 }
+
+// Snapshot is the serializable form of a Calibration for checkpointing:
+// the machine profile, transfer fit, processor sweep, and every loop fit
+// cached at snapshot time, keyed by the internal kernel cache key. All
+// fields are plain data (JSON-safe), so a snapshot round-trips exactly.
+type Snapshot struct {
+	Machine   machine.Params     `json:"machine"`
+	Transfer  TransferFit        `json:"transfer"`
+	ProcSweep []int              `json:"proc_sweep"`
+	Loops     map[string]LoopFit `json:"loops,omitempty"`
+}
+
+// Snapshot captures the calibration's current state. Loop fits are
+// calibrated lazily, so a snapshot taken right after CalibrateCtx holds
+// only the transfer fit; fits cached since then ride along.
+func (c *Calibration) Snapshot() Snapshot {
+	s := Snapshot{
+		Machine:   c.Machine,
+		Transfer:  c.Transfer,
+		ProcSweep: append([]int(nil), c.ProcSweep...),
+	}
+	c.mu.Lock()
+	if len(c.loops) > 0 {
+		s.Loops = make(map[string]LoopFit, len(c.loops))
+		for k, lf := range c.loops {
+			s.Loops[k] = lf
+		}
+	}
+	c.mu.Unlock()
+	return s
+}
+
+// FromSnapshot rebuilds a Calibration from a checkpoint snapshot,
+// skipping the transfer sweep entirely. Loop fits absent from the
+// snapshot calibrate lazily on first use, exactly as after CalibrateCtx.
+func FromSnapshot(s Snapshot, o obs.Observer) (*Calibration, error) {
+	if err := s.Machine.Validate(); err != nil {
+		return nil, err
+	}
+	if len(s.ProcSweep) == 0 {
+		return nil, fmt.Errorf("trainsets: snapshot has an empty processor sweep")
+	}
+	loops := make(map[string]LoopFit, len(s.Loops))
+	for k, lf := range s.Loops {
+		loops[k] = lf
+	}
+	return &Calibration{
+		Machine:   s.Machine,
+		Transfer:  s.Transfer,
+		ProcSweep: append([]int(nil), s.ProcSweep...),
+		loops:     loops,
+		ob:        o,
+	}, nil
+}

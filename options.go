@@ -18,8 +18,10 @@ package paradigm
 import (
 	"context"
 	"errors"
+	"fmt"
 
 	"paradigm/internal/alloc"
+	"paradigm/internal/ckpt"
 	"paradigm/internal/codegen"
 	"paradigm/internal/errs"
 	"paradigm/internal/obs"
@@ -100,6 +102,14 @@ type config struct {
 	recoverMax int
 	// deadline is the simulator's virtual-time watchdog bound (0: off).
 	deadline float64
+	// ckpt is the write-ahead checkpoint log (nil: no checkpointing).
+	ckpt *Checkpoint
+	// budgets are the per-stage deadlines (zero fields: unbounded).
+	budgets StageBudgets
+	// retry bounds allocation-stage retries (MaxAttempts <= 1: off).
+	retry RetryPolicy
+	// breaker, when non-nil, gates the allocation solve.
+	breaker *Breaker
 }
 
 // WithObserver attaches an observer to every instrumented stage of the
@@ -139,77 +149,176 @@ func newConfig(opts []Option) config {
 
 // CalibrateContext runs the training-sets calibration with cancellation
 // and instrumentation: the transfer sweep honours ctx, and every
-// completed fit emits a CalibFit event to the observer.
-func CalibrateContext(ctx context.Context, m Machine, opts ...Option) (*Calibration, error) {
+// completed fit emits a CalibFit event to the observer. With a
+// checkpoint attached the fit is committed to (or restored from) the
+// "calibrate" stage record; with a Calibrate budget the sweep runs
+// under its own deadline.
+func CalibrateContext(ctx context.Context, m Machine, opts ...Option) (cal *Calibration, err error) {
+	defer guardStage("calibrate", &err)
 	c := newConfig(opts)
-	return trainsets.CalibrateCtx(ctx, m, c.observer)
+	if c.ckptActive() {
+		if data, seq, ok := c.ckpt.log.Lookup(ckpt.StageCalibrate); ok {
+			snap, derr := ckpt.DecodeCalibration(data, m)
+			if derr != nil {
+				return nil, derr
+			}
+			c.emit(obs.Resume{Stage: ckpt.StageCalibrate, Seq: seq})
+			return trainsets.FromSnapshot(snap, c.observer)
+		}
+	}
+	sctx, cancel := stageContext(ctx, c.budgets.Calibrate)
+	defer cancel()
+	cal, err = trainsets.CalibrateCtx(sctx, m, c.observer)
+	if err != nil {
+		return nil, budgetErr(ctx, "calibrate", c.budgets.Calibrate, err)
+	}
+	if c.ckptActive() {
+		payload, perr := ckpt.EncodeCalibration(cal.Snapshot())
+		if perr != nil {
+			return nil, fmt.Errorf("paradigm: encode calibration checkpoint: %w", perr)
+		}
+		if cerr := c.ckptCommit(ckpt.StageCalibrate, payload); cerr != nil {
+			return nil, cerr
+		}
+	}
+	return cal, nil
 }
 
 // AllocateContext solves the convex program of Section 2 with
 // cancellation (checked between annealed temperature stages) and
-// solver-convergence events.
-func AllocateContext(ctx context.Context, g *Graph, model Model, procs int, opts ...Option) (Allocation, error) {
+// solver-convergence events. The stage honours the full governance
+// surface: Allocate budget, bounded retry with jittered backoff, the
+// shared circuit breaker (open: the solve degrades to the heuristic
+// allocator), and checkpoint commit/restore of the allocation vector.
+func AllocateContext(ctx context.Context, g *Graph, model Model, procs int, opts ...Option) (ar Allocation, err error) {
+	defer guardStage("allocate", &err)
 	c := newConfig(opts)
-	return alloc.SolveCtx(ctx, g, model, procs, c.alloc)
+	return c.allocStage(ctx, g, model, procs)
 }
 
 // BuildScheduleContext runs the PSA of Section 3 on a continuous
 // allocation, emitting PSARound and PSAPick events to the observer.
-func BuildScheduleContext(ctx context.Context, g *Graph, model Model, allocation []float64, procs int, opts ...Option) (*Schedule, error) {
+// Cancellation is checked on every list-scheduling pick; the Schedule
+// budget and checkpoint stage apply.
+func BuildScheduleContext(ctx context.Context, g *Graph, model Model, allocation []float64, procs int, opts ...Option) (s *Schedule, err error) {
+	defer guardStage("schedule", &err)
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	c := newConfig(opts)
-	return sched.Run(g, model, allocation, procs, c.sched)
+	return c.schedStage(ctx, g, model, allocation, procs)
+}
+
+// codegenStage is the governed lowering stage shared by ExecuteContext
+// and RunContext.
+func (c *config) codegenStage(ctx context.Context, p *Program, s *Schedule) (*codegen.Streams, error) {
+	if c.ckptActive() {
+		if data, seq, ok := c.ckpt.log.Lookup(ckpt.StageCodegen); ok {
+			streams, err := ckpt.DecodeStreams(data, s.ProcsTotal)
+			if err != nil {
+				return nil, err
+			}
+			c.emit(obs.Resume{Stage: ckpt.StageCodegen, Seq: seq})
+			return streams, nil
+		}
+	}
+	sctx, cancel := stageContext(ctx, c.budgets.Codegen)
+	defer cancel()
+	streams, err := codegen.GenerateCtx(sctx, p, s)
+	if err != nil {
+		return nil, budgetErr(ctx, "codegen", c.budgets.Codegen, err)
+	}
+	if c.ckptActive() {
+		payload, perr := ckpt.EncodeStreams(streams)
+		if perr != nil {
+			return nil, fmt.Errorf("paradigm: encode codegen checkpoint: %w", perr)
+		}
+		if cerr := c.ckptCommit(ckpt.StageCodegen, payload); cerr != nil {
+			return nil, cerr
+		}
+	}
+	return streams, nil
 }
 
 // ExecuteContext lowers the program under the schedule into MPMD
-// instruction streams and simulates them, with cancellation (checked on
-// every simulator scheduler sweep) and per-message/per-processor events.
-func ExecuteContext(ctx context.Context, p *Program, s *Schedule, m Machine, opts ...Option) (*SimResult, error) {
+// instruction streams and simulates them, with cancellation (checked
+// per node in the emission loop and on every simulator scheduler sweep)
+// and per-message/per-processor events. The Codegen and Execute budgets
+// apply; internal panics surface as typed errors.
+func ExecuteContext(ctx context.Context, p *Program, s *Schedule, m Machine, opts ...Option) (res *SimResult, err error) {
+	defer guardStage("execute", &err)
 	c := newConfig(opts)
-	streams, err := codegen.Generate(p, s)
+	streams, err := c.codegenStage(ctx, p, s)
 	if err != nil {
 		return nil, err
 	}
-	return sim.RunCtx(ctx, p, streams, m, sim.Options{
+	sctx, cancel := stageContext(ctx, c.budgets.Execute)
+	defer cancel()
+	res, err = sim.RunCtx(sctx, p, streams, m, sim.Options{
 		Observer: c.observer, Faults: c.faults, VirtualDeadline: c.deadline,
 	})
+	return res, budgetErr(ctx, "execute", c.budgets.Execute, err)
 }
 
 // RunContext executes the full paper pipeline — allocate, schedule,
-// generate MPMD code, simulate — with cancellation and observability.
-func RunContext(ctx context.Context, p *Program, m Machine, cal *Calibration, procs int, opts ...Option) (*Result, error) {
+// generate MPMD code, simulate — with cancellation, observability, and
+// the crash-safety surface: per-stage budgets, retry/breaker governance
+// of the allocation solve, and write-ahead checkpointing. With a
+// checkpoint attached, every completed stage commits one durable
+// record; re-invoking with the same log resumes from the last committed
+// stage and (all stages being deterministic) produces a bit-identical
+// Result.
+func RunContext(ctx context.Context, p *Program, m Machine, cal *Calibration, procs int, opts ...Option) (res *Result, err error) {
+	defer guardStage("run", &err)
 	c := newConfig(opts)
+	if err := c.ckptBindRun(p, m.WithProcs(procs), procs); err != nil {
+		return nil, err
+	}
 	model := cal.Model()
-	ar, err := alloc.SolveCtx(ctx, p.G, model, procs, c.alloc)
+	ar, err := c.allocStage(ctx, p.G, model, procs)
 	if err != nil {
 		return nil, err
 	}
-	s, err := sched.Run(p.G, model, ar.P, procs, c.sched)
+	s, err := c.schedStage(ctx, p.G, model, ar.P, procs)
 	if err != nil {
 		return nil, err
 	}
-	streams, err := codegen.Generate(p, s)
+	streams, err := c.codegenStage(ctx, p, s)
 	if err != nil {
 		return nil, err
 	}
-	res, err := sim.RunCtx(ctx, p, streams, m.WithProcs(procs), sim.Options{
+	sctx, cancel := stageContext(ctx, c.budgets.Execute)
+	defer cancel()
+	simRes, err := sim.RunCtx(sctx, p, streams, m.WithProcs(procs), sim.Options{
 		Observer: c.observer, Faults: c.faults, VirtualDeadline: c.deadline,
 	})
 	if err != nil {
 		var halt *sim.HaltError
 		if c.recoverMax > 0 && errors.As(err, &halt) {
-			return recoverRun(ctx, p, m, cal, procs, halt, &c)
+			res, rerr := recoverRun(sctx, p, m, cal, procs, halt, &c)
+			if rerr != nil {
+				return nil, budgetErr(ctx, "execute", c.budgets.Execute, rerr)
+			}
+			if cerr := c.ckptDone(res); cerr != nil {
+				return nil, cerr
+			}
+			return res, nil
 		}
-		return nil, err
+		return nil, budgetErr(ctx, "execute", c.budgets.Execute, err)
 	}
-	return &Result{Alloc: ar, Sched: s, Sim: res, Predicted: s.Makespan, Actual: res.Makespan}, nil
+	result := &Result{Alloc: ar, Sched: s, Sim: simRes, Predicted: s.Makespan, Actual: simRes.Makespan}
+	if cerr := c.ckptDone(result); cerr != nil {
+		return nil, cerr
+	}
+	return result, nil
 }
 
 // RunSPMDContext executes the pure data-parallel baseline end to end
-// with cancellation and observability.
-func RunSPMDContext(ctx context.Context, p *Program, m Machine, cal *Calibration, procs int, opts ...Option) (*Result, error) {
+// with cancellation and observability. The SPMD baseline is a single
+// closed-form stage, so checkpointing does not apply; panic containment
+// and the Execute budget do.
+func RunSPMDContext(ctx context.Context, p *Program, m Machine, cal *Calibration, procs int, opts ...Option) (res *Result, err error) {
+	defer guardStage("run-spmd", &err)
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -223,13 +332,15 @@ func RunSPMDContext(ctx context.Context, p *Program, m Machine, cal *Calibration
 	if err != nil {
 		return nil, err
 	}
-	streams, err := codegen.Generate(p, s)
+	streams, err := codegen.GenerateCtx(ctx, p, s)
 	if err != nil {
 		return nil, err
 	}
-	res, err := sim.RunCtx(ctx, p, streams, m.WithProcs(procs), sim.Options{Observer: c.observer})
+	sctx, cancel := stageContext(ctx, c.budgets.Execute)
+	defer cancel()
+	simRes, err := sim.RunCtx(sctx, p, streams, m.WithProcs(procs), sim.Options{Observer: c.observer})
 	if err != nil {
-		return nil, err
+		return nil, budgetErr(ctx, "execute", c.budgets.Execute, err)
 	}
-	return &Result{Alloc: ar, Sched: s, Sim: res, Predicted: s.Makespan, Actual: res.Makespan}, nil
+	return &Result{Alloc: ar, Sched: s, Sim: simRes, Predicted: s.Makespan, Actual: simRes.Makespan}, nil
 }

@@ -22,6 +22,7 @@ import (
 	"sort"
 
 	"paradigm/internal/alloc"
+	"paradigm/internal/ckpt"
 	"paradigm/internal/codegen"
 	"paradigm/internal/costmodel"
 	"paradigm/internal/fault"
@@ -102,6 +103,9 @@ func WithVirtualDeadline(d float64) Option {
 func recoverRun(ctx context.Context, p *Program, m Machine, cal *Calibration, procs int, halt *sim.HaltError, c *config) (*Result, error) {
 	curP, curProcs := p, procs
 	for attempt := 1; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		partial := halt.Partial
 		survivors := curProcs - len(halt.Failed)
 		if survivors < 1 {
@@ -132,6 +136,11 @@ func recoverRun(ctx context.Context, p *Program, m Machine, cal *Calibration, pr
 		sort.Strings(names)
 		restored := map[string]*Matrix{}
 		for _, name := range names {
+			// Salvage can touch every block of every array: honour
+			// cancellation per array, like the anneal loop does per stage.
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			prod, ok := curP.Producer(name)
 			if !ok || !frontier[prod] {
 				continue
@@ -155,6 +164,21 @@ func recoverRun(ctx context.Context, p *Program, m Machine, cal *Calibration, pr
 				Failed: len(halt.Failed), Survivors: survivors,
 				Restored: len(restored), Residual: residual,
 			})
+		}
+
+		// Make the salvage durable (or, on a resumed run, validate that
+		// the recomputed salvage matches the committed record bit for
+		// bit — recovery is deterministic, so a divergence is a bug).
+		if c.ckptActive() {
+			if err := c.ckptSalvage(fmt.Sprintf("%s-%d", ckpt.StageSalvage, attempt), ckpt.SalvageState{
+				Attempt: attempt, Survivors: survivors,
+				Failed: append([]int(nil), halt.Failed...), Arrays: restored,
+			}); err != nil {
+				return nil, err
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
 		}
 
 		resProg, err := curP.Residual(restored, func(name string, k kernels.Kernel) (costmodel.LoopParams, error) {

@@ -1,0 +1,328 @@
+// Tests for the resilience surface: panic containment at the public
+// boundary, cancellation of the long loops, stage budgets, bounded
+// retry with deterministic backoff, and the allocation circuit breaker.
+package paradigm
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"paradigm/internal/obs"
+	"paradigm/internal/resil"
+)
+
+// eventsOf filters a recorder's events down to one kind.
+func eventsOf[T Event](rec *EventRecorder) []T {
+	var out []T
+	for _, e := range rec.Events() {
+		if ev, ok := e.(T); ok {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+func TestGuardStageMapsPanicsToTypedErrors(t *testing.T) {
+	trip := func(stage string, payload any) (err error) {
+		defer guardStage(stage, &err)
+		panic(payload)
+	}
+	err := trip("allocate", "costmodel: unknown transfer kind 99")
+	if !errors.Is(err, ErrUnsupportedTransfer) {
+		t.Fatalf("transfer-kind panic = %v, want ErrUnsupportedTransfer", err)
+	}
+	if !strings.Contains(err.Error(), "allocate stage") {
+		t.Fatalf("error does not name the stage: %v", err)
+	}
+	err = trip("execute", "matrix: block [0:8,0:8] outside 4x4")
+	if !errors.Is(err, ErrBadGraph) {
+		t.Fatalf("matrix panic = %v, want ErrBadGraph", err)
+	}
+	// Non-string panic values must still be contained.
+	err = trip("run", errors.New("boom"))
+	if !errors.Is(err, ErrBadGraph) {
+		t.Fatalf("error-valued panic = %v, want ErrBadGraph", err)
+	}
+}
+
+// A hand-corrupted program — an array shape that disagrees with the
+// kernel that writes it — panics deep inside the block store. The
+// public boundary must contain it as a typed error naming the stage.
+func TestPanicContainedOnCorruptProgram(t *testing.T) {
+	cal := testCal(t)
+	p, err := ComplexMatMul(32, cal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewCM5(8)
+	model := cal.Model()
+	ar, err := Allocate(p.G, model, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := BuildSchedule(p.G, model, ar.P, 8, ScheduleOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr := p.Arrays["Ar"]
+	arr.Rows /= 2
+	p.Arrays["Ar"] = arr
+
+	if _, err := ExecuteContext(context.Background(), p, s, m); !errors.Is(err, ErrBadGraph) {
+		t.Fatalf("ExecuteContext on corrupted program = %v, want ErrBadGraph", err)
+	} else if !strings.Contains(err.Error(), "panic in execute stage") {
+		t.Fatalf("contained panic does not name the stage: %v", err)
+	}
+	if _, err := RunContext(context.Background(), p, m, cal, 8); !errors.Is(err, ErrBadGraph) {
+		t.Fatalf("RunContext on corrupted program = %v, want ErrBadGraph", err)
+	}
+}
+
+// A corrupted transfer kind must surface as ErrUnsupportedTransfer from
+// every graph-consuming entry point — never as a crash.
+func TestCorruptTransferKindIsTyped(t *testing.T) {
+	cal := testCal(t)
+	p, err := ComplexMatMul(32, cal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.G.Edges) == 0 || len(p.G.Edges[0].Transfers) == 0 {
+		t.Fatal("test program has no transfers to corrupt")
+	}
+	p.G.Edges[0].Transfers[0].Kind = 99
+	model := cal.Model()
+	ctx := context.Background()
+	if _, err := AllocateContext(ctx, p.G, model, 8); !errors.Is(err, ErrUnsupportedTransfer) {
+		t.Fatalf("AllocateContext = %v, want ErrUnsupportedTransfer", err)
+	}
+	if _, err := RunContext(ctx, p, NewCM5(8), cal, 8); !errors.Is(err, ErrUnsupportedTransfer) {
+		t.Fatalf("RunContext = %v, want ErrUnsupportedTransfer", err)
+	}
+}
+
+// A pre-cancelled context must fail before the first simulated round:
+// the codegen emission loop checks per node, the simulator per sweep.
+func TestPreCancelledContextFailsFast(t *testing.T) {
+	cal := testCal(t)
+	p, err := ComplexMatMul(32, cal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := cal.Model()
+	ar, err := Allocate(p.G, model, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := BuildSchedule(p.G, model, ar.P, 8, ScheduleOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	rec := NewEventRecorder()
+	if _, err := ExecuteContext(ctx, p, s, NewCM5(8), WithObserver(rec)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("ExecuteContext = %v, want context.Canceled", err)
+	}
+	if runs := eventsOf[obs.NodeRun](rec); len(runs) != 0 {
+		t.Fatalf("cancelled execute still simulated %d node runs", len(runs))
+	}
+	if _, err := BuildScheduleContext(ctx, p.G, model, ar.P, 8); !errors.Is(err, context.Canceled) {
+		t.Fatalf("BuildScheduleContext = %v, want context.Canceled", err)
+	}
+	if _, err := RunContext(ctx, p, NewCM5(8), cal, 8); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunContext = %v, want context.Canceled", err)
+	}
+}
+
+// cancelOnRecovery cancels a context the moment the recovery driver
+// announces its first salvage attempt, so the salvage/replan loop's own
+// cancellation checks are what stop the run.
+type cancelOnRecovery struct{ cancel context.CancelFunc }
+
+func (c *cancelOnRecovery) Observe(e Event) {
+	if _, ok := e.(obs.Recovery); ok {
+		c.cancel()
+	}
+}
+
+func TestRecoveryLoopHonoursCancellation(t *testing.T) {
+	cal := testCal(t)
+	p, err := ComplexMatMul(32, cal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewCM5(8)
+	hint := cleanMakespan(t, p, m, cal, 8)
+	for seed := uint64(1); seed <= 8; seed++ {
+		plan, err := RandomFaultPlan(seed, FaultRandOptions{
+			Procs: 8, MakespanHint: hint, ProcFails: 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		obsrv := &cancelOnRecovery{cancel: cancel}
+		_, err = RunContext(ctx, p, m, cal, 8,
+			WithFaultPlan(plan), WithRecovery(2), WithObserver(obsrv))
+		cancel()
+		if ctx.Err() == nil {
+			continue // fault never landed mid-run; no recovery started
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("seed %d: cancelled recovery = %v, want context.Canceled", seed, err)
+		}
+		return
+	}
+	t.Fatal("no seed exercised the recovery path")
+}
+
+func TestStageBudgetExpires(t *testing.T) {
+	cal := testCal(t)
+	p, err := ComplexMatMul(32, cal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = AllocateContext(context.Background(), p.G, cal.Model(), 8,
+		WithStageBudgets(StageBudgets{Allocate: time.Nanosecond}))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("budgeted allocate = %v, want DeadlineExceeded", err)
+	}
+	if !strings.Contains(err.Error(), "allocate stage exceeded its 1ns budget") {
+		t.Fatalf("budget error does not name the stage budget: %v", err)
+	}
+}
+
+func TestRetryBackoffIsDeterministic(t *testing.T) {
+	cal := testCal(t)
+	p, err := ComplexMatMul(32, cal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := cal.Model()
+	run := func() ([]time.Duration, []obs.Retry, error) {
+		var slept []time.Duration
+		rec := NewEventRecorder()
+		policy := RetryPolicy{
+			MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 8 * time.Millisecond, Seed: 7,
+			Sleep: func(_ context.Context, d time.Duration) error {
+				slept = append(slept, d)
+				return nil
+			},
+		}
+		_, err := AllocateContext(context.Background(), p.G, model, 8,
+			WithStageBudgets(StageBudgets{Allocate: time.Nanosecond}),
+			WithRetry(policy), WithObserver(rec))
+		return slept, eventsOf[obs.Retry](rec), err
+	}
+
+	slept1, retries1, err1 := run()
+	slept2, _, err2 := run()
+	if err1 == nil || err2 == nil {
+		t.Fatal("1ns allocation budget did not fail")
+	}
+	if !errors.Is(err1, context.DeadlineExceeded) || !strings.Contains(err1.Error(), "after 3 attempt(s)") {
+		t.Fatalf("exhausted retry error = %v", err1)
+	}
+	if len(slept1) != 2 || len(retries1) != 2 {
+		t.Fatalf("3 attempts should sleep twice and emit 2 Retry events, got %d/%d", len(slept1), len(retries1))
+	}
+	// The delays are exactly the policy's decorrelated-jitter sequence,
+	// and a re-run reproduces them bit for bit.
+	want := resil.NewBackoff(RetryPolicy{BaseDelay: time.Millisecond, MaxDelay: 8 * time.Millisecond, Seed: 7})
+	for i, d := range slept1 {
+		if w := want.Next(); d != w {
+			t.Fatalf("delay %d = %v, want %v", i, d, w)
+		}
+		if retries1[i].Attempt != i+1 || retries1[i].DelaySeconds != d.Seconds() {
+			t.Fatalf("Retry event %d = %+v, delay %v", i, retries1[i], d)
+		}
+	}
+	for i := range slept1 {
+		if slept1[i] != slept2[i] {
+			t.Fatalf("backoff not deterministic: run1 %v, run2 %v", slept1, slept2)
+		}
+	}
+}
+
+// Repeated budget failures within one call trip the breaker, and the
+// call degrades to the heuristic allocator instead of failing.
+func TestBreakerTripsToHeuristic(t *testing.T) {
+	cal := testCal(t)
+	p, err := ComplexMatMul(32, cal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := cal.Model()
+	br := NewBreaker(BreakerOptions{Threshold: 2, Cooldown: time.Hour})
+	rec := NewEventRecorder()
+	noSleep := func(context.Context, time.Duration) error { return nil }
+
+	ar, err := AllocateContext(context.Background(), p.G, model, 8,
+		WithStageBudgets(StageBudgets{Allocate: time.Nanosecond}),
+		WithRetry(RetryPolicy{MaxAttempts: 2, Sleep: noSleep}),
+		WithBreaker(br), WithObserver(rec))
+	if err != nil {
+		t.Fatalf("tripped-breaker call should degrade to the heuristic, got %v", err)
+	}
+	if len(ar.P) != p.G.NumNodes() {
+		t.Fatalf("heuristic allocation has %d entries for %d nodes", len(ar.P), p.G.NumNodes())
+	}
+	if br.State() != resil.StateOpen {
+		t.Fatalf("breaker state = %s, want open", br.State())
+	}
+	breakers := eventsOf[obs.Breaker](rec)
+	if len(breakers) == 0 || breakers[0].State != resil.StateOpen {
+		t.Fatalf("no open Breaker event recorded: %+v", breakers)
+	}
+	found := false
+	for _, rp := range eventsOf[obs.Replan](rec) {
+		if rp.Stage == "breaker-fallback" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("heuristic fallback did not emit its Replan event")
+	}
+
+	// While open, the next call sheds load immediately: no budget, no
+	// retries, straight to the heuristic.
+	rec2 := NewEventRecorder()
+	ar2, err := AllocateContext(context.Background(), p.G, model, 8,
+		WithBreaker(br), WithObserver(rec2))
+	if err != nil {
+		t.Fatalf("open-breaker call = %v", err)
+	}
+	if len(eventsOf[obs.Retry](rec2)) != 0 {
+		t.Fatal("open breaker still ran retries")
+	}
+	if len(ar2.P) != len(ar.P) {
+		t.Fatal("shed call returned a different allocation shape")
+	}
+}
+
+// Semantic failures are never retried and never fed to the breaker.
+func TestInfeasibleNeverRetried(t *testing.T) {
+	cal := testCal(t)
+	p, err := ComplexMatMul(32, cal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	br := NewBreaker(BreakerOptions{Threshold: 1, Cooldown: time.Hour})
+	rec := NewEventRecorder()
+	_, err = AllocateContext(context.Background(), p.G, cal.Model(), 0,
+		WithRetry(RetryPolicy{MaxAttempts: 5, Sleep: func(context.Context, time.Duration) error { return nil }}),
+		WithBreaker(br), WithObserver(rec))
+	if !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("procs=0 = %v, want ErrInfeasible", err)
+	}
+	if n := len(eventsOf[obs.Retry](rec)); n != 0 {
+		t.Fatalf("infeasible problem was retried %d times", n)
+	}
+	if br.State() != resil.StateClosed {
+		t.Fatalf("infeasible failure tripped the breaker to %s", br.State())
+	}
+}
