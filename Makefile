@@ -6,9 +6,9 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: ci fmt-check vet build test test-race race fuzz-smoke bench-smoke bench-current bench-json bench-pr2 bench-pr3 bench-pr5 smoke-paradigmd
+.PHONY: ci fmt-check vet build test test-race race fuzz-smoke bench-smoke bench-current bench-json bench-pr2 bench-pr3 bench-pr5 bench-pr6 smoke-paradigmd
 
-ci: fmt-check vet build test-race fuzz-smoke bench-smoke bench-pr2 bench-pr3 bench-pr5 smoke-paradigmd
+ci: fmt-check vet build test-race fuzz-smoke bench-smoke bench-pr2 bench-pr3 bench-pr5 bench-pr6 smoke-paradigmd
 
 # gofmt gate: fails listing the offending files, mutating nothing.
 fmt-check:
@@ -74,6 +74,15 @@ bench-pr3:
 bench-pr5:
 	$(GO) test -run '^$$' -bench 'BenchmarkRunNoCheckpoint|BenchmarkRunWithCheckpoint' -benchtime=1x -benchmem . | tee bench_pr5.txt
 	$(GO) run ./cmd/benchjson -current bench_pr5.txt -label "PR 5: crash-safe checkpointing (Run without vs with WAL)" -o BENCH_PR5.json
+
+# PR 6 solver raw-speed benchmarks: the single-start baseline vs the
+# racing multi-start (the ≥5× pruning win), the warm-start cache's
+# exact-hit replay (the ≥100× memoization win), and the consensus-ADMM
+# decomposition scaling over subgraph count on a 1000-node MDG — folded
+# into BENCH_PR6.json for the trajectory harness.
+bench-pr6:
+	$(GO) test -run '^$$' -bench 'BenchmarkAllocSolve' -benchtime=1x -benchmem . | tee bench_pr6.txt
+	$(GO) run ./cmd/benchjson -current bench_pr6.txt -label "PR 6: solver raw speed (racing multi-start, warm cache, consensus ADMM)" -o BENCH_PR6.json
 
 # Boot the scheduling service on an ephemeral port, submit a job, poll
 # it to completion, fetch its schedule and the metrics page, then drain:

@@ -12,12 +12,16 @@ package paradigm
 
 import (
 	"context"
+	"fmt"
+	"math/rand"
 	"path/filepath"
 	"sync"
 	"testing"
 
 	"paradigm/internal/alloc"
+	"paradigm/internal/alloccache"
 	"paradigm/internal/experiments"
+	"paradigm/internal/mdg"
 	"paradigm/internal/programs"
 	"paradigm/internal/trainsets"
 )
@@ -382,6 +386,93 @@ func BenchmarkAllocSolveMultiStart(b *testing.B) {
 		if _, err := alloc.Solve(p.G, model, 32, alloc.Options{MultiStart: 4}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkAllocSolveWarmCache measures the warm-start cache's exact-hit
+// replay: the same multi-start problem as above, primed once outside the
+// timer, then served entirely from the cache (canonical hash + lookup +
+// permute back, no compile, no solve).
+func BenchmarkAllocSolveWarmCache(b *testing.B) {
+	e := env(b)
+	p, err := programs.ComplexMatMul(64, e.Cal)
+	if err != nil {
+		b.Fatal(err)
+	}
+	model := e.Cal.Model()
+	opts := alloc.Options{MultiStart: 4, Cache: alloccache.New(8)}
+	if _, err := alloc.Solve(p.G, model, 32, opts); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := alloc.Solve(p.G, model, 32, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.CacheOutcome != "hit" {
+			b.Fatalf("outcome %q, want hit", res.CacheOutcome)
+		}
+	}
+}
+
+// benchLayeredMDG builds the 1000-node layered DAG the decomposition
+// backend is scaled on: 100 layers × 10 nodes, 1-2 successors each.
+func benchLayeredMDG() *mdg.Graph {
+	rng := rand.New(rand.NewSource(42))
+	var g mdg.Graph
+	const layers, width = 100, 10
+	ids := make([][]mdg.NodeID, layers)
+	for l := range ids {
+		ids[l] = make([]mdg.NodeID, width)
+		for w := 0; w < width; w++ {
+			ids[l][w] = g.AddNode(mdg.Node{
+				Alpha: 0.1 + 0.8*rng.Float64(),
+				Tau:   1e-3 + 1e-2*rng.Float64(),
+			})
+		}
+	}
+	for l := 0; l+1 < layers; l++ {
+		for w := 0; w < width; w++ {
+			for _, dst := range []int{w, (w + 1) % width}[:1+rng.Intn(2)] {
+				g.AddEdge(ids[l][w], ids[l+1][dst], mdg.Transfer{
+					Bytes: 256 << rng.Intn(6),
+					Kind:  mdg.Transfer1D,
+				})
+			}
+		}
+	}
+	return &g
+}
+
+// BenchmarkAllocSolveADMM1000 scales the consensus-ADMM backend over the
+// subgraph count on a 1000-node MDG, raw decomposition only (no polish,
+// fixed outer-iteration budget): the wall-clock should drop near
+// linearly as the per-subgraph convex programs shrink and parallelize.
+func BenchmarkAllocSolveADMM1000(b *testing.B) {
+	e := env(b)
+	model := e.Cal.Model()
+	g := benchLayeredMDG()
+	for _, subs := range []int{2, 4, 8, 16} {
+		// "subs=N", not "subs-N": benchparse strips a trailing -<int>
+		// as the GOMAXPROCS suffix.
+		b.Run(fmt.Sprintf("subs=%d", subs), func(b *testing.B) {
+			opts := alloc.Options{Backend: "admm", ADMM: alloc.ADMMOptions{
+				Subgraphs: subs, MaxIters: 6, SkipPolish: true,
+			}}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := alloc.Solve(g, model, 64, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Phi <= 0 {
+					b.Fatal("empty solve")
+				}
+			}
+		})
 	}
 }
 

@@ -151,13 +151,14 @@ type job struct {
 }
 
 type server struct {
-	cal     *paradigm.Calibration
-	profile func(int) paradigm.Machine
-	ckptDir string
-	budgets paradigm.StageBudgets
-	breaker *paradigm.Breaker
-	reg     *paradigm.Metrics
-	obs     paradigm.Observer
+	cal        *paradigm.Calibration
+	profile    func(int) paradigm.Machine
+	ckptDir    string
+	budgets    paradigm.StageBudgets
+	breaker    *paradigm.Breaker
+	reg        *paradigm.Metrics
+	obs        paradigm.Observer
+	allocCache *paradigm.AllocCache
 
 	mu    sync.Mutex
 	jobs  map[string]*job
@@ -182,10 +183,34 @@ func newServer(cal *paradigm.Calibration, profile func(int) paradigm.Machine, ck
 		},
 		breaker: paradigm.NewBreaker(paradigm.BreakerOptions{}),
 		reg:     reg,
-		obs:     paradigm.NewMetricsObserver(reg),
-		jobs:    map[string]*job{},
-		queue:   make(chan *job, queue),
-		drainCh: make(chan struct{}),
+		// The canonical fold contributes the deterministic counters
+		// (alloc_cache_*, alloc_solve_*); the latency observer adds the
+		// wall-clock per-backend solve histograms, which only a service —
+		// not the deterministic library fold — is allowed to record.
+		obs: paradigm.MultiObserver(paradigm.NewMetricsObserver(reg), allocLatencyObserver{reg}),
+		// One shared warm-start cache across jobs: resubmitting the same
+		// program/size/procs replays the allocation instantly, and a new
+		// procs for a known program warm-starts the solve.
+		allocCache: paradigm.NewAllocCache(128),
+		jobs:       map[string]*job{},
+		queue:      make(chan *job, queue),
+		drainCh:    make(chan struct{}),
+	}
+}
+
+// allocLatencyObserver records wall-clock allocation solve latency per
+// backend into the service registry ("paradigmd_alloc_seconds_<backend>").
+// Wall time is nondeterministic by nature, so it lives here — the shared
+// event fold deliberately ignores AllocDone.Seconds.
+type allocLatencyObserver struct{ reg *paradigm.Metrics }
+
+// solveLatencyBuckets cover µs-scale cache replays through multi-second
+// solves.
+var solveLatencyBuckets = []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1, 10}
+
+func (l allocLatencyObserver) Observe(e paradigm.Event) {
+	if done, ok := e.(paradigm.AllocDoneEvent); ok {
+		l.reg.Histogram("paradigmd_alloc_seconds_"+done.Backend, solveLatencyBuckets).Observe(done.Seconds)
 	}
 }
 
@@ -269,6 +294,7 @@ func (s *server) execute(req jobRequest, id string) (*paradigm.Result, *paradigm
 	}
 	opts := []paradigm.Option{
 		paradigm.WithObserver(s.obs),
+		paradigm.WithAllocOptions(paradigm.AllocOptions{Cache: s.allocCache}),
 		paradigm.WithStageBudgets(s.budgets),
 		paradigm.WithBreaker(s.breaker),
 		paradigm.WithRetry(paradigm.RetryPolicy{MaxAttempts: 2}),
@@ -399,56 +425,23 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-// smokeCycle drives one job through a live server over real HTTP: the
-// self-contained CI gate that the service starts, schedules, answers,
-// and drains.
+// smokeCycle drives two identical jobs through a live server over real
+// HTTP: the self-contained CI gate that the service starts, schedules,
+// answers, memoizes the repeated allocation in the warm-start cache, and
+// drains.
 func smokeCycle(addr string) error {
 	base := "http://" + addr
-	resp, err := http.Post(base+"/jobs", "application/json",
-		strings.NewReader(`{"program":"cmm","size":16,"procs":4}`))
+	id1, err := smokeSubmitAndWait(base)
 	if err != nil {
 		return err
 	}
-	body, _ := io.ReadAll(resp.Body)
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusAccepted {
-		return fmt.Errorf("submit: %s: %s", resp.Status, body)
-	}
-	var accepted struct {
-		ID string `json:"id"`
-	}
-	if err := json.Unmarshal(body, &accepted); err != nil {
-		return err
+	// The identical resubmission must replay the allocate stage from the
+	// warm-start cache.
+	if _, err := smokeSubmitAndWait(base); err != nil {
+		return fmt.Errorf("resubmit: %w", err)
 	}
 
-	deadline := time.Now().Add(60 * time.Second)
-	for {
-		if time.Now().After(deadline) {
-			return errors.New("job did not finish within 60s")
-		}
-		resp, err := http.Get(base + "/jobs/" + accepted.ID)
-		if err != nil {
-			return err
-		}
-		var view jobView
-		err = json.NewDecoder(resp.Body).Decode(&view)
-		resp.Body.Close()
-		if err != nil {
-			return err
-		}
-		if view.Status == "failed" {
-			return fmt.Errorf("job failed: %s", view.Error)
-		}
-		if view.Status == "done" {
-			if view.Actual <= 0 {
-				return fmt.Errorf("done job reports non-positive makespan %v", view.Actual)
-			}
-			break
-		}
-		time.Sleep(50 * time.Millisecond)
-	}
-
-	resp, err = http.Get(base + "/jobs/" + accepted.ID + "/schedule")
+	resp, err := http.Get(base + "/jobs/" + id1 + "/schedule")
 	if err != nil {
 		return err
 	}
@@ -463,8 +456,61 @@ func smokeCycle(addr string) error {
 	}
 	metrics, _ := io.ReadAll(resp.Body)
 	resp.Body.Close()
-	if !strings.Contains(string(metrics), "paradigmd_jobs_completed_total 1") {
-		return fmt.Errorf("metrics missing completion counter:\n%s", metrics)
+	for _, want := range []string{
+		"paradigmd_jobs_completed_total 2",
+		"alloc_cache_miss_total 1",
+		"alloc_cache_hit_total 1",
+		"paradigmd_alloc_seconds_cache",
+	} {
+		if !strings.Contains(string(metrics), want) {
+			return fmt.Errorf("metrics missing %q:\n%s", want, metrics)
+		}
 	}
 	return nil
+}
+
+func smokeSubmitAndWait(base string) (string, error) {
+	resp, err := http.Post(base+"/jobs", "application/json",
+		strings.NewReader(`{"program":"cmm","size":16,"procs":4}`))
+	if err != nil {
+		return "", err
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return "", fmt.Errorf("submit: %s: %s", resp.Status, body)
+	}
+	var accepted struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(body, &accepted); err != nil {
+		return "", err
+	}
+
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			return "", errors.New("job did not finish within 60s")
+		}
+		resp, err := http.Get(base + "/jobs/" + accepted.ID)
+		if err != nil {
+			return "", err
+		}
+		var view jobView
+		err = json.NewDecoder(resp.Body).Decode(&view)
+		resp.Body.Close()
+		if err != nil {
+			return "", err
+		}
+		if view.Status == "failed" {
+			return "", fmt.Errorf("job failed: %s", view.Error)
+		}
+		if view.Status == "done" {
+			if view.Actual <= 0 {
+				return "", fmt.Errorf("done job reports non-positive makespan %v", view.Actual)
+			}
+			return accepted.ID, nil
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
 }

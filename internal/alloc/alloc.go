@@ -25,7 +25,9 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
+	"paradigm/internal/alloccache"
 	"paradigm/internal/convex"
 	"paradigm/internal/costmodel"
 	"paradigm/internal/errs"
@@ -47,15 +49,43 @@ type Options struct {
 	// Φ/A_p/C_p still use the full model.
 	IgnoreTransfers bool
 	// MultiStart > 1 runs that many annealed solves from deterministic
-	// start points and keeps the lowest exact Φ, breaking ties by the
-	// lowest start index. Start 0 is the classic box midpoint, so
-	// MultiStart <= 1 reproduces the single-start behaviour exactly. The
-	// starts run concurrently on the par worker pool with pooled
-	// evaluators; the selected result is identical at any pool width.
+	// start points and keeps the lowest exact Φ up to the RaceTol
+	// quantization, breaking ties by the lowest start index. Start 0 is
+	// the classic box midpoint, so MultiStart <= 1 reproduces the
+	// single-start behaviour exactly. The starts race concurrently on
+	// the par worker pool with pooled evaluators, sharing a certified
+	// lower bound that abandons provable losers early (race.go); the
+	// selected result is identical at any pool width.
 	MultiStart int
+	// RaceTol is the relative quantization of the racing multi-start
+	// winner selection: Φ values within a factor (1+RaceTol) of each
+	// other are ties, broken by the lowest start index. It is also the
+	// pruning threshold — a start abandons once an earlier-indexed
+	// completed start is certified within one quantum of the global
+	// optimum. <= 0 selects the default 2e-4. Only consulted when more
+	// than one start runs.
+	RaceTol float64
+	// Backend selects the solve strategy: "" or "anneal" runs the racing
+	// annealed multi-start (the default); "admm" runs the consensus-ADMM
+	// decomposition (admm.go), which partitions the MDG into overlapping
+	// subgraphs solved in parallel and agrees on shared nodes — faster on
+	// large graphs, approximate within the consensus tolerance. Any other
+	// value is an error.
+	Backend string
+	// ADMM tunes the "admm" backend; ignored otherwise.
+	ADMM ADMMOptions
+	// Cache, when non-nil, memoizes solved allocations keyed by the
+	// relabel-invariant canonical MDG hash, cost model, solve options and
+	// processor count (cache.go). An exact hit replays the stored
+	// allocation byte-identically without solving (Result.Solver is
+	// zero); a hit on the same canonical graph at a different machine
+	// size seeds the race with a rescaled warm start. Lookups and
+	// inserts are safe for concurrent solves sharing one cache.
+	Cache *alloccache.Cache
 	// Observer, when non-nil, receives one obs.SolverStage event per
-	// annealed temperature stage (per start). Nil costs one pointer
-	// comparison per stage.
+	// annealed temperature stage (per start), one obs.AllocCache event
+	// per cache lookup, and one obs.AllocDone event per completed solve.
+	// Nil costs one pointer comparison per stage.
 	Observer obs.Observer
 	// FallbackHeuristic enables graceful degradation: when the annealed
 	// convex solve fails or returns a non-finite Φ, SolveCtx retries
@@ -74,8 +104,15 @@ type Result struct {
 	// Phi, Ap, Cp are the exact objective values at P under the full
 	// cost model: Phi = max(Ap, Cp).
 	Phi, Ap, Cp float64
-	// Solver carries the final-stage convex solver diagnostics.
+	// Solver carries the final-stage convex solver diagnostics (zero for
+	// a cache-replayed allocation: nothing was solved).
 	Solver convex.Result
+	// Backend names the path that produced the allocation: "anneal",
+	// "admm", "heuristic" (fallback), or "cache" (exact-hit replay).
+	Backend string
+	// CacheOutcome reports the warm-start cache lookup when a cache was
+	// configured: "hit", "seed", "miss", or "" (no cache).
+	CacheOutcome string
 }
 
 // problem is the compiled convex program for one (graph, model, procs)
@@ -89,6 +126,9 @@ type problem struct {
 	phi          expr.ID
 	pool         *expr.EvaluatorPool
 	lower, upper []float64
+	// eg is the expression graph behind phi, kept for the racing
+	// certificate's box-aware smoothing-gap bound (expr.TempGapBound).
+	eg *expr.Graph
 }
 
 // Solve runs the convex programming formulation for g on a procs-processor
@@ -109,8 +149,80 @@ func Solve(g *mdg.Graph, model costmodel.Model, procs int, opts Options) (Result
 // starts and between annealed temperature stages, so a cancelled context
 // aborts the optimization promptly with ctx.Err().
 func SolveCtx(ctx context.Context, g *mdg.Graph, model costmodel.Model, procs int, opts Options) (Result, error) {
-	res, err := solveConvex(ctx, g, model, procs, opts)
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+	switch opts.Backend {
+	case "", "anneal", "admm":
+	default:
+		return Result{}, fmt.Errorf("alloc: unknown backend %q (want \"\", \"anneal\" or \"admm\")", opts.Backend)
+	}
+	started := time.Now()
+	var seed []float64
+	var exactKey, nearKey string
+	var perm []mdg.NodeID
+	outcome := ""
+	if opts.Cache != nil {
+		// A graph CanonicalHash rejects is one compile rejects below, so
+		// hash errors just skip the cache and let compile report them.
+		if hash, p, err := g.CanonicalHash(); err == nil {
+			perm = p
+			exactKey, nearKey = cacheKeys(hash, model, procs, opts)
+			if e, ok := opts.Cache.Get(exactKey); ok && e.Procs == procs && len(e.PCanon) == g.NumNodes() {
+				res := resultFromEntry(e, perm)
+				res.Backend, res.CacheOutcome = "cache", "hit"
+				if opts.Observer != nil {
+					opts.Observer.Observe(obs.AllocCache{Outcome: "hit"})
+					opts.Observer.Observe(obs.AllocDone{Backend: res.Backend, Phi: res.Phi, Seconds: time.Since(started).Seconds()})
+				}
+				return res, nil
+			}
+			if e, ok := opts.Cache.GetNear(nearKey); ok && e.Procs >= 1 && len(e.PCanon) == g.NumNodes() {
+				seed = seedFromEntry(e, perm, procs)
+				outcome = "seed"
+			} else {
+				outcome = "miss"
+			}
+			if opts.Observer != nil {
+				opts.Observer.Observe(obs.AllocCache{Outcome: outcome})
+			}
+		}
+	}
+	prob, err := compile(g, model, procs, opts)
+	if err != nil {
+		// Infeasible procs or a broken graph: the problem is wrong, not
+		// the solver, so no retry or heuristic can help.
+		return Result{}, err
+	}
+	var res Result
+	if opts.Backend == "admm" {
+		res, err = prob.solveADMM(ctx, seed, opts)
+	} else {
+		res, err = prob.solveWithFallback(ctx, seed, opts)
+	}
+	if err != nil {
+		return res, err
+	}
+	res.CacheOutcome = outcome
+	if opts.Cache != nil && exactKey != "" && isFinite(res.Phi) {
+		opts.Cache.Put(exactKey, nearKey, entryFromResult(res, perm, procs))
+	}
+	if opts.Observer != nil {
+		opts.Observer.Observe(obs.AllocDone{Backend: res.Backend, Phi: res.Phi, Seconds: time.Since(started).Seconds()})
+	}
+	return res, nil
+}
+
+// solveWithFallback runs the racing multi-start solve on the compiled
+// problem (with an optional warm-start seed racing ahead of the cold
+// starts) and, with FallbackHeuristic, degrades through widened retries
+// to the greedy heuristic. The problem is compiled exactly once: retry
+// widths extend the deterministic start sequence past the points already
+// tried instead of recompiling and re-running them.
+func (p *problem) solveWithFallback(ctx context.Context, seed []float64, opts Options) (Result, error) {
+	res, err := p.solveMulti(ctx, 0, max(1, opts.MultiStart), seed, opts)
 	if err == nil && isFinite(res.Phi) {
+		res.Backend = "anneal"
 		return res, nil
 	}
 	if !opts.FallbackHeuristic {
@@ -120,78 +232,117 @@ func SolveCtx(ctx context.Context, g *mdg.Graph, model costmodel.Model, procs in
 		return Result{}, degradeErr
 	}
 	if err != nil && (errors.Is(err, errs.ErrInfeasible) || errors.Is(err, errs.ErrBadGraph)) {
-		// The problem is wrong, not the solver: no retry can help.
 		return Result{}, err
 	}
 	// Bounded retries from wider perturbed multi-starts: a bad basin or a
 	// pathological annealing trajectory often yields to a different start.
-	for _, width := range []int{maxInt(3, 2*opts.MultiStart), maxInt(5, 4*opts.MultiStart)} {
-		retry := opts
-		retry.MultiStart = width
-		retry.FallbackHeuristic = false
-		r, rerr := solveConvex(ctx, g, model, procs, retry)
+	// Starts [0, tried) already failed deterministically, so each retry
+	// runs only the newly extended tail of the start sequence.
+	tried := max(1, opts.MultiStart)
+	for _, width := range []int{max(3, 2*opts.MultiStart), max(5, 4*opts.MultiStart)} {
+		if width <= tried {
+			continue
+		}
+		r, rerr := p.solveMulti(ctx, tried, width, nil, opts)
+		tried = width
 		if cerr := ctx.Err(); cerr != nil {
 			return Result{}, cerr
 		}
 		if rerr == nil && isFinite(r.Phi) {
+			r.Backend = "anneal"
 			if opts.Observer != nil {
-				opts.Observer.Observe(obs.Replan{Stage: "multistart-retry", Procs: procs, Phi: r.Phi})
+				opts.Observer.Observe(obs.Replan{Stage: "multistart-retry", Procs: p.procs, Phi: r.Phi})
 			}
 			return r, nil
 		}
 	}
-	hr, herr := SolveHeuristic(g, model, procs)
+	hr, herr := SolveHeuristic(p.g, p.model, p.procs)
 	if herr != nil || !isFinite(hr.Phi) {
 		if herr == nil {
 			herr = fmt.Errorf("alloc: heuristic Phi = %v", hr.Phi)
 		}
 		return Result{}, fmt.Errorf("alloc: convex solve failed (%v) and heuristic fallback failed: %w", err, herr)
 	}
+	hr.Backend = "heuristic"
 	if opts.Observer != nil {
-		opts.Observer.Observe(obs.Replan{Stage: "heuristic-fallback", Procs: procs, Phi: hr.Phi})
+		opts.Observer.Observe(obs.Replan{Stage: "heuristic-fallback", Procs: p.procs, Phi: hr.Phi})
 	}
 	return hr, nil
 }
 
-// solveConvex is the annealed multi-start convex solve (the historical
-// SolveCtx body, byte-identical behaviour without FallbackHeuristic).
-func solveConvex(ctx context.Context, g *mdg.Graph, model costmodel.Model, procs int, opts Options) (Result, error) {
-	if err := ctx.Err(); err != nil {
-		return Result{}, err
+// candidate is one racing start's outcome: ok is false when the start
+// was abandoned by the racing bound (a certified loser, not a failure).
+type candidate struct {
+	res    Result
+	q      int32
+	selIdx int
+	ok     bool
+	buf    *eventBuffer
+}
+
+// solveMulti runs starts [lo, hi) of the deterministic start sequence as
+// a race, plus an optional warm-start seed ranked before start 0 in the
+// tie-break. The winner is the lexicographic minimum of (quantized Φ,
+// start index) over completed starts — a timing-independent selection,
+// so the result is identical at any worker width. With exactly one cold
+// start and no seed it is the historical single-start solve, untouched.
+func (p *problem) solveMulti(ctx context.Context, lo, hi int, seed []float64, opts Options) (Result, error) {
+	starts := p.startPoints(hi)[lo:hi]
+	if seed == nil && len(starts) == 1 {
+		return p.solveFrom(ctx, lo, starts[0], opts.Anneal, opts.Observer)
 	}
-	prob, err := compile(g, model, procs, opts)
-	if err != nil {
-		return Result{}, err
+	type entry struct {
+		selIdx int
+		x0     []float64
 	}
-	starts := prob.startPoints(opts.MultiStart)
-	if len(starts) == 1 {
-		return prob.solveFrom(ctx, 0, starts[0], opts.Anneal, opts.Observer)
+	entries := make([]entry, 0, len(starts)+1)
+	if seed != nil {
+		// The seed outranks every cold start in the tie-break: a cache
+		// near-hit that lands in the optimal basin both wins ties and
+		// lets the race prune the cold starts early.
+		entries = append(entries, entry{selIdx: -1, x0: seed})
 	}
-	results, err := par.Map(ctx, len(starts), func(ctx context.Context, i int) (Result, error) {
-		return prob.solveFrom(ctx, i, starts[i], opts.Anneal, opts.Observer)
+	for i, x0 := range starts {
+		entries = append(entries, entry{selIdx: lo + i, x0: x0})
+	}
+	rs := newRaceState(opts.RaceTol)
+	cands, err := par.Map(ctx, len(entries), func(ctx context.Context, i int) (candidate, error) {
+		var buf *eventBuffer
+		var o obs.Observer
+		if opts.Observer != nil {
+			buf = &eventBuffer{}
+			o = buf
+		}
+		res, ok, err := p.solveFromRace(ctx, entries[i].selIdx, entries[i].x0, opts.Anneal, o, rs)
+		if err != nil {
+			return candidate{}, err
+		}
+		return candidate{res: res, q: rs.quantize(res.Phi), selIdx: entries[i].selIdx, ok: ok, buf: buf}, nil
 	})
 	if err != nil {
 		return Result{}, err
 	}
-	best := results[0]
-	for _, r := range results[1:] {
-		if r.Phi < best.Phi {
-			best = r
+	var best candidate
+	for _, c := range cands {
+		if !c.ok {
+			continue
+		}
+		if !best.ok || c.q < best.q || (c.q == best.q && c.selIdx < best.selIdx) {
+			best = c
 		}
 	}
-	return best, nil
+	if !best.ok {
+		// Unreachable: the lowest-ranked start can never satisfy the
+		// abandonment predicate (race.go), so at least one completes.
+		return Result{}, errors.New("alloc: every racing start was abandoned")
+	}
+	best.buf.flush(opts.Observer)
+	return best.res, nil
 }
 
 // isFinite guards the degradation path against NaN/Inf objectives a
 // broken solve can report without erroring.
 func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
 
 // startPoints produces k deterministic start points inside the box.
 // Start 0 is the box midpoint (the historical single-start point);
@@ -309,6 +460,7 @@ func compile(g *mdg.Graph, model costmodel.Model, procs int, opts Options) (*pro
 		phi:   phi,
 		pool:  expr.NewEvaluatorPool(&eg),
 		lower: lower, upper: upper,
+		eg: &eg,
 	}, nil
 }
 
@@ -317,6 +469,28 @@ func compile(g *mdg.Graph, model costmodel.Model, procs int, opts Options) (*pro
 // per-stage hook checks ctx between temperature stages and, with a
 // non-nil observer, emits the solver-convergence trajectory.
 func (p *problem) solveFrom(ctx context.Context, startIdx int, x0 []float64, anneal convex.AnnealOptions, o obs.Observer) (Result, error) {
+	res, _, err := p.solveFromRace(ctx, startIdx, x0, anneal, o, nil)
+	return res, err
+}
+
+// solveFromRace is solveFrom with racing hooks. With rs == nil it is
+// exactly the historical single-start solve: no hook is installed and
+// the annealing trajectory is untouched. With a race state it (a)
+// publishes a certified global lower bound after every temperature stage
+// and a tightened sequence after the final stage, (b) polls the
+// abandonment predicate between stages and — via convex.Options.StopCheck
+// — every few inner iterations, and (c) publishes the completed result
+// as an incumbent. The returned ok is false iff the start was abandoned;
+// an abandoned start is not an error. A winning trajectory is never
+// perturbed by the hooks (StopCheck only reads), so its Result — solver
+// Iters/Evals included — is byte-identical to a run without the race.
+func (p *problem) solveFromRace(ctx context.Context, startIdx int, x0 []float64, anneal convex.AnnealOptions, o obs.Observer, rs *raceState) (Result, bool, error) {
+	ev := p.pool.Get()
+	defer p.pool.Put(ev)
+	var certGrad []float64
+	if rs != nil {
+		certGrad = make([]float64, len(x0))
+	}
 	prev := anneal.OnStage
 	anneal.OnStage = func(stage int, temp float64, r convex.Result) error {
 		if err := ctx.Err(); err != nil {
@@ -329,13 +503,31 @@ func (p *problem) solveFrom(ctx context.Context, startIdx int, x0 []float64, ann
 				Status: r.Status.String(),
 			})
 		}
+		if rs != nil {
+			rs.publishBound(p.certifyBound(ev, r.X, temp, certGrad))
+			if rs.shouldAbandon(startIdx) {
+				return errRaceAbandoned
+			}
+		}
 		if prev != nil {
 			return prev(stage, temp, r)
 		}
 		return nil
 	}
-	ev := p.pool.Get()
-	defer p.pool.Put(ev)
+	raceStopped := false
+	if rs != nil {
+		prevStop := anneal.Inner.StopCheck
+		anneal.Inner.StopCheck = func() bool {
+			if prevStop != nil && prevStop() {
+				return true
+			}
+			if rs.shouldAbandon(startIdx) {
+				raceStopped = true
+				return true
+			}
+			return false
+		}
+	}
 	obj := convex.TempFunc(func(temp float64, x, grad []float64) float64 {
 		if grad == nil {
 			return ev.Eval(p.phi, x, temp)
@@ -357,7 +549,10 @@ func (p *problem) solveFrom(ctx context.Context, startIdx int, x0 []float64, ann
 	}
 	sol, err := convex.MinimizeAnnealed(obj, p.lower, p.upper, x0, anneal)
 	if err != nil {
-		return Result{}, fmt.Errorf("alloc: solver failed: %w", err)
+		if errors.Is(err, errRaceAbandoned) || (raceStopped && errors.Is(err, convex.ErrStopped)) {
+			return Result{}, false, nil
+		}
+		return Result{}, false, fmt.Errorf("alloc: solver failed: %w", err)
 	}
 
 	res := Result{P: make([]float64, len(x0)), Solver: sol}
@@ -366,9 +561,19 @@ func (p *problem) solveFrom(ctx context.Context, startIdx int, x0 []float64, ann
 	}
 	res.Phi, res.Ap, res.Cp, err = p.model.Phi(p.g, res.P, p.procs)
 	if err != nil {
-		return Result{}, err
+		return Result{}, false, err
 	}
-	return res, nil
+	if rs != nil {
+		// The anneal stops at EndTemp, where the stage certificate still
+		// carries a T·slack gap; re-certifying the solution at shrinking
+		// temperatures tightens the published bound so stragglers can be
+		// abandoned (the point is fixed — only the certificate sharpens).
+		for _, t := range []float64{anneal.EndTemp, anneal.EndTemp / 8, anneal.EndTemp / 64} {
+			rs.publishBound(p.certifyBound(ev, sol.X, t, certGrad))
+		}
+		rs.publishResult(rs.quantize(res.Phi), startIdx)
+	}
+	return res, true, nil
 }
 
 // SPMD returns the pure data-parallel allocation — every node on all

@@ -1,0 +1,220 @@
+package alloc
+
+import (
+	"math/rand"
+	"testing"
+
+	"paradigm/internal/alloccache"
+	"paradigm/internal/mdg"
+	"paradigm/internal/obs"
+	"paradigm/internal/par"
+)
+
+func TestCacheExactHitReplaysByteIdentical(t *testing.T) {
+	g := forkJoin(0.9)
+	cache := alloccache.New(8)
+	opts := Options{MultiStart: 4, Cache: cache}
+	cold, err := Solve(g, cm5Fit, 16, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.CacheOutcome != "miss" || cold.Backend != "anneal" {
+		t.Fatalf("cold solve: outcome %q backend %q", cold.CacheOutcome, cold.Backend)
+	}
+	warm, err := Solve(g, cm5Fit, 16, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.CacheOutcome != "hit" || warm.Backend != "cache" {
+		t.Fatalf("warm solve: outcome %q backend %q", warm.CacheOutcome, warm.Backend)
+	}
+	if warm.Phi != cold.Phi || warm.Ap != cold.Ap || warm.Cp != cold.Cp {
+		t.Fatalf("replayed objectives differ: %+v vs %+v", warm, cold)
+	}
+	for i := range cold.P {
+		if warm.P[i] != cold.P[i] {
+			t.Fatalf("P[%d]: replay %v != solve %v", i, warm.P[i], cold.P[i])
+		}
+	}
+	if warm.Solver.Iters != 0 {
+		t.Fatal("a replayed hit must not report solver work")
+	}
+}
+
+func TestCacheHitOnRelabeledGraph(t *testing.T) {
+	g := forkJoin(0.8)
+	n := g.NumNodes()
+	perm := make([]mdg.NodeID, n)
+	for i := range perm {
+		perm[i] = mdg.NodeID(i)
+	}
+	rng := rand.New(rand.NewSource(11))
+	rng.Shuffle(n, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+	g2, err := g.Relabel(perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cache := alloccache.New(8)
+	opts := Options{MultiStart: 2, Cache: cache}
+	cold, err := Solve(g, cm5Fit, 16, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := Solve(g2, cm5Fit, 16, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.CacheOutcome != "hit" {
+		t.Fatalf("relabeled graph: outcome %q, want hit (canonical key must be relabel-invariant)", warm.CacheOutcome)
+	}
+	// Relabel maps node i of g to node perm[i] of g2, so the replayed
+	// allocation must follow the same permutation exactly.
+	for i := range cold.P {
+		if warm.P[perm[i]] != cold.P[i] {
+			t.Fatalf("replayed allocation not permuted: P2[%d] = %v, want P[%d] = %v",
+				perm[i], warm.P[perm[i]], i, cold.P[i])
+		}
+	}
+}
+
+func TestCacheNearHitSeedsDifferentProcs(t *testing.T) {
+	g := forkJoin(0.9)
+	cache := alloccache.New(8)
+	opts := Options{MultiStart: 3, Cache: cache}
+	if _, err := Solve(g, cm5Fit, 16, opts); err != nil {
+		t.Fatal(err)
+	}
+	seeded, err := Solve(g, cm5Fit, 32, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seeded.CacheOutcome != "seed" {
+		t.Fatalf("different procs: outcome %q, want seed", seeded.CacheOutcome)
+	}
+	coldOpts := Options{MultiStart: 3}
+	cold, err := Solve(g, cm5Fit, 32, coldOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The seed races alongside the full cold start set and wins ties, so
+	// the seeded winner can only match or beat the cold winner's bucket.
+	if seeded.Phi > cold.Phi*(1+2*defaultRaceTol) {
+		t.Fatalf("seeded Φ %v worse than cold Φ %v beyond the race tolerance", seeded.Phi, cold.Phi)
+	}
+}
+
+// TestCacheSeededSolveDeterministicAcrossWidths primes a fresh cache
+// identically per width and checks the near-hit seeded solve returns
+// byte-identical allocations at any worker width.
+func TestCacheSeededSolveDeterministicAcrossWidths(t *testing.T) {
+	g := forkJoin(0.9)
+	var base Result
+	for wi, width := range []string{"1", "4", ""} {
+		t.Setenv(par.EnvWorkers, width)
+		cache := alloccache.New(8)
+		opts := Options{MultiStart: 3, Cache: cache}
+		if _, err := Solve(g, cm5Fit, 16, opts); err != nil {
+			t.Fatal(err)
+		}
+		res, err := Solve(g, cm5Fit, 32, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.CacheOutcome != "seed" {
+			t.Fatalf("width %q: outcome %q", width, res.CacheOutcome)
+		}
+		if wi == 0 {
+			base = res
+			continue
+		}
+		if res.Phi != base.Phi {
+			t.Fatalf("width %q: seeded Φ %v vs %v", width, res.Phi, base.Phi)
+		}
+		for i := range res.P {
+			if res.P[i] != base.P[i] {
+				t.Fatalf("width %q: seeded P[%d] differs", width, i)
+			}
+		}
+	}
+}
+
+func TestCacheKeySeparatesSolveShape(t *testing.T) {
+	g := forkJoin(0.9)
+	cache := alloccache.New(8)
+	if _, err := Solve(g, cm5Fit, 16, Options{MultiStart: 2, Cache: cache}); err != nil {
+		t.Fatal(err)
+	}
+	// A different multi-start width selects a potentially different
+	// winner, so it must not reuse the stored entry.
+	res, err := Solve(g, cm5Fit, 16, Options{MultiStart: 4, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CacheOutcome == "hit" {
+		t.Fatal("MultiStart changed but the cache replayed a stale entry")
+	}
+	// A different cost model must miss entirely.
+	other := cm5Fit
+	other.Transfer.Tps *= 2
+	res, err = Solve(g, other, 16, Options{MultiStart: 2, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CacheOutcome != "miss" {
+		t.Fatalf("model changed: outcome %q, want miss", res.CacheOutcome)
+	}
+	// The ablated objective solves a different program.
+	res, err = Solve(g, cm5Fit, 16, Options{MultiStart: 2, Cache: cache, IgnoreTransfers: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CacheOutcome == "hit" {
+		t.Fatal("IgnoreTransfers changed but the cache replayed a stale entry")
+	}
+}
+
+func TestCacheEmitsObsEvents(t *testing.T) {
+	g := forkJoin(0.9)
+	cache := alloccache.New(8)
+	rec := obs.NewRecorder()
+	opts := Options{MultiStart: 2, Cache: cache, Observer: rec}
+	if _, err := Solve(g, cm5Fit, 16, opts); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Solve(g, cm5Fit, 16, opts); err != nil {
+		t.Fatal(err)
+	}
+	var outcomes []string
+	var backends []string
+	for _, e := range rec.Events() {
+		switch ev := e.(type) {
+		case obs.AllocCache:
+			outcomes = append(outcomes, ev.Outcome)
+		case obs.AllocDone:
+			backends = append(backends, ev.Backend)
+		}
+	}
+	if len(outcomes) != 2 || outcomes[0] != "miss" || outcomes[1] != "hit" {
+		t.Fatalf("cache outcomes = %v, want [miss hit]", outcomes)
+	}
+	if len(backends) != 2 || backends[0] != "anneal" || backends[1] != "cache" {
+		t.Fatalf("solve backends = %v, want [anneal cache]", backends)
+	}
+}
+
+func TestCacheKeysExactVersusNear(t *testing.T) {
+	hash := "deadbeef"
+	e16, n16 := cacheKeys(hash, cm5Fit, 16, Options{MultiStart: 2})
+	e32, n32 := cacheKeys(hash, cm5Fit, 32, Options{MultiStart: 2})
+	if e16 == e32 {
+		t.Fatal("exact keys must separate processor counts")
+	}
+	if n16 != n32 {
+		t.Fatal("near keys must unify processor counts")
+	}
+	_, nOther := cacheKeys(hash, cm5Fit, 16, Options{MultiStart: 3})
+	if nOther == n16 {
+		t.Fatal("near keys must separate solve options")
+	}
+}

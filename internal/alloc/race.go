@@ -1,0 +1,198 @@
+// Racing multi-start: concurrent annealed solves that share a certified
+// global lower bound on Φ and abandon trajectories that provably cannot
+// win, without ever changing which start wins.
+//
+// Determinism is the hard requirement (DESIGN.md §12): the selected
+// allocation must be byte-identical whether the starts run on one worker
+// or sixteen. Pruning on observed Φ values alone is unsound — a
+// trajectory that looks bad mid-anneal can still finish first — so the
+// race prunes only against a certificate:
+//
+//	Φ* ≥ L = f_T(x) − G − S(T)
+//
+// where f_T(x) is the smoothed objective at any trajectory's current
+// point, G = Σ_i worst-case first-order decrease of f_T over the box
+// (convexity: f_T(y) ≥ f_T(x) + ∇f_T(x)·(y−x)), and S(T) bounds the
+// log-sum-exp smoothing gap uniformly over the box via expr.TempGapBound
+// (exact ≤ f_T ≤ exact + S(T)). L lower-bounds the exact Φ of EVERY
+// trajectory's final answer, so it is publishable from any of them.
+//
+// The winner is the lexicographic minimum of (Q(Φ), startIdx) over
+// completed starts, with Q(φ) = ⌊ln φ / ln(1+RaceTol)⌋ a relative
+// quantization. A start j abandons only when an incumbent (Q_b, i_b)
+// exists with Q_b ≤ Q(L·(1−ε)) and j > i_b: the incumbent is certified
+// within one quantum of the global optimum, and j's eventual quantized
+// value — which cannot be below Q(L') — would lose the index tie-break.
+// A short induction shows the overall winner never satisfies this
+// predicate, so pruning removes only provable losers and the selection
+// is identical at any worker width and any interleaving.
+package alloc
+
+import (
+	"errors"
+	"math"
+	"sync/atomic"
+
+	"paradigm/internal/expr"
+	"paradigm/internal/obs"
+)
+
+// errRaceAbandoned marks a start pruned by the racing bound. It is a
+// sentinel, not a failure: the runner converts it into "no candidate"
+// instead of propagating it, so par.Map's first-error cancellation never
+// fires for an abandoned start.
+var errRaceAbandoned = errors.New("alloc: racing start abandoned")
+
+// defaultRaceTol is the relative quantization of the winner selection
+// when Options.RaceTol is unset: Φ values within one part in 5000 of
+// each other count as ties, broken by start index.
+const defaultRaceTol = 2e-4
+
+// boundSafety shrinks a certified lower bound before quantizing it, so
+// float rounding in the certificate arithmetic can never promote a bound
+// past the quantization boundary it belongs under.
+const boundSafety = 1e-9
+
+// raceState is the shared blackboard of one racing solve: the best
+// completed candidate (for selection) and the best certified global
+// lower bound (for pruning). Both evolve monotonically, so late reads
+// only ever see equal-or-stronger facts — the soundness argument does
+// not depend on timing.
+type raceState struct {
+	logTol float64
+	// incumbent packs (quantized Φ, start index) of the best completed
+	// candidate into one word: (q+2³¹)<<32 | (idx+1). Both components
+	// are order-preserving, so integer min is lexicographic min.
+	// math.MaxUint64 means "none yet".
+	incumbent atomic.Uint64
+	// lbound holds Float64bits of the largest certified global lower
+	// bound on the exact Φ (init −Inf).
+	lbound atomic.Uint64
+}
+
+const noIncumbent = math.MaxUint64
+
+func newRaceState(tol float64) *raceState {
+	if tol <= 0 {
+		tol = defaultRaceTol
+	}
+	rs := &raceState{logTol: math.Log1p(tol)}
+	rs.incumbent.Store(noIncumbent)
+	rs.lbound.Store(math.Float64bits(math.Inf(-1)))
+	return rs
+}
+
+// quantize maps an exact Φ to its selection bucket. NaN/+Inf lose to
+// everything; non-positive values (impossible for real cost models, but
+// cheap to pin down) win against everything positive.
+func (rs *raceState) quantize(phi float64) int32 {
+	if math.IsNaN(phi) || math.IsInf(phi, 1) {
+		return math.MaxInt32
+	}
+	if phi <= 0 {
+		return math.MinInt32
+	}
+	q := math.Floor(math.Log(phi) / rs.logTol)
+	switch {
+	case q >= math.MaxInt32:
+		return math.MaxInt32
+	case q <= math.MinInt32:
+		return math.MinInt32
+	}
+	return int32(q)
+}
+
+func packCandidate(q int32, idx int) uint64 {
+	return uint64(uint32(int64(q)+1<<31))<<32 | uint64(uint32(idx+1))
+}
+
+// publishResult folds a completed candidate into the incumbent
+// (lexicographic min over (Q, idx)).
+func (rs *raceState) publishResult(q int32, idx int) {
+	packed := packCandidate(q, idx)
+	for {
+		cur := rs.incumbent.Load()
+		if packed >= cur {
+			return
+		}
+		if rs.incumbent.CompareAndSwap(cur, packed) {
+			return
+		}
+	}
+}
+
+// publishBound folds a certified global lower bound (monotone max).
+// Non-finite bounds (an unbounded TempGapBound, a −Inf certificate) are
+// dropped.
+func (rs *raceState) publishBound(l float64) {
+	if math.IsNaN(l) || math.IsInf(l, 0) {
+		return
+	}
+	for {
+		cur := rs.lbound.Load()
+		if l <= math.Float64frombits(cur) {
+			return
+		}
+		if rs.lbound.CompareAndSwap(cur, math.Float64bits(l)) {
+			return
+		}
+	}
+}
+
+// shouldAbandon reports whether start idx is a certified loser: an
+// incumbent exists whose quantized Φ already matches the quantized
+// certified lower bound (it cannot be beaten, only tied) and idx loses
+// the tie-break. Reads two atomics — cheap enough for the solver's
+// StopCheck poll.
+func (rs *raceState) shouldAbandon(idx int) bool {
+	inc := rs.incumbent.Load()
+	if inc == noIncumbent {
+		return false
+	}
+	l := math.Float64frombits(rs.lbound.Load())
+	if math.IsInf(l, -1) {
+		return false
+	}
+	qBound := rs.quantize(l - boundSafety*math.Abs(l))
+	qBest := int32(int64(inc>>32) - 1<<31)
+	bestIdx := int(uint32(inc)) - 1
+	return qBest <= qBound && idx > bestIdx
+}
+
+// certifyBound computes the global lower bound L = f_T(x) − G − S(T)
+// from one fused value+gradient evaluation at x. G is the exact
+// worst-case first-order decrease over the box (per coordinate, the
+// gradient sign picks the far face), which also makes active box
+// constraints free: a coordinate pinned at its optimal face contributes
+// nothing. S(T) = expr.TempGapBound is the box-uniform smoothing gap, so
+// min over the box of the exact Φ is at least min f_T − S(T) ≥ L.
+func (p *problem) certifyBound(ev *expr.Evaluator, x []float64, temp float64, grad []float64) float64 {
+	f := ev.EvalGrad(p.phi, x, temp, grad)
+	decrease := 0.0
+	for i := range x {
+		if g := grad[i]; g > 0 {
+			decrease += g * (x[i] - p.lower[i])
+		} else {
+			decrease -= g * (p.upper[i] - x[i])
+		}
+	}
+	return f - decrease - p.eg.TempGapBound(p.phi, temp, p.lower, p.upper)
+}
+
+// eventBuffer queues obs events from one racing start so that only the
+// (deterministic) winner's trajectory reaches the real observer — folded
+// metrics stay byte-identical at any worker width even though pruning
+// points are timing-dependent.
+type eventBuffer struct{ events []obs.Event }
+
+// Observe implements obs.Observer.
+func (b *eventBuffer) Observe(e obs.Event) { b.events = append(b.events, e) }
+
+func (b *eventBuffer) flush(o obs.Observer) {
+	if b == nil || o == nil {
+		return
+	}
+	for _, e := range b.events {
+		o.Observe(e)
+	}
+}

@@ -1,0 +1,138 @@
+// Package alloccache is a bounded LRU of solved allocations, keyed by
+// the relabel-invariant canonical MDG hash plus the machine fit and
+// processor count (the key is derived in internal/alloc; this package
+// stores plain data so it depends on nothing above the standard
+// library).
+//
+// Two lookup granularities exist. An exact key (canonical graph + model
+// + options + procs) returns the stored allocation verbatim — the
+// allocator replays it byte-identically without solving. A near key
+// (everything but procs) indexes the most recently stored entry for the
+// same canonical program on a different machine size; the allocator
+// rescales it into a warm-start seed. Entries store allocations in
+// canonical node order, so graphs that differ only by relabeling share
+// entries (mdg.CanonicalHash).
+//
+// All methods are safe for concurrent use.
+package alloccache
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Entry is one solved allocation in canonical node order.
+type Entry struct {
+	// PCanon holds the continuous per-node allocation permuted into
+	// canonical order: PCanon[perm[i]] = P[i] for the canonicalizing
+	// perm of the solved graph.
+	PCanon []float64
+	// Phi, Ap, Cp are the exact objective values of the stored solve.
+	Phi, Ap, Cp float64
+	// Procs is the machine size the entry was solved for.
+	Procs int
+}
+
+// clone guards cached slices against caller mutation in both directions.
+func (e Entry) clone() Entry {
+	e.PCanon = append([]float64(nil), e.PCanon...)
+	return e
+}
+
+// Cache is a bounded LRU over exact keys with a near-key index.
+type Cache struct {
+	mu   sync.Mutex
+	cap  int
+	ll   *list.List               // front = most recent
+	m    map[string]*list.Element // exact key -> element
+	near map[string]string        // near key -> exact key of freshest entry
+}
+
+type cacheItem struct {
+	key     string
+	nearKey string
+	entry   Entry
+}
+
+// New creates a cache holding at most capacity entries (minimum 1).
+func New(capacity int) *Cache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Cache{
+		cap:  capacity,
+		ll:   list.New(),
+		m:    make(map[string]*list.Element),
+		near: make(map[string]string),
+	}
+}
+
+// Len reports the number of stored entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Get returns the entry stored under the exact key, marking it most
+// recently used.
+func (c *Cache) Get(key string) (Entry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		return Entry{}, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheItem).entry.clone(), true
+}
+
+// GetNear returns the freshest entry stored under the near key — the
+// same canonical program at a possibly different processor count.
+func (c *Cache) GetNear(nearKey string) (Entry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	exact, ok := c.near[nearKey]
+	if !ok {
+		return Entry{}, false
+	}
+	el, ok := c.m[exact]
+	if !ok {
+		// The pointed-to entry was evicted; drop the dangling index.
+		delete(c.near, nearKey)
+		return Entry{}, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheItem).entry.clone(), true
+}
+
+// Put stores the entry under the exact key and points the near key at
+// it, evicting the least recently used entry past capacity.
+func (c *Cache) Put(key, nearKey string, e Entry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		item := el.Value.(*cacheItem)
+		item.entry = e.clone()
+		item.nearKey = nearKey
+		c.ll.MoveToFront(el)
+		if nearKey != "" {
+			c.near[nearKey] = key
+		}
+		return
+	}
+	el := c.ll.PushFront(&cacheItem{key: key, nearKey: nearKey, entry: e.clone()})
+	c.m[key] = el
+	if nearKey != "" {
+		c.near[nearKey] = key
+	}
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		item := oldest.Value.(*cacheItem)
+		c.ll.Remove(oldest)
+		delete(c.m, item.key)
+		if item.nearKey != "" && c.near[item.nearKey] == item.key {
+			delete(c.near, item.nearKey)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package alloccache
+
+import "testing"
+
+func entry(procs int, vals ...float64) Entry {
+	return Entry{PCanon: vals, Phi: vals[0], Procs: procs}
+}
+
+func TestGetPutRoundTrip(t *testing.T) {
+	c := New(4)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("empty cache hit")
+	}
+	c.Put("a", "na", entry(8, 1, 2, 3))
+	e, ok := c.Get("a")
+	if !ok || e.Procs != 8 || len(e.PCanon) != 3 || e.PCanon[1] != 2 {
+		t.Fatalf("round trip: %+v ok=%v", e, ok)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+}
+
+func TestCloneIsolation(t *testing.T) {
+	c := New(4)
+	src := entry(8, 1, 2, 3)
+	c.Put("a", "", src)
+	src.PCanon[0] = 99
+	e, _ := c.Get("a")
+	if e.PCanon[0] != 1 {
+		t.Fatal("Put did not copy the slice")
+	}
+	e.PCanon[1] = 99
+	e2, _ := c.Get("a")
+	if e2.PCanon[1] != 2 {
+		t.Fatal("Get did not copy the slice")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(2)
+	c.Put("a", "na", entry(1, 1))
+	c.Put("b", "nb", entry(2, 2))
+	// Touch a so b becomes the LRU victim.
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a missing")
+	}
+	c.Put("c", "nc", entry(3, 3))
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a evicted despite recent use")
+	}
+	if _, ok := c.Get("c"); !ok {
+		t.Fatal("c missing")
+	}
+	// The evicted entry's near index must not dangle.
+	if _, ok := c.GetNear("nb"); ok {
+		t.Fatal("near index served an evicted entry")
+	}
+}
+
+func TestNearIndexTracksFreshest(t *testing.T) {
+	c := New(8)
+	c.Put("a|p8", "a", entry(8, 1))
+	c.Put("a|p16", "a", entry(16, 2))
+	e, ok := c.GetNear("a")
+	if !ok || e.Procs != 16 {
+		t.Fatalf("near lookup: %+v ok=%v, want the freshest (procs 16)", e, ok)
+	}
+	// Updating an existing exact key re-points the near index.
+	c.Put("a|p8", "a", entry(8, 3))
+	e, ok = c.GetNear("a")
+	if !ok || e.Procs != 8 {
+		t.Fatalf("near lookup after update: %+v ok=%v", e, ok)
+	}
+}
+
+func TestPutUpdateExisting(t *testing.T) {
+	c := New(2)
+	c.Put("a", "na", entry(8, 1))
+	c.Put("a", "na", entry(8, 42))
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d after update", c.Len())
+	}
+	e, _ := c.Get("a")
+	if e.PCanon[0] != 42 {
+		t.Fatal("update did not replace the entry")
+	}
+}
+
+func TestCapacityFloor(t *testing.T) {
+	c := New(0)
+	c.Put("a", "", entry(1, 1))
+	c.Put("b", "", entry(2, 2))
+	if c.Len() != 1 {
+		t.Fatalf("capacity floor: Len = %d, want 1", c.Len())
+	}
+}

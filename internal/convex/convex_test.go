@@ -1,6 +1,7 @@
 package convex
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -178,8 +179,11 @@ func TestOptionsDefaults(t *testing.T) {
 		t.Fatalf("unexpected defaults: %+v", o)
 	}
 	custom := Options{MaxIter: 5, GradTol: 1, FTol: 1, InitStep: 2, Backtrack: 0.25, Armijo: 0.5, MaxBacktracks: 3}
-	if custom.withDefaults() != custom {
-		t.Fatalf("custom options were overridden")
+	got := custom.withDefaults()
+	if got.MaxIter != custom.MaxIter || got.GradTol != custom.GradTol || got.FTol != custom.FTol ||
+		got.InitStep != custom.InitStep || got.Backtrack != custom.Backtrack ||
+		got.Armijo != custom.Armijo || got.MaxBacktracks != custom.MaxBacktracks {
+		t.Fatalf("custom options were overridden: %+v", got)
 	}
 }
 
@@ -242,5 +246,47 @@ func BenchmarkMinimizeQuadratic32(b *testing.B) {
 		if _, err := Minimize(obj, lo, hi, x0, Options{}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+func TestStopCheckAbortsPromptly(t *testing.T) {
+	n := 8
+	w := make([]float64, n)
+	c := make([]float64, n)
+	lo := make([]float64, n)
+	hi := make([]float64, n)
+	for i := range w {
+		w[i] = float64(i + 1)
+		c[i] = 3
+		lo[i], hi[i] = -10, 10
+	}
+	calls := 0
+	opts := Options{
+		GradTol: 1e-300, FTol: 1e-300, MaxIter: 100000,
+		StopCheck: func() bool { calls++; return calls >= 3 },
+	}
+	res, err := Minimize(quadratic(w, c), lo, hi, make([]float64, n), opts)
+	if !errors.Is(err, ErrStopped) {
+		t.Fatalf("err = %v, want ErrStopped", err)
+	}
+	if res.Iters > 4*stopCheckStride {
+		t.Fatalf("ran %d iterations after stop was requested", res.Iters)
+	}
+}
+
+func TestNilStopCheckUnchanged(t *testing.T) {
+	base, err := Minimize(quadratic([]float64{1, 2}, []float64{1, -1}),
+		[]float64{-5, -5}, []float64{5, 5}, []float64{0, 0}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hooked, err := Minimize(quadratic([]float64{1, 2}, []float64{1, -1}),
+		[]float64{-5, -5}, []float64{5, 5}, []float64{0, 0},
+		Options{StopCheck: func() bool { return false }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.F != hooked.F || base.Iters != hooked.Iters || base.Evals != hooked.Evals {
+		t.Fatalf("non-firing StopCheck changed the trajectory: %+v vs %+v", base, hooked)
 	}
 }

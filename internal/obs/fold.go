@@ -98,6 +98,15 @@ func (m *metricsObserver) Observe(e Event) {
 	case Breaker:
 		r.Counter("breaker_decisions_total").Inc()
 		r.Counter("breaker_" + sanitizeMetricFragment(ev.State) + "_total").Inc()
+	case AllocCache:
+		r.Counter("alloc_cache_requests_total").Inc()
+		r.Counter("alloc_cache_" + sanitizeMetricFragment(ev.Outcome) + "_total").Inc()
+	case AllocDone:
+		// Seconds is wall-clock and deliberately not folded: the registry
+		// snapshot stays byte-identical across worker widths and machines.
+		r.Counter("alloc_solves_total").Inc()
+		r.Counter("alloc_solve_" + sanitizeMetricFragment(ev.Backend) + "_total").Inc()
+		r.Histogram("alloc_solve_phi", nil).Observe(ev.Phi)
 	}
 }
 

@@ -66,6 +66,10 @@ const (
 	KindRetry
 	// KindBreaker: one circuit-breaker decision at a stage boundary.
 	KindBreaker
+	// KindAllocCache: one warm-start cache lookup by the allocator.
+	KindAllocCache
+	// KindAllocDone: one completed allocation solve, any backend.
+	KindAllocDone
 )
 
 // Event is one structured pipeline event.
@@ -271,6 +275,32 @@ type Breaker struct {
 
 // Kind implements Event.
 func (Breaker) Kind() Kind { return KindBreaker }
+
+// AllocCache reports one warm-start cache lookup: Outcome is "hit" (an
+// exact entry replayed without solving), "seed" (a same-graph entry for
+// a different machine size rescaled into a warm start), or "miss". The
+// outcome sequence is deterministic for a given request sequence, so
+// folding it preserves registry determinism.
+type AllocCache struct {
+	Outcome string
+}
+
+// Kind implements Event.
+func (AllocCache) Kind() Kind { return KindAllocCache }
+
+// AllocDone reports one completed allocation solve. Backend names the
+// path that produced the allocation ("anneal", "admm", "heuristic", or
+// "cache" for a replayed exact hit); Phi is its exact objective.
+// Seconds is wall-clock solve time — consumers that promise
+// deterministic output must ignore it (the canonical fold does).
+type AllocDone struct {
+	Backend string
+	Phi     float64
+	Seconds float64
+}
+
+// Kind implements Event.
+func (AllocDone) Kind() Kind { return KindAllocDone }
 
 // Multi fans every event out to each non-nil observer. A result of nil
 // (no observers) preserves the nil fast path at the emit sites.

@@ -405,7 +405,7 @@ func CalibrateCtx(ctx context.Context, mp machine.Params, o obs.Observer) (*Cali
 	if len(sweep) < 2 {
 		sweep = []int{1, 2}
 	}
-	tf, err := calibrateTransfersCtx(ctx, mp, DefaultTransferConfigs(maxInt(4, mp.Procs)))
+	tf, err := calibrateTransfersCtx(ctx, mp, DefaultTransferConfigs(max(4, mp.Procs)))
 	if err != nil {
 		return nil, err
 	}
@@ -433,13 +433,6 @@ func CalibrateCtx(ctx context.Context, mp machine.Params, o obs.Observer) (*Cali
 		loops:     map[string]LoopFit{},
 		ob:        o,
 	}, nil
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 func kernelKey(k kernels.Kernel) string {

@@ -21,6 +21,7 @@ import (
 	"fmt"
 
 	"paradigm/internal/alloc"
+	"paradigm/internal/alloccache"
 	"paradigm/internal/ckpt"
 	"paradigm/internal/codegen"
 	"paradigm/internal/errs"
@@ -47,9 +48,29 @@ type (
 	// exporter and tests).
 	EventRecorder = obs.Recorder
 	// AllocOptions tunes the convex allocation (annealing schedule,
-	// multi-start, ablations, observer).
+	// multi-start, backend selection, warm-start cache, ablations,
+	// observer).
 	AllocOptions = alloc.Options
+	// ADMMOptions tunes the consensus-ADMM allocation backend
+	// (AllocOptions.Backend = "admm").
+	ADMMOptions = alloc.ADMMOptions
+	// AllocCache is the warm-start allocation cache: a bounded LRU keyed
+	// by the relabel-invariant canonical MDG hash, cost model, solve
+	// options and processor count. Share one across calls via
+	// AllocOptions.Cache to replay repeated allocations instantly and
+	// warm-start near misses.
+	AllocCache = alloccache.Cache
+	// AllocCacheEvent reports one warm-start cache lookup
+	// ("hit"/"seed"/"miss").
+	AllocCacheEvent = obs.AllocCache
+	// AllocDoneEvent reports one completed allocation solve with its
+	// backend and wall-clock seconds.
+	AllocDoneEvent = obs.AllocDone
 )
+
+// NewAllocCache returns an empty warm-start allocation cache holding at
+// most capacity entries.
+func NewAllocCache(capacity int) *AllocCache { return alloccache.New(capacity) }
 
 // NewMetrics returns an empty metrics registry.
 func NewMetrics() *Metrics { return obs.NewRegistry() }
