@@ -1,0 +1,91 @@
+// Command machinespec maintains the machine-spec database: list the
+// built-in machines, dump one as canonical JSON, validate spec files,
+// or export the whole database to a directory (how testdata/machines/
+// is generated).
+//
+//	machinespec -list
+//	machinespec -dump cm5-hetero8
+//	machinespec -check testdata/machines/*.json
+//	machinespec -export-dir testdata/machines
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"paradigm/internal/machine"
+)
+
+func main() {
+	var (
+		list      = flag.Bool("list", false, "list the built-in machine names")
+		dump      = flag.String("dump", "", "print a built-in machine's canonical spec JSON")
+		check     = flag.Bool("check", false, "validate the spec files given as arguments")
+		exportDir = flag.String("export-dir", "", "write every built-in spec to this directory as <name>.json")
+	)
+	flag.Parse()
+	if err := run(*list, *dump, *check, *exportDir, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "machinespec:", err)
+		os.Exit(1)
+	}
+}
+
+func run(list bool, dump string, check bool, exportDir string, args []string) error {
+	switch {
+	case list:
+		for _, name := range machine.BuiltinNames() {
+			s, _ := machine.Builtin(name)
+			fmt.Printf("%-16s %s, p=%d, hetero=%v\n", name, s.Name, s.Procs, len(s.Speeds) > 0)
+		}
+		return nil
+
+	case dump != "":
+		s, ok := machine.Builtin(dump)
+		if !ok {
+			return fmt.Errorf("no built-in machine %q", dump)
+		}
+		data, err := s.Canonical()
+		if err != nil {
+			return err
+		}
+		_, err = os.Stdout.Write(data)
+		return err
+
+	case check:
+		if len(args) == 0 {
+			return fmt.Errorf("-check needs spec file arguments")
+		}
+		for _, path := range args {
+			s, err := machine.LoadSpec(path)
+			if err != nil {
+				return fmt.Errorf("%s: %w", path, err)
+			}
+			if _, err := machine.FromSpec(s); err != nil {
+				return fmt.Errorf("%s: %w", path, err)
+			}
+			fmt.Printf("%s: ok (%s, p=%d)\n", path, s.Name, s.Procs)
+		}
+		return nil
+
+	case exportDir != "":
+		if err := os.MkdirAll(exportDir, 0o755); err != nil {
+			return err
+		}
+		for _, name := range machine.BuiltinNames() {
+			s, _ := machine.Builtin(name)
+			data, err := s.Canonical()
+			if err != nil {
+				return err
+			}
+			path := filepath.Join(exportDir, name+".json")
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", path)
+		}
+		return nil
+	}
+	return fmt.Errorf("one of -list, -dump, -check or -export-dir is required (see -h)")
+}

@@ -50,7 +50,7 @@ func main() {
 		traceOut = flag.String("trace", "", "write a unified Chrome/Perfetto trace to this file")
 		metrics  = flag.Bool("metrics", false, "print the pipeline metrics registry after the run")
 		pprofOut = flag.String("pprof", "", "write a CPU profile of the pipeline run to this file")
-		machName = flag.String("machine", "cm5", "machine profile: cm5 | paragon")
+		machName = flag.String("machine", "cm5", "machine: a builtin name (cm5, paragon, cm5-hetero8, paragon-memcap8) or a path to a machine-spec JSON file")
 		policy   = flag.String("policy", "est", "ready-queue policy: est | fifo | hlf")
 		depth    = flag.Int("depth", 1, "Strassen recursion depth (program strassen only)")
 		faults   = flag.String("faults", "", "fault schedule, e.g. 'kill:1@0.02,delay:3@0.005' or 'rand:42' (see cmd/paradigm/faults.go)")
@@ -79,13 +79,21 @@ func run(progName, mdgPath, srcPath, traceOut, pprofOut, machName, policy, fault
 	default:
 		return fmt.Errorf("unknown policy %q (want est, fifo or hlf)", policy)
 	}
+	// Machine resolution: the two classic profiles keep the historical
+	// trained (training-sets) path; any other builtin name or spec file
+	// loads through the machine database as a file backend, no
+	// calibration run needed.
+	var mb paradigm.MachineBackend
 	profile := paradigm.NewCM5
 	switch machName {
 	case "cm5":
 	case "paragon":
 		profile = paradigm.NewParagon
 	default:
-		return fmt.Errorf("unknown machine %q (want cm5 or paragon)", machName)
+		var merr error
+		if mb, merr = paradigm.ResolveMachine(machName); merr != nil {
+			return merr
+		}
 	}
 
 	if pprofOut != "" {
@@ -146,10 +154,36 @@ func run(progName, mdgPath, srcPath, traceOut, pprofOut, machName, policy, fault
 		calOpts = append(calOpts, paradigm.WithCheckpoint(cp))
 	}
 
-	m := profile(procs)
-	cal, err := paradigm.CalibrateContext(ctx, profile(64), calOpts...)
-	if err != nil {
-		return err
+	// The trained path calibrates; a resolved backend already carries its
+	// model. Either way src prices loops for the program builders and
+	// model drives allocation/scheduling.
+	var (
+		m     paradigm.Machine
+		cal   *paradigm.Calibration
+		src   paradigm.LoopSource
+		model paradigm.Model
+		err   error
+	)
+	if mb != nil {
+		m = mb.SimParams()
+		src = mb
+		model = paradigm.Model{Transfer: mb.Transfer()}
+		fmt.Printf("machine: %s (%s backend, native p=%d)\n\n", mb.Name(), mb.Kind(), mb.Procs())
+	} else {
+		m = profile(procs)
+		if cal, err = paradigm.CalibrateContext(ctx, profile(64), calOpts...); err != nil {
+			return err
+		}
+		src = cal
+		model = cal.Model()
+	}
+	if metrics {
+		// An info-style gauge names the machine in the -metrics dump.
+		name, kind := m.Name, paradigm.MachineTrained
+		if mb != nil {
+			name, kind = mb.Name(), mb.Kind()
+		}
+		reg.Gauge(fmt.Sprintf("machine_info{name=%q,kind=%q}", name, kind)).Set(1)
 	}
 
 	// Raw-MDG mode: allocate and schedule only (no kernels to simulate).
@@ -169,16 +203,16 @@ func run(progName, mdgPath, srcPath, traceOut, pprofOut, machName, policy, fault
 			fmt.Print(g.DOT(mdgPath))
 			return nil
 		}
-		return allocateAndSchedule(ctx, &g, cal.Model(), procs, pb, ob)
+		return allocateAndSchedule(ctx, &g, model, procs, pb, ob)
 	}
 
 	var p *paradigm.Program
 	if srcPath != "" {
-		src, err := os.ReadFile(srcPath)
+		text, err := os.ReadFile(srcPath)
 		if err != nil {
 			return err
 		}
-		p, err = paradigm.CompileSource(srcPath, string(src), cal)
+		p, err = paradigm.CompileSource(srcPath, string(text), src)
 		if err != nil {
 			return err
 		}
@@ -190,11 +224,11 @@ func run(progName, mdgPath, srcPath, traceOut, pprofOut, machName, policy, fault
 		}
 		return fmt.Errorf("one of -program, -src or -mdg is required (see -h)")
 	case "cmm":
-		p, err = paradigm.ComplexMatMul(size, cal)
+		p, err = paradigm.ComplexMatMul(size, src)
 	case "strassen":
-		p, err = paradigm.StrassenRecursive(2*size, depth, cal)
+		p, err = paradigm.StrassenRecursive(2*size, depth, src)
 	case "pipeline":
-		p, err = paradigm.SyntheticPipeline(size, 4, 3, cal)
+		p, err = paradigm.SyntheticPipeline(size, 4, 3, src)
 	case "example":
 		g := paradigm.FigureOneMDG()
 		if dot {
@@ -217,6 +251,9 @@ func run(progName, mdgPath, srcPath, traceOut, pprofOut, machName, policy, fault
 		paradigm.WithObserver(ob),
 		paradigm.WithScheduleOptions(paradigm.ScheduleOptions{PB: pb, Policy: pol}),
 	}
+	if mb != nil {
+		opts = append(opts, paradigm.WithMachine(mb))
+	}
 	if cp != nil {
 		opts = append(opts, paradigm.WithCheckpoint(cp))
 	}
@@ -234,8 +271,11 @@ func run(progName, mdgPath, srcPath, traceOut, pprofOut, machName, policy, fault
 			// The random schedule scales fail times by a fault-free
 			// pre-run's makespan (no observer: trace and metrics should
 			// describe the faulted run only).
-			clean, err := paradigm.RunContext(ctx, p, m, cal, procs,
-				paradigm.WithScheduleOptions(paradigm.ScheduleOptions{PB: pb, Policy: pol}))
+			preOpts := []paradigm.Option{paradigm.WithScheduleOptions(paradigm.ScheduleOptions{PB: pb, Policy: pol})}
+			if mb != nil {
+				preOpts = append(preOpts, paradigm.WithMachine(mb))
+			}
+			clean, err := paradigm.RunContext(ctx, p, m, cal, procs, preOpts...)
 			if err != nil {
 				return err
 			}
@@ -292,7 +332,11 @@ func run(progName, mdgPath, srcPath, traceOut, pprofOut, machName, policy, fault
 			return err
 		}
 		defer f.Close()
-		if err := trace.WriteUnified(f, p.G, res.Sched, res.Sim, rec.Events()); err != nil {
+		meta := trace.Meta{Machine: m.Name, MachineKind: string(paradigm.MachineTrained)}
+		if mb != nil {
+			meta = trace.Meta{Machine: mb.Name(), MachineKind: string(mb.Kind())}
+		}
+		if err := trace.WriteUnifiedMeta(f, p.G, res.Sched, res.Sim, rec.Events(), meta); err != nil {
 			return err
 		}
 		fmt.Printf("trace written to %s (%d events; open in chrome://tracing or Perfetto)\n",

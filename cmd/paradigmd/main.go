@@ -52,7 +52,7 @@ func main() {
 		workers = flag.Int("workers", 2, "concurrent pipeline workers")
 		queue   = flag.Int("queue", 16, "bounded submit queue size (full: 429)")
 		ckptDir = flag.String("checkpoint-dir", "", "directory for per-job write-ahead checkpoint logs (empty: no checkpointing)")
-		machine = flag.String("machine", "cm5", "machine profile: cm5 | paragon")
+		machine = flag.String("machine", "cm5", "machine: a builtin name (cm5, paragon, cm5-hetero8, paragon-memcap8) or a path to a machine-spec JSON file")
 		budget  = flag.Duration("stage-budget", 0, "per-stage deadline applied to every pipeline stage (0: unbounded)")
 		smoke   = flag.Bool("smoke", false, "start, run one job end to end, drain, and exit (CI smoke mode)")
 	)
@@ -64,22 +64,41 @@ func main() {
 }
 
 func run(addr, machine, ckptDir string, workers, queue int, budget time.Duration, smoke bool) error {
-	profile := paradigm.NewCM5
-	switch machine {
-	case "cm5":
-	case "paragon":
-		profile = paradigm.NewParagon
-	default:
-		return fmt.Errorf("unknown machine %q (want cm5 or paragon)", machine)
-	}
 	if workers < 1 || queue < 1 {
 		return fmt.Errorf("need at least one worker and a positive queue size")
 	}
-	cal, err := paradigm.Calibrate(profile(64))
-	if err != nil {
-		return err
+	// Machine resolution: the two classic profiles keep the historical
+	// trained (training-sets) path; any other builtin name or spec file
+	// loads through the machine database as a file backend.
+	var (
+		mach    machineModel
+		profile = paradigm.NewCM5
+	)
+	switch machine {
+	case "cm5", "paragon":
+		if machine == "paragon" {
+			profile = paradigm.NewParagon
+		}
+		cal, err := paradigm.Calibrate(profile(64))
+		if err != nil {
+			return err
+		}
+		mach = machineModel{
+			src: cal, cal: cal, profile: profile,
+			name: profile(64).Name, kind: paradigm.MachineTrained,
+		}
+	default:
+		mb, err := paradigm.ResolveMachine(machine)
+		if err != nil {
+			return err
+		}
+		mach = machineModel{
+			src: mb, backend: mb,
+			profile: func(p int) paradigm.Machine { return mb.SimParams().WithProcs(p) },
+			name:    mb.Name(), kind: mb.Kind(),
+		}
 	}
-	srv := newServer(cal, profile, ckptDir, queue, budget)
+	srv := newServer(mach, ckptDir, queue, budget)
 	srv.start(workers)
 
 	ln, err := net.Listen("tcp", addr)
@@ -92,7 +111,8 @@ func run(addr, machine, ckptDir string, workers, queue int, budget time.Duration
 	log.Printf("paradigmd listening on %s (%d workers, queue %d)", ln.Addr(), workers, queue)
 
 	if smoke {
-		if err := smokeCycle(ln.Addr().String()); err != nil {
+		machInfo := fmt.Sprintf("paradigmd_machine_info{name=%q,kind=%q} 1", mach.name, mach.kind)
+		if err := smokeCycle(ln.Addr().String(), machInfo); err != nil {
 			return fmt.Errorf("smoke: %w", err)
 		}
 		srv.drain()
@@ -150,9 +170,21 @@ type job struct {
 	p   *paradigm.Program
 }
 
+// machineModel bundles the service's resolved machine: a loop-pricing
+// source for the program builders, either a calibration (trained path)
+// or a backend (everything else) for the pipeline, and the label the
+// /metrics endpoint reports.
+type machineModel struct {
+	src     paradigm.LoopSource
+	cal     *paradigm.Calibration   // trained path only
+	backend paradigm.MachineBackend // file/analytical path only
+	profile func(int) paradigm.Machine
+	name    string
+	kind    paradigm.MachineKind
+}
+
 type server struct {
-	cal        *paradigm.Calibration
-	profile    func(int) paradigm.Machine
+	mach       machineModel
 	ckptDir    string
 	budgets    paradigm.StageBudgets
 	breaker    *paradigm.Breaker
@@ -172,11 +204,12 @@ type server struct {
 	done     atomic.Uint64
 }
 
-func newServer(cal *paradigm.Calibration, profile func(int) paradigm.Machine, ckptDir string, queue int, budget time.Duration) *server {
+func newServer(mach machineModel, ckptDir string, queue int, budget time.Duration) *server {
 	reg := paradigm.NewMetrics()
+	// An info-style gauge surfaces the resolved machine on /metrics.
+	reg.Gauge(fmt.Sprintf("paradigmd_machine_info{name=%q,kind=%q}", mach.name, mach.kind)).Set(1)
 	return &server{
-		cal:     cal,
-		profile: profile,
+		mach:    mach,
 		ckptDir: ckptDir,
 		budgets: paradigm.StageBudgets{
 			Calibrate: budget, Allocate: budget, Schedule: budget, Codegen: budget, Execute: budget,
@@ -283,9 +316,9 @@ func (s *server) execute(req jobRequest, id string) (*paradigm.Result, *paradigm
 	)
 	switch req.Program {
 	case "cmm":
-		p, err = paradigm.ComplexMatMul(req.Size, s.cal)
+		p, err = paradigm.ComplexMatMul(req.Size, s.mach.src)
 	case "strassen":
-		p, err = paradigm.Strassen(req.Size, s.cal)
+		p, err = paradigm.Strassen(req.Size, s.mach.src)
 	default:
 		return nil, nil, fmt.Errorf("unknown program %q (want cmm or strassen)", req.Program)
 	}
@@ -299,6 +332,9 @@ func (s *server) execute(req jobRequest, id string) (*paradigm.Result, *paradigm
 		paradigm.WithBreaker(s.breaker),
 		paradigm.WithRetry(paradigm.RetryPolicy{MaxAttempts: 2}),
 	}
+	if s.mach.backend != nil {
+		opts = append(opts, paradigm.WithMachine(s.mach.backend))
+	}
 	if req.Recover > 0 {
 		opts = append(opts, paradigm.WithRecovery(req.Recover))
 	}
@@ -310,7 +346,7 @@ func (s *server) execute(req jobRequest, id string) (*paradigm.Result, *paradigm
 		defer cp.Close()
 		opts = append(opts, paradigm.WithCheckpoint(cp))
 	}
-	res, err := paradigm.RunContext(context.Background(), p, s.profile(req.Procs), s.cal, req.Procs, opts...)
+	res, err := paradigm.RunContext(context.Background(), p, s.mach.profile(req.Procs), s.mach.cal, req.Procs, opts...)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -429,7 +465,7 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 // HTTP: the self-contained CI gate that the service starts, schedules,
 // answers, memoizes the repeated allocation in the warm-start cache, and
 // drains.
-func smokeCycle(addr string) error {
+func smokeCycle(addr, machInfo string) error {
 	base := "http://" + addr
 	id1, err := smokeSubmitAndWait(base)
 	if err != nil {
@@ -461,6 +497,7 @@ func smokeCycle(addr string) error {
 		"alloc_cache_miss_total 1",
 		"alloc_cache_hit_total 1",
 		"paradigmd_alloc_seconds_cache",
+		machInfo,
 	} {
 		if !strings.Contains(string(metrics), want) {
 			return fmt.Errorf("metrics missing %q:\n%s", want, metrics)

@@ -18,7 +18,14 @@ func testServer(t *testing.T, queue int, workers int) (*server, *httptest.Server
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := newServer(cal, paradigm.NewCM5, t.TempDir(), queue, 0)
+	mach := machineModel{
+		src:     cal,
+		cal:     cal,
+		profile: paradigm.NewCM5,
+		name:    "CM5",
+		kind:    paradigm.MachineTrained,
+	}
+	srv := newServer(mach, t.TempDir(), queue, 0)
 	srv.start(workers)
 	hs := httptest.NewServer(srv.handler())
 	t.Cleanup(hs.Close)

@@ -330,13 +330,13 @@ func (p *problem) solveADMM(ctx context.Context, seed []float64, opts Options) (
 	if !ao.SkipPolish {
 		res, perr := p.solveFrom(ctx, 0, bestZ, opts.Anneal, opts.Observer)
 		if perr == nil && isFinite(res.Phi) && res.Phi <= best.Phi {
-			res.Backend = "admm"
+			res.Backend = BackendADMM
 			return res, nil
 		}
 		if perr != nil && ctx.Err() != nil {
 			return Result{}, ctx.Err()
 		}
 	}
-	best.Backend = "admm"
+	best.Backend = BackendADMM
 	return best, nil
 }

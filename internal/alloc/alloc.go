@@ -65,13 +65,15 @@ type Options struct {
 	// optimum. <= 0 selects the default 2e-4. Only consulted when more
 	// than one start runs.
 	RaceTol float64
-	// Backend selects the solve strategy: "" or "anneal" runs the racing
-	// annealed multi-start (the default); "admm" runs the consensus-ADMM
-	// decomposition (admm.go), which partitions the MDG into overlapping
-	// subgraphs solved in parallel and agrees on shared nodes — faster on
-	// large graphs, approximate within the consensus tolerance. Any other
-	// value is an error.
-	Backend string
+	// Backend selects the solve strategy: BackendAuto or BackendAnneal
+	// runs the racing annealed multi-start (the default); BackendADMM
+	// runs the consensus-ADMM decomposition (admm.go), which partitions
+	// the MDG into overlapping subgraphs solved in parallel and agrees on
+	// shared nodes — faster on large graphs, approximate within the
+	// consensus tolerance. Any other value fails option validation with
+	// errs.ErrUnknownBackend. Untyped string literals still compile
+	// (Backend is a string type); ParseBackend covers CLI flags.
+	Backend Backend
 	// ADMM tunes the "admm" backend; ignored otherwise.
 	ADMM ADMMOptions
 	// Cache, when non-nil, memoizes solved allocations keyed by the
@@ -107,9 +109,10 @@ type Result struct {
 	// Solver carries the final-stage convex solver diagnostics (zero for
 	// a cache-replayed allocation: nothing was solved).
 	Solver convex.Result
-	// Backend names the path that produced the allocation: "anneal",
-	// "admm", "heuristic" (fallback), or "cache" (exact-hit replay).
-	Backend string
+	// Backend names the path that produced the allocation: BackendAnneal,
+	// BackendADMM, BackendHeuristic (fallback), or BackendCache
+	// (exact-hit replay).
+	Backend Backend
 	// CacheOutcome reports the warm-start cache lookup when a cache was
 	// configured: "hit", "seed", "miss", or "" (no cache).
 	CacheOutcome string
@@ -152,10 +155,8 @@ func SolveCtx(ctx context.Context, g *mdg.Graph, model costmodel.Model, procs in
 	if err := ctx.Err(); err != nil {
 		return Result{}, err
 	}
-	switch opts.Backend {
-	case "", "anneal", "admm":
-	default:
-		return Result{}, fmt.Errorf("alloc: unknown backend %q (want \"\", \"anneal\" or \"admm\")", opts.Backend)
+	if err := opts.Backend.Validate(); err != nil {
+		return Result{}, err
 	}
 	started := time.Now()
 	var seed []float64
@@ -170,10 +171,10 @@ func SolveCtx(ctx context.Context, g *mdg.Graph, model costmodel.Model, procs in
 			exactKey, nearKey = cacheKeys(hash, model, procs, opts)
 			if e, ok := opts.Cache.Get(exactKey); ok && e.Procs == procs && len(e.PCanon) == g.NumNodes() {
 				res := resultFromEntry(e, perm)
-				res.Backend, res.CacheOutcome = "cache", "hit"
+				res.Backend, res.CacheOutcome = BackendCache, "hit"
 				if opts.Observer != nil {
 					opts.Observer.Observe(obs.AllocCache{Outcome: "hit"})
-					opts.Observer.Observe(obs.AllocDone{Backend: res.Backend, Phi: res.Phi, Seconds: time.Since(started).Seconds()})
+					opts.Observer.Observe(obs.AllocDone{Backend: string(res.Backend), Phi: res.Phi, Seconds: time.Since(started).Seconds()})
 				}
 				return res, nil
 			}
@@ -195,7 +196,7 @@ func SolveCtx(ctx context.Context, g *mdg.Graph, model costmodel.Model, procs in
 		return Result{}, err
 	}
 	var res Result
-	if opts.Backend == "admm" {
+	if opts.Backend == BackendADMM {
 		res, err = prob.solveADMM(ctx, seed, opts)
 	} else {
 		res, err = prob.solveWithFallback(ctx, seed, opts)
@@ -208,7 +209,7 @@ func SolveCtx(ctx context.Context, g *mdg.Graph, model costmodel.Model, procs in
 		opts.Cache.Put(exactKey, nearKey, entryFromResult(res, perm, procs))
 	}
 	if opts.Observer != nil {
-		opts.Observer.Observe(obs.AllocDone{Backend: res.Backend, Phi: res.Phi, Seconds: time.Since(started).Seconds()})
+		opts.Observer.Observe(obs.AllocDone{Backend: string(res.Backend), Phi: res.Phi, Seconds: time.Since(started).Seconds()})
 	}
 	return res, nil
 }
@@ -222,7 +223,7 @@ func SolveCtx(ctx context.Context, g *mdg.Graph, model costmodel.Model, procs in
 func (p *problem) solveWithFallback(ctx context.Context, seed []float64, opts Options) (Result, error) {
 	res, err := p.solveMulti(ctx, 0, max(1, opts.MultiStart), seed, opts)
 	if err == nil && isFinite(res.Phi) {
-		res.Backend = "anneal"
+		res.Backend = BackendAnneal
 		return res, nil
 	}
 	if !opts.FallbackHeuristic {
@@ -249,7 +250,7 @@ func (p *problem) solveWithFallback(ctx context.Context, seed []float64, opts Op
 			return Result{}, cerr
 		}
 		if rerr == nil && isFinite(r.Phi) {
-			r.Backend = "anneal"
+			r.Backend = BackendAnneal
 			if opts.Observer != nil {
 				opts.Observer.Observe(obs.Replan{Stage: "multistart-retry", Procs: p.procs, Phi: r.Phi})
 			}
@@ -263,7 +264,7 @@ func (p *problem) solveWithFallback(ctx context.Context, seed []float64, opts Op
 		}
 		return Result{}, fmt.Errorf("alloc: convex solve failed (%v) and heuristic fallback failed: %w", err, herr)
 	}
-	hr.Backend = "heuristic"
+	hr.Backend = BackendHeuristic
 	if opts.Observer != nil {
 		opts.Observer.Observe(obs.Replan{Stage: "heuristic-fallback", Procs: p.procs, Phi: hr.Phi})
 	}

@@ -1,0 +1,65 @@
+// Typed allocation-backend selectors. Options.Backend used to be a bare
+// string validated deep inside SolveCtx; the typed constants move the
+// contract to the API surface, with errs.ErrUnknownBackend so callers
+// can dispatch on the failure, while ParseBackend keeps CLI flags as
+// plain strings.
+package alloc
+
+import (
+	"fmt"
+
+	"paradigm/internal/errs"
+)
+
+// Backend names an allocation solve strategy, and — on Result — the
+// path that actually produced an allocation.
+type Backend string
+
+const (
+	// BackendAuto selects the default strategy (the racing annealed
+	// multi-start).
+	BackendAuto Backend = ""
+	// BackendAnneal is the racing annealed multi-start (race.go).
+	BackendAnneal Backend = "anneal"
+	// BackendADMM is the consensus-ADMM decomposition (admm.go).
+	BackendADMM Backend = "admm"
+
+	// BackendHeuristic and BackendCache appear only as Result labels:
+	// the greedy fallback path and the warm-start cache's exact-hit
+	// replay. They are not selectable strategies.
+	BackendHeuristic Backend = "heuristic"
+	BackendCache     Backend = "cache"
+)
+
+// Validate reports ErrUnknownBackend for values that name no selectable
+// solve strategy.
+func (b Backend) Validate() error {
+	switch b {
+	case BackendAuto, BackendAnneal, BackendADMM:
+		return nil
+	}
+	return fmt.Errorf("alloc: %w: %q (want %q, %q or %q)",
+		errs.ErrUnknownBackend, string(b), BackendAuto, BackendAnneal, BackendADMM)
+}
+
+// String returns the backend label ("auto" for the empty default).
+func (b Backend) String() string {
+	if b == BackendAuto {
+		return "auto"
+	}
+	return string(b)
+}
+
+// ParseBackend maps a CLI string to a solve strategy: "", "auto" or
+// "anneal" for the default race, "admm" for the decomposition. Anything
+// else fails with ErrUnknownBackend.
+func ParseBackend(s string) (Backend, error) {
+	if s == "auto" {
+		return BackendAuto, nil
+	}
+	b := Backend(s)
+	if err := b.Validate(); err != nil {
+		return BackendAuto, err
+	}
+	return b, nil
+}

@@ -60,7 +60,7 @@ func (m Meta) Check(program string, procs, nodes int, mp machine.Params) error {
 		return fmt.Errorf("%w: log is for %q (p=%d, %d nodes), resuming %q (p=%d, %d nodes)",
 			ErrMismatch, m.Program, m.Procs, m.Nodes, program, procs, nodes)
 	}
-	if m.Machine != mp {
+	if !m.Machine.Equal(mp) {
 		return fmt.Errorf("%w: log is for machine %q, resuming on %q", ErrMismatch, m.Machine.Name, mp.Name)
 	}
 	return nil
@@ -368,7 +368,7 @@ func DecodeCalibration(data []byte, mp machine.Params) (trainsets.Snapshot, erro
 	if len(s.ProcSweep) == 0 {
 		return trainsets.Snapshot{}, fmt.Errorf("%w: calibrate: empty processor sweep", ErrCorrupt)
 	}
-	if s.Machine != mp {
+	if !s.Machine.Equal(mp) {
 		return trainsets.Snapshot{}, fmt.Errorf("%w: calibration is for machine %q, resuming on %q",
 			ErrMismatch, s.Machine.Name, mp.Name)
 	}

@@ -42,4 +42,14 @@ var (
 	// receiver blocked on a tag the fault plan discarded. Recoverable by
 	// replanning — no processor state was lost.
 	ErrMessageLost = errors.New("message lost")
+
+	// ErrUnknownBackend marks a backend selector that names no registered
+	// implementation: an alloc.Options.Backend outside the typed constant
+	// set, or a machine-model kind the library does not provide.
+	ErrUnknownBackend = errors.New("unknown backend")
+
+	// ErrBadMachineSpec marks a machine specification that failed
+	// validation on load: malformed JSON, unknown fields, non-finite or
+	// negative cost constants, or inconsistent per-processor tables.
+	ErrBadMachineSpec = errors.New("invalid machine spec")
 )

@@ -6,14 +6,15 @@ import (
 	"paradigm/internal/dist"
 	"paradigm/internal/errs"
 	"paradigm/internal/kernels"
+	"paradigm/internal/machine"
 	"paradigm/internal/prog"
-	"paradigm/internal/trainsets"
 )
 
 // Compile parses source text and lowers it to an executable MDG program,
-// calibrating each distinct loop shape through cal (the training-sets
-// path a real PARADIGM front-end would take).
-func Compile(name, src string, cal *trainsets.Calibration) (*prog.Program, error) {
+// pricing each distinct loop shape through any machine model — a
+// trained Calibration or another machine backend (the path a real
+// PARADIGM front-end would take).
+func Compile(name, src string, m machine.LoopSource) (*prog.Program, error) {
 	toks, err := lex(src)
 	if err != nil {
 		return nil, err
@@ -22,7 +23,7 @@ func Compile(name, src string, cal *trainsets.Calibration) (*prog.Program, error
 	if err != nil {
 		return nil, err
 	}
-	return compile(name, stmts, cal)
+	return compile(name, stmts, m)
 }
 
 // matInfo tracks a defined matrix during semantic analysis.
@@ -32,7 +33,7 @@ type matInfo struct {
 	axis       dist.Axis
 }
 
-func compile(name string, stmts []stmt, cal *trainsets.Calibration) (*prog.Program, error) {
+func compile(name string, stmts []stmt, src machine.LoopSource) (*prog.Program, error) {
 	params := map[string]int{}
 	mats := map[string]matInfo{}
 	b := prog.NewBuilder(name)
@@ -92,7 +93,7 @@ func compile(name string, stmts []stmt, cal *trainsets.Calibration) (*prog.Progr
 			}
 			k := kernels.Kernel{Op: kernels.OpInit, M: rows, N: cols, Init: s.gen.generator(genPhase)}
 			genPhase++
-			lp, err := cal.Loop(fmt.Sprintf("Matrix Init (%dx%d)", rows, cols), k)
+			lp, err := src.Loop(fmt.Sprintf("Matrix Init (%dx%d)", rows, cols), k)
 			if err != nil {
 				return nil, err
 			}
@@ -147,7 +148,7 @@ func compile(name string, stmts []stmt, cal *trainsets.Calibration) (*prog.Progr
 					costK.Grid = true
 					calName += " grid"
 				}
-				lp, err := cal.Loop(calName, costK)
+				lp, err := src.Loop(calName, costK)
 				if err != nil {
 					return matInfo{}, err
 				}

@@ -235,6 +235,15 @@ func (k Kernel) ProcTime(mp machine.Params, q, myExtent int) float64 {
 	}
 }
 
+// Shape returns the cost-relevant geometry, implementing
+// machine.LoopSpec: together with Validate and MaxProcTime it lets any
+// machine backend price this kernel without importing this package.
+func (k Kernel) Shape() machine.LoopShape {
+	return machine.LoopShape{Op: k.Op.String(), M: k.M, N: k.N, K: k.K, Grid: k.Grid}
+}
+
+var _ machine.LoopSpec = Kernel{}
+
 // OutputShape returns the produced matrix shape (0x0 for OpNone).
 func (k Kernel) OutputShape() (rows, cols int) {
 	if k.Op == OpNone {

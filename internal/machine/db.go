@@ -1,0 +1,77 @@
+// The built-in machine database: the two paper machines plus one
+// heterogeneous-speed and one memory-capacitated profile, the committed
+// JSON forms of which live in testdata/machines/. Resolve gives the CLI
+// its "-machine <name|path.json>" semantics: database names first, then
+// the filesystem.
+package machine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"paradigm/internal/errs"
+)
+
+// builtins maps database names to spec constructors. Constructors (not
+// values) keep every lookup independent — a caller mutating its Spec
+// cannot poison the database.
+var builtins = map[string]func() *Spec{
+	"cm5":     func() *Spec { return SpecFromParams(CM5(64)) },
+	"paragon": func() *Spec { return SpecFromParams(Paragon(64)) },
+	"cm5-hetero8": func() *Spec {
+		// An 8-node CM-5 with two double-speed nodes, four stock nodes
+		// and two half-speed nodes — the smallest profile that makes
+		// speed-aware placement observable end to end.
+		s := SpecFromParams(CM5(8))
+		s.Name = "CM5-hetero8"
+		s.Speeds = []float64{2, 2, 1, 1, 1, 1, 0.5, 0.5}
+		return s
+	},
+	"paragon-memcap8": func() *Spec {
+		// An 8-node Paragon with 32 MiB on half the nodes and 16 MiB on
+		// the other half — per-processor memory capacity as a first-class
+		// machine property.
+		s := SpecFromParams(Paragon(8))
+		s.Name = "Paragon-memcap8"
+		s.Interconnect = &Topology{Kind: "mesh", Dims: []int{4, 2}}
+		s.MemCapacity = []int64{
+			32 << 20, 32 << 20, 32 << 20, 32 << 20,
+			16 << 20, 16 << 20, 16 << 20, 16 << 20,
+		}
+		return s
+	},
+}
+
+// BuiltinNames lists the database names, sorted.
+func BuiltinNames() []string {
+	names := make([]string, 0, len(builtins))
+	for name := range builtins {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Builtin returns the database spec for a name (case-insensitive).
+func Builtin(name string) (*Spec, bool) {
+	ctor, ok := builtins[strings.ToLower(name)]
+	if !ok {
+		return nil, false
+	}
+	return ctor(), true
+}
+
+// Resolve maps a machine reference to a validated spec: built-in
+// database names first (case-insensitive), then a path to a JSON spec
+// file. A reference that is neither fails naming the available names.
+func Resolve(ref string) (*Spec, error) {
+	if s, ok := Builtin(ref); ok {
+		return s, nil
+	}
+	if strings.ContainsAny(ref, "/\\.") {
+		return LoadSpec(ref)
+	}
+	return nil, fmt.Errorf("machine: %w: %q is not a built-in machine (have %s) or a spec path",
+		errs.ErrUnknownBackend, ref, strings.Join(BuiltinNames(), ", "))
+}

@@ -1,0 +1,68 @@
+package machine
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"paradigm/internal/errs"
+)
+
+// FuzzMachineSpec drives arbitrary bytes through the strict spec
+// decoder. The contract: every rejection wraps ErrBadMachineSpec, and
+// every accepted spec lowers to a valid Params, builds a backend, and
+// reaches a canonical fixed point (decode → canonical → decode →
+// canonical is byte-stable).
+func FuzzMachineSpec(f *testing.F) {
+	for _, name := range BuiltinNames() {
+		s, _ := Builtin(name)
+		data, err := s.Canonical()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte(`{"name":"x","procs":1`))
+	f.Add([]byte(`{"name":"x","procs":2,"speeds":[1,-1]}`))
+	f.Add([]byte(`{"name":"x","procs":2,"mem_capacity":[0,1048576],"topology":{"kind":"mesh","dims":[2,1]}}`))
+	f.Add([]byte(`{"name":"x","procs":1,"transfer":{"t_ss":1e-3,"t_ps":0,"t_sr":0,"t_pr":0,"t_n":0}}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := DecodeSpec(data)
+		if err != nil {
+			if !errors.Is(err, errs.ErrBadMachineSpec) {
+				t.Fatalf("rejection %v does not wrap ErrBadMachineSpec", err)
+			}
+			return
+		}
+		p := s.Params()
+		if err := p.Validate(); err != nil {
+			t.Fatalf("accepted spec lowers to invalid params: %v\nspec: %s", err, data)
+		}
+		b, err := FromSpec(s)
+		if err != nil {
+			t.Fatalf("accepted spec refused a backend: %v", err)
+		}
+		tp := b.Transfer()
+		for _, v := range []float64{tp.Tss, tp.Tps, tp.Tsr, tp.Tpr, tp.Tn} {
+			if v < 0 || v != v {
+				t.Fatalf("backend transfer surface has invalid entry: %+v", tp)
+			}
+		}
+		c1, err := s.Canonical()
+		if err != nil {
+			t.Fatalf("canonical: %v", err)
+		}
+		s2, err := DecodeSpec(c1)
+		if err != nil {
+			t.Fatalf("canonical form rejected: %v\n%s", err, c1)
+		}
+		c2, err := s2.Canonical()
+		if err != nil {
+			t.Fatalf("re-canonical: %v", err)
+		}
+		if !bytes.Equal(c1, c2) {
+			t.Fatalf("canonical form not a fixed point:\n%s\nvs\n%s", c1, c2)
+		}
+	})
+}

@@ -18,7 +18,10 @@
 // All times are in seconds.
 package machine
 
-import "fmt"
+import (
+	"fmt"
+	"slices"
+)
 
 // Params is the ground truth describing one machine configuration.
 type Params struct {
@@ -67,6 +70,67 @@ type Params struct {
 	// (ablation A7 sweeps it).
 	JitterFrac float64
 	JitterSeed uint64
+
+	// Speeds holds per-processor relative speed multipliers for
+	// heterogeneous machines: processor i executes compute kernels
+	// Speeds[i] times faster than the base constants above. Empty means
+	// homogeneous (every processor at speed 1), which keeps the simulator
+	// arithmetic bit-identical to the pre-heterogeneity pipeline. When
+	// non-empty the length must equal Procs and every entry must be
+	// positive. JSON key kept at the default field name but omitted when
+	// empty so homogeneous checkpoint payloads do not change shape.
+	Speeds []float64 `json:",omitempty"`
+	// MemCapacity holds per-processor memory capacities in bytes. Empty
+	// means unbounded; a zero entry also means unbounded for that
+	// processor. Carried as a first-class machine property for
+	// capacity-aware allocation (ROADMAP item 3); the current pipeline
+	// records and validates it but does not yet enforce it.
+	MemCapacity []int64 `json:",omitempty"`
+}
+
+// SpeedOf returns processor proc's relative speed multiplier: 1 for
+// homogeneous profiles or out-of-range indices.
+func (p Params) SpeedOf(proc int) float64 {
+	if proc < 0 || proc >= len(p.Speeds) {
+		return 1
+	}
+	return p.Speeds[proc]
+}
+
+// CapacityOf returns processor proc's memory capacity in bytes, 0
+// meaning unbounded.
+func (p Params) CapacityOf(proc int) int64 {
+	if proc < 0 || proc >= len(p.MemCapacity) {
+		return 0
+	}
+	return p.MemCapacity[proc]
+}
+
+// Heterogeneous reports whether any per-processor speed differs from 1.
+func (p Params) Heterogeneous() bool {
+	for _, s := range p.Speeds {
+		if s != 1 {
+			return true
+		}
+	}
+	return false
+}
+
+// Equal compares two profiles field by field, including the
+// per-processor tables. Params is no longer comparable with == (it
+// carries slices), so identity checks — checkpoint resume validation in
+// particular — go through this.
+func (p Params) Equal(q Params) bool {
+	return p.Name == q.Name && p.Procs == q.Procs &&
+		p.SendStartup == q.SendStartup && p.SendPerByte == q.SendPerByte &&
+		p.RecvStartup == q.RecvStartup && p.RecvPerByte == q.RecvPerByte &&
+		p.NetPerByte == q.NetPerByte && p.MsgMatchOverhead == q.MsgMatchOverhead &&
+		p.CopyPerByte == q.CopyPerByte &&
+		p.FMATime == q.FMATime && p.AddElemTime == q.AddElemTime &&
+		p.InitElemTime == q.InitElemTime && p.LoopOverhead == q.LoopOverhead &&
+		p.CollStartup == q.CollStartup && p.CollPerByte == q.CollPerByte &&
+		p.JitterFrac == q.JitterFrac && p.JitterSeed == q.JitterSeed &&
+		slices.Equal(p.Speeds, q.Speeds) && slices.Equal(p.MemCapacity, q.MemCapacity)
 }
 
 // Jitter returns the multiplicative execution-noise factor for one
@@ -109,13 +173,51 @@ func (p Params) Validate() error {
 			return fmt.Errorf("machine: %s = %v, want >= 0", c.name, c.v)
 		}
 	}
+	if len(p.Speeds) != 0 && len(p.Speeds) != p.Procs {
+		return fmt.Errorf("machine: %d speed entries for %d processors", len(p.Speeds), p.Procs)
+	}
+	for i, s := range p.Speeds {
+		if !(s > 0) { // also rejects NaN
+			return fmt.Errorf("machine: Speeds[%d] = %v, want > 0", i, s)
+		}
+	}
+	if len(p.MemCapacity) != 0 && len(p.MemCapacity) != p.Procs {
+		return fmt.Errorf("machine: %d capacity entries for %d processors", len(p.MemCapacity), p.Procs)
+	}
+	for i, c := range p.MemCapacity {
+		if c < 0 {
+			return fmt.Errorf("machine: MemCapacity[%d] = %d, want >= 0", i, c)
+		}
+	}
 	return nil
 }
 
-// WithProcs returns a copy of the profile resized to n processors.
+// WithProcs returns a copy of the profile resized to n processors. A
+// heterogeneous speed (or capacity) table is truncated or padded — with
+// speed 1 / unbounded capacity — to the new size, so a recovery replan
+// on fewer survivors keeps a valid profile.
 func (p Params) WithProcs(n int) Params {
 	p.Procs = n
+	p.Speeds = resizeTable(p.Speeds, n, 1)
+	p.MemCapacity = resizeTable(p.MemCapacity, n, 0)
 	return p
+}
+
+// resizeTable truncates or pads a per-processor table to n entries,
+// leaving empty (homogeneous/unbounded) tables empty.
+func resizeTable[T any](t []T, n int, pad T) []T {
+	if len(t) == 0 || len(t) == n {
+		return t
+	}
+	if n < 0 {
+		n = 0
+	}
+	out := make([]T, n)
+	copied := copy(out, t)
+	for i := copied; i < n; i++ {
+		out[i] = pad
+	}
+	return out
 }
 
 // CM5 returns a profile whose constants put the calibrated model

@@ -16,9 +16,9 @@ import (
 	"paradigm/internal/costmodel"
 	"paradigm/internal/dist"
 	"paradigm/internal/kernels"
+	"paradigm/internal/machine"
 	"paradigm/internal/mdg"
 	"paradigm/internal/prog"
-	"paradigm/internal/trainsets"
 )
 
 // FigureOneMDG reproduces the Section 1.2 example: three nodes, no data
@@ -44,8 +44,8 @@ func FigureOneMDG() *mdg.Graph {
 
 // loop returns calibrated Amdahl parameters for a kernel, naming it for
 // the Table 1 printer.
-func loop(cal *trainsets.Calibration, name string, k kernels.Kernel) (costmodel.LoopParams, error) {
-	return cal.Loop(name, k)
+func loop(src machine.LoopSource, name string, k kernels.Kernel) (costmodel.LoopParams, error) {
+	return src.Loop(name, k)
 }
 
 // ComplexMatMul builds the complex matrix multiplication program of
@@ -54,8 +54,8 @@ func loop(cal *trainsets.Calibration, name string, k kernels.Kernel) (costmodel.
 // four real multiplies, one subtraction (Cr = ArBr − AiBi) and one
 // addition (Ci = ArBi + AiBr). Every node distributes by rows, so all
 // transfers are 1D.
-func ComplexMatMul(n int, cal *trainsets.Calibration) (*prog.Program, error) {
-	return ComplexMatMulLayout(n, cal, false)
+func ComplexMatMul(n int, src machine.LoopSource) (*prog.Program, error) {
+	return ComplexMatMulLayout(n, src, false)
 }
 
 // ComplexMatMulLayout builds the complex matrix multiply with the four
@@ -63,7 +63,7 @@ func ComplexMatMul(n int, cal *trainsets.Calibration) (*prog.Program, error) {
 // paper's general-distribution extension, evaluated by experiment E12.
 // Init and combine nodes stay row-distributed, so the grid variant
 // exercises the L2G and G2L transfer kinds.
-func ComplexMatMulLayout(n int, cal *trainsets.Calibration, gridMuls bool) (*prog.Program, error) {
+func ComplexMatMulLayout(n int, src machine.LoopSource, gridMuls bool) (*prog.Program, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("programs: matrix size %d", n)
 	}
@@ -82,7 +82,7 @@ func ComplexMatMulLayout(n int, cal *trainsets.Calibration, gridMuls bool) (*pro
 	addK := kernels.Kernel{Op: kernels.OpAdd, M: n, N: n}
 	subK := kernels.Kernel{Op: kernels.OpSub, M: n, N: n}
 
-	lpInit, err := loop(cal, fmt.Sprintf("Matrix Init (%dx%d)", n, n), initK(0))
+	lpInit, err := loop(src, fmt.Sprintf("Matrix Init (%dx%d)", n, n), initK(0))
 	if err != nil {
 		return nil, err
 	}
@@ -94,11 +94,11 @@ func ComplexMatMulLayout(n int, cal *trainsets.Calibration, gridMuls bool) (*pro
 		mulCalName = fmt.Sprintf("Matrix Multiply grid (%dx%d)", n, n)
 		mulCalK.Grid = true
 	}
-	lpMul, err := loop(cal, mulCalName, mulCalK)
+	lpMul, err := loop(src, mulCalName, mulCalK)
 	if err != nil {
 		return nil, err
 	}
-	lpAdd, err := loop(cal, fmt.Sprintf("Matrix Addition (%dx%d)", n, n), addK)
+	lpAdd, err := loop(src, fmt.Sprintf("Matrix Addition (%dx%d)", n, n), addK)
 	if err != nil {
 		return nil, err
 	}
@@ -128,7 +128,7 @@ func ComplexMatMulLayout(n int, cal *trainsets.Calibration, gridMuls bool) (*pro
 // post-adds assembling C11, C12, C21, C22. All nodes distribute by rows
 // (1D transfers), matching the paper. The conceptual operands are
 // A = [A11 A12; A21 A22], B likewise, generated by AElem/BElem below.
-func Strassen(n int, cal *trainsets.Calibration) (*prog.Program, error) {
+func Strassen(n int, src machine.LoopSource) (*prog.Program, error) {
 	if n < 2 || n%2 != 0 {
 		return nil, fmt.Errorf("programs: Strassen needs an even size, got %d", n)
 	}
@@ -143,15 +143,15 @@ func Strassen(n int, cal *trainsets.Calibration) (*prog.Program, error) {
 	addK := kernels.Kernel{Op: kernels.OpAdd, M: h, N: h}
 	subK := kernels.Kernel{Op: kernels.OpSub, M: h, N: h}
 
-	lpInit, err := loop(cal, fmt.Sprintf("Matrix Init (%dx%d)", h, h), initK(AElem, 0, 0))
+	lpInit, err := loop(src, fmt.Sprintf("Matrix Init (%dx%d)", h, h), initK(AElem, 0, 0))
 	if err != nil {
 		return nil, err
 	}
-	lpMul, err := loop(cal, fmt.Sprintf("Matrix Multiply (%dx%d)", h, h), mulK)
+	lpMul, err := loop(src, fmt.Sprintf("Matrix Multiply (%dx%d)", h, h), mulK)
 	if err != nil {
 		return nil, err
 	}
-	lpAdd, err := loop(cal, fmt.Sprintf("Matrix Addition (%dx%d)", h, h), addK)
+	lpAdd, err := loop(src, fmt.Sprintf("Matrix Addition (%dx%d)", h, h), addK)
 	if err != nil {
 		return nil, err
 	}
@@ -249,7 +249,7 @@ func BElem(i, j int) float64 { return math.Cos(float64(2*i-j)/13.0) - 0.02*float
 // `depth` chained multiplies by the source operator; a final reduction
 // tree sums the branch outputs. The source entries are scaled so chained
 // products stay O(1).
-func SyntheticPipeline(n, width, depth int, cal *trainsets.Calibration) (*prog.Program, error) {
+func SyntheticPipeline(n, width, depth int, src machine.LoopSource) (*prog.Program, error) {
 	if n < 1 || width < 1 || depth < 1 {
 		return nil, fmt.Errorf("programs: invalid pipeline %dx%d over %d", width, depth, n)
 	}
@@ -258,15 +258,15 @@ func SyntheticPipeline(n, width, depth int, cal *trainsets.Calibration) (*prog.P
 		Init: func(i, j int) float64 { return float64(i+j+1) / float64(2*n*n) }}
 	mulK := kernels.Kernel{Op: kernels.OpMul, M: n, N: n, K: n}
 	addK := kernels.Kernel{Op: kernels.OpAdd, M: n, N: n}
-	lpInit, err := loop(cal, fmt.Sprintf("Matrix Init (%dx%d)", n, n), initK)
+	lpInit, err := loop(src, fmt.Sprintf("Matrix Init (%dx%d)", n, n), initK)
 	if err != nil {
 		return nil, err
 	}
-	lpMul, err := loop(cal, fmt.Sprintf("Matrix Multiply (%dx%d)", n, n), mulK)
+	lpMul, err := loop(src, fmt.Sprintf("Matrix Multiply (%dx%d)", n, n), mulK)
 	if err != nil {
 		return nil, err
 	}
-	lpAdd, err := loop(cal, fmt.Sprintf("Matrix Addition (%dx%d)", n, n), addK)
+	lpAdd, err := loop(src, fmt.Sprintf("Matrix Addition (%dx%d)", n, n), addK)
 	if err != nil {
 		return nil, err
 	}

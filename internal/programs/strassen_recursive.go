@@ -6,8 +6,8 @@ import (
 	"paradigm/internal/costmodel"
 	"paradigm/internal/dist"
 	"paradigm/internal/kernels"
+	"paradigm/internal/machine"
 	"paradigm/internal/prog"
-	"paradigm/internal/trainsets"
 )
 
 // StrassenRecursive builds Strassen's multiplication with the
@@ -23,7 +23,7 @@ import (
 // The conceptual operands are the same AElem/BElem matrices as Strassen's,
 // so every depth verifies against the same direct product. n must be
 // divisible by 2^depth.
-func StrassenRecursive(n, depth int, cal *trainsets.Calibration) (*prog.Program, error) {
+func StrassenRecursive(n, depth int, src machine.LoopSource) (*prog.Program, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("programs: matrix size %d", n)
 	}
@@ -34,11 +34,11 @@ func StrassenRecursive(n, depth int, cal *trainsets.Calibration) (*prog.Program,
 		return nil, fmt.Errorf("programs: size %d not divisible by 2^%d", n, depth)
 	}
 	b := prog.NewBuilder(fmt.Sprintf("strassen-rec-%dx%d-d%d", n, n, depth))
-	sb := &strassenBuilder{b: b, cal: cal}
+	sb := &strassenBuilder{b: b, src: src}
 
 	initA := kernels.Kernel{Op: kernels.OpInit, M: n, N: n, Init: AElem}
 	initB := kernels.Kernel{Op: kernels.OpInit, M: n, N: n, Init: BElem}
-	lpInit, err := cal.Loop(fmt.Sprintf("Matrix Init (%dx%d)", n, n), initA)
+	lpInit, err := src.Loop(fmt.Sprintf("Matrix Init (%dx%d)", n, n), initA)
 	if err != nil {
 		return nil, err
 	}
@@ -54,7 +54,7 @@ func StrassenRecursive(n, depth int, cal *trainsets.Calibration) (*prog.Program,
 // strassenBuilder carries naming state through the recursion.
 type strassenBuilder struct {
 	b    *prog.Builder
-	cal  *trainsets.Calibration
+	src  machine.LoopSource
 	next int
 }
 
@@ -64,7 +64,7 @@ func (sb *strassenBuilder) fresh(prefix string) string {
 }
 
 func (sb *strassenBuilder) lp(name string, k kernels.Kernel) (costmodel.LoopParams, error) {
-	return sb.cal.Loop(name, k)
+	return sb.src.Loop(name, k)
 }
 
 // node adds a row-distributed node with calibrated parameters.

@@ -509,6 +509,12 @@ func execNode(res *Result, p *prog.Program, mp machine.Params, in codegen.Exec, 
 			}
 			cost = k.ProcTime(mp, q, extent)
 		}
+		// Heterogeneous profiles: processor-relative speed scales the
+		// compute cost (communication costs stay machine-wide). The guard
+		// keeps homogeneous runs bit-identical — no division is applied.
+		if s := mp.SpeedOf(proc); s != 1 {
+			cost /= s
+		}
 		if f := plan.SlowdownFor(int(in.Node), proc); f > 1 {
 			cost *= f
 			if ob != nil {

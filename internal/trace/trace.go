@@ -31,6 +31,10 @@ type event struct {
 type file struct {
 	TraceEvents []event `json:"traceEvents"`
 	DisplayUnit string  `json:"displayTimeUnit"`
+	// OtherData carries run-level annotations (Chrome trace format's
+	// free-form metadata object); omitted when empty so historical
+	// exports stay byte-identical.
+	OtherData map[string]string `json:"otherData,omitempty"`
 }
 
 const secToUs = 1e6

@@ -31,14 +31,37 @@ const (
 	pidSolver    = 3 // solver convergence, one counter track per start
 )
 
+// Meta carries run-level annotations into the trace file's metadata
+// object.
+type Meta struct {
+	// Machine names the machine model the run targeted (e.g. "CM5",
+	// "Paragon-memcap8"); empty omits the annotation.
+	Machine string
+	// MachineKind is the backend family ("trained", "analytical",
+	// "file"); empty omits the annotation.
+	MachineKind string
+}
+
 // WriteUnified exports the schedule, the simulated run, and the recorded
 // pipeline events as one trace file. events may be nil (the output then
 // matches WriteRun plus track metadata).
 func WriteUnified(w io.Writer, g *mdg.Graph, s *sched.Schedule, r *sim.Result, events []obs.Event) error {
+	return WriteUnifiedMeta(w, g, s, r, events, Meta{})
+}
+
+// WriteUnifiedMeta is WriteUnified with run-level metadata attached; a
+// zero Meta writes an identical file.
+func WriteUnifiedMeta(w io.Writer, g *mdg.Graph, s *sched.Schedule, r *sim.Result, events []obs.Event, meta Meta) error {
 	if len(r.NodeStart) != g.NumNodes() {
 		return fmt.Errorf("trace: run covers %d nodes, graph has %d", len(r.NodeStart), g.NumNodes())
 	}
 	f := file{DisplayUnit: "ms"}
+	if meta.Machine != "" {
+		f.OtherData = map[string]string{"machine": meta.Machine}
+		if meta.MachineKind != "" {
+			f.OtherData["machine_kind"] = meta.MachineKind
+		}
+	}
 
 	// Named process tracks so Perfetto labels the pid groups.
 	for pid, name := range map[int]string{

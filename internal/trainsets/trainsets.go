@@ -29,7 +29,6 @@ import (
 
 	"paradigm/internal/costmodel"
 	"paradigm/internal/dist"
-	"paradigm/internal/kernels"
 	"paradigm/internal/machine"
 	"paradigm/internal/mdg"
 	"paradigm/internal/obs"
@@ -91,9 +90,10 @@ type LoopFit struct {
 	Samples []LoopSample
 }
 
-// CalibrateLoop measures kernel k at each processor count and fits
-// Amdahl's law: t(q) = ατ + (1-α)τ/q is linear in (ατ, (1-α)τ).
-func CalibrateLoop(mp machine.Params, name string, k kernels.Kernel, procCounts []int) (LoopFit, error) {
+// CalibrateLoop measures loop nest k at each processor count and fits
+// Amdahl's law: t(q) = ατ + (1-α)τ/q is linear in (ατ, (1-α)τ). Any
+// machine.LoopSpec works; internal/kernels.Kernel is the usual one.
+func CalibrateLoop(mp machine.Params, name string, k machine.LoopSpec, procCounts []int) (LoopFit, error) {
 	if err := k.Validate(); err != nil {
 		return LoopFit{}, err
 	}
@@ -435,26 +435,20 @@ func CalibrateCtx(ctx context.Context, mp machine.Params, o obs.Observer) (*Cali
 	}, nil
 }
 
-func kernelKey(k kernels.Kernel) string {
-	layout := "linear"
-	if k.Grid {
-		layout = "grid"
-	}
-	return fmt.Sprintf("%s:%dx%dx%d:%s", k.Op, k.M, k.N, k.K, layout)
-}
-
 // Loop returns the fitted Amdahl parameters for a kernel shape, running
 // the calibration on first use. Safe for concurrent callers; a cache miss
 // calibrates outside the lock (the fit is deterministic, so a racing
-// duplicate computes the identical value).
-func (c *Calibration) Loop(name string, k kernels.Kernel) (costmodel.LoopParams, error) {
+// duplicate computes the identical value). The signature satisfies
+// machine.LoopSource, so a Calibration plugs directly into the program
+// builders.
+func (c *Calibration) Loop(name string, k machine.LoopSpec) (costmodel.LoopParams, error) {
 	lf, err := c.LoopFit(name, k)
 	return lf.Params, err
 }
 
 // LoopFit returns the cached full fit for a kernel, calibrating if needed.
-func (c *Calibration) LoopFit(name string, k kernels.Kernel) (LoopFit, error) {
-	key := kernelKey(k)
+func (c *Calibration) LoopFit(name string, k machine.LoopSpec) (LoopFit, error) {
+	key := k.Shape().Key()
 	c.mu.Lock()
 	lf, ok := c.loops[key]
 	c.mu.Unlock()

@@ -24,7 +24,9 @@ import (
 	"paradigm/internal/alloccache"
 	"paradigm/internal/ckpt"
 	"paradigm/internal/codegen"
+	"paradigm/internal/costmodel"
 	"paradigm/internal/errs"
+	"paradigm/internal/machine"
 	"paradigm/internal/obs"
 	"paradigm/internal/sched"
 	"paradigm/internal/sim"
@@ -117,6 +119,9 @@ type config struct {
 	observer Observer
 	sched    ScheduleOptions
 	alloc    AllocOptions
+	// mach, when non-nil, supplies the machine model in place of the
+	// positional Machine/Calibration arguments (WithMachine).
+	mach machine.Backend
 	// faults is the fault schedule handed to the simulator (nil: none).
 	faults *FaultPlan
 	// recoverMax bounds failure-aware rescheduling attempts (0: off).
@@ -168,6 +173,38 @@ func newConfig(opts []Option) config {
 	return c
 }
 
+// machineParams resolves the simulator ground truth for a call: a
+// WithMachine backend wins over the positional profile.
+func (c *config) machineParams(m Machine) Machine {
+	if c.mach != nil {
+		return c.mach.SimParams()
+	}
+	return m
+}
+
+// pipelineModel resolves the analytic cost model and the loop-pricing
+// source for a call: the WithMachine backend when set, the positional
+// calibration otherwise. A nil calibration without a backend is the
+// caller's error.
+func (c *config) pipelineModel(cal *Calibration) (Model, LoopSource, error) {
+	if c.mach != nil {
+		return costmodel.Model{Transfer: c.mach.Transfer()}, c.mach, nil
+	}
+	if cal == nil {
+		return Model{}, nil, fmt.Errorf("paradigm: %w: nil Calibration and no WithMachine backend", errs.ErrBadMachineSpec)
+	}
+	return cal.Model(), cal, nil
+}
+
+// allocModel applies the WithMachine transfer surface over a
+// positionally supplied model.
+func (c *config) allocModel(model Model) Model {
+	if c.mach != nil {
+		return costmodel.Model{Transfer: c.mach.Transfer()}
+	}
+	return model
+}
+
 // CalibrateContext runs the training-sets calibration with cancellation
 // and instrumentation: the transfer sweep honours ctx, and every
 // completed fit emits a CalibFit event to the observer. With a
@@ -214,7 +251,7 @@ func CalibrateContext(ctx context.Context, m Machine, opts ...Option) (cal *Cali
 func AllocateContext(ctx context.Context, g *Graph, model Model, procs int, opts ...Option) (ar Allocation, err error) {
 	defer guardStage("allocate", &err)
 	c := newConfig(opts)
-	return c.allocStage(ctx, g, model, procs)
+	return c.allocStage(ctx, g, c.allocModel(model), procs)
 }
 
 // BuildScheduleContext runs the PSA of Section 3 on a continuous
@@ -227,7 +264,7 @@ func BuildScheduleContext(ctx context.Context, g *Graph, model Model, allocation
 		return nil, err
 	}
 	c := newConfig(opts)
-	return c.schedStage(ctx, g, model, allocation, procs)
+	return c.schedStage(ctx, g, c.allocModel(model), allocation, procs)
 }
 
 // codegenStage is the governed lowering stage shared by ExecuteContext
@@ -275,7 +312,7 @@ func ExecuteContext(ctx context.Context, p *Program, s *Schedule, m Machine, opt
 	}
 	sctx, cancel := stageContext(ctx, c.budgets.Execute)
 	defer cancel()
-	res, err = sim.RunCtx(sctx, p, streams, m, sim.Options{
+	res, err = sim.RunCtx(sctx, p, streams, c.machineParams(m), sim.Options{
 		Observer: c.observer, Faults: c.faults, VirtualDeadline: c.deadline,
 	})
 	return res, budgetErr(ctx, "execute", c.budgets.Execute, err)
@@ -292,10 +329,14 @@ func ExecuteContext(ctx context.Context, p *Program, s *Schedule, m Machine, opt
 func RunContext(ctx context.Context, p *Program, m Machine, cal *Calibration, procs int, opts ...Option) (res *Result, err error) {
 	defer guardStage("run", &err)
 	c := newConfig(opts)
-	if err := c.ckptBindRun(p, m.WithProcs(procs), procs); err != nil {
+	mp := c.machineParams(m)
+	model, src, err := c.pipelineModel(cal)
+	if err != nil {
 		return nil, err
 	}
-	model := cal.Model()
+	if err := c.ckptBindRun(p, mp.WithProcs(procs), procs); err != nil {
+		return nil, err
+	}
 	ar, err := c.allocStage(ctx, p.G, model, procs)
 	if err != nil {
 		return nil, err
@@ -310,13 +351,13 @@ func RunContext(ctx context.Context, p *Program, m Machine, cal *Calibration, pr
 	}
 	sctx, cancel := stageContext(ctx, c.budgets.Execute)
 	defer cancel()
-	simRes, err := sim.RunCtx(sctx, p, streams, m.WithProcs(procs), sim.Options{
+	simRes, err := sim.RunCtx(sctx, p, streams, mp.WithProcs(procs), sim.Options{
 		Observer: c.observer, Faults: c.faults, VirtualDeadline: c.deadline,
 	})
 	if err != nil {
 		var halt *sim.HaltError
 		if c.recoverMax > 0 && errors.As(err, &halt) {
-			res, rerr := recoverRun(sctx, p, m, cal, procs, halt, &c)
+			res, rerr := recoverRun(sctx, p, mp, model, src, procs, halt, &c)
 			if rerr != nil {
 				return nil, budgetErr(ctx, "execute", c.budgets.Execute, rerr)
 			}
@@ -344,7 +385,11 @@ func RunSPMDContext(ctx context.Context, p *Program, m Machine, cal *Calibration
 		return nil, err
 	}
 	c := newConfig(opts)
-	model := cal.Model()
+	mp := c.machineParams(m)
+	model, _, err := c.pipelineModel(cal)
+	if err != nil {
+		return nil, err
+	}
 	ar, err := alloc.SPMD(p.G, model, procs)
 	if err != nil {
 		return nil, err
@@ -359,7 +404,7 @@ func RunSPMDContext(ctx context.Context, p *Program, m Machine, cal *Calibration
 	}
 	sctx, cancel := stageContext(ctx, c.budgets.Execute)
 	defer cancel()
-	simRes, err := sim.RunCtx(sctx, p, streams, m.WithProcs(procs), sim.Options{Observer: c.observer})
+	simRes, err := sim.RunCtx(sctx, p, streams, mp.WithProcs(procs), sim.Options{Observer: c.observer})
 	if err != nil {
 		return nil, budgetErr(ctx, "execute", c.budgets.Execute, err)
 	}

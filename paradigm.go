@@ -247,35 +247,36 @@ func Verify(p *Program, res *SimResult) (float64, error) {
 // --- Built-in test programs -------------------------------------------------
 
 // ComplexMatMul builds the paper's complex matrix multiplication program
-// (Figure 6 left) for n×n complex matrices.
-func ComplexMatMul(n int, cal *Calibration) (*Program, error) {
-	return programs.ComplexMatMul(n, cal)
+// (Figure 6 left) for n×n complex matrices. Loop costs come from any
+// machine model — a *Calibration or a MachineBackend.
+func ComplexMatMul(n int, src LoopSource) (*Program, error) {
+	return programs.ComplexMatMul(n, src)
 }
 
 // ComplexMatMulGrid builds the complex matrix multiply with the four
 // multiplies on grid (blocked-2D) distributions — the general-
 // distribution extension.
-func ComplexMatMulGrid(n int, cal *Calibration) (*Program, error) {
-	return programs.ComplexMatMulLayout(n, cal, true)
+func ComplexMatMulGrid(n int, src LoopSource) (*Program, error) {
+	return programs.ComplexMatMulLayout(n, src, true)
 }
 
 // Strassen builds the paper's Strassen program (Figure 6 right) for n×n
 // matrices (n even).
-func Strassen(n int, cal *Calibration) (*Program, error) {
-	return programs.Strassen(n, cal)
+func Strassen(n int, src LoopSource) (*Program, error) {
+	return programs.Strassen(n, src)
 }
 
 // StrassenRecursive builds Strassen's multiplication unfolded `depth`
 // levels at the MDG level (depth 1 matches the paper's program; depth 2
 // yields a 49-multiply MDG). n must be divisible by 2^depth.
-func StrassenRecursive(n, depth int, cal *Calibration) (*Program, error) {
-	return programs.StrassenRecursive(n, depth, cal)
+func StrassenRecursive(n, depth int, src LoopSource) (*Program, error) {
+	return programs.StrassenRecursive(n, depth, src)
 }
 
 // SyntheticPipeline builds a width×depth pipeline workload exposing
 // functional parallelism.
-func SyntheticPipeline(n, width, depth int, cal *Calibration) (*Program, error) {
-	return programs.SyntheticPipeline(n, width, depth, cal)
+func SyntheticPipeline(n, width, depth int, src LoopSource) (*Program, error) {
+	return programs.SyntheticPipeline(n, width, depth, src)
 }
 
 // FigureOneMDG returns the 3-node motivating example of Section 1.2.
@@ -283,9 +284,9 @@ func FigureOneMDG() *Graph { return programs.FigureOneMDG() }
 
 // CompileSource compiles a matrix-program source text (see
 // internal/frontend for the language) into an executable Program,
-// calibrating each loop shape through cal.
-func CompileSource(name, src string, cal *Calibration) (*Program, error) {
-	return frontend.Compile(name, src, cal)
+// pricing each loop shape through any machine model.
+func CompileSource(name, src string, m LoopSource) (*Program, error) {
+	return frontend.Compile(name, src, m)
 }
 
 // Speedup is a convenience: serial time over parallel time; it errors on

@@ -100,7 +100,7 @@ func WithVirtualDeadline(d float64) Option {
 // survivors, and re-execution. The re-run is fault-free (the fail-stop
 // burst already happened; the paper's single-fault-window model), so
 // further halts can only come from genuine planning errors.
-func recoverRun(ctx context.Context, p *Program, m Machine, cal *Calibration, procs int, halt *sim.HaltError, c *config) (*Result, error) {
+func recoverRun(ctx context.Context, p *Program, m Machine, model Model, src LoopSource, procs int, halt *sim.HaltError, c *config) (*Result, error) {
 	curP, curProcs := p, procs
 	for attempt := 1; ; attempt++ {
 		if err := ctx.Err(); err != nil {
@@ -182,7 +182,7 @@ func recoverRun(ctx context.Context, p *Program, m Machine, cal *Calibration, pr
 		}
 
 		resProg, err := curP.Residual(restored, func(name string, k kernels.Kernel) (costmodel.LoopParams, error) {
-			return cal.Loop(name, k)
+			return src.Loop(name, k)
 		})
 		if err != nil {
 			return nil, err
@@ -194,7 +194,7 @@ func recoverRun(ctx context.Context, p *Program, m Machine, cal *Calibration, pr
 		// tuned for the original size is dropped when it no longer fits.
 		allocOpts := c.alloc
 		allocOpts.FallbackHeuristic = true
-		ar, err := alloc.SolveCtx(ctx, resProg.G, cal.Model(), survivors, allocOpts)
+		ar, err := alloc.SolveCtx(ctx, resProg.G, model, survivors, allocOpts)
 		if err != nil {
 			return nil, err
 		}
@@ -205,7 +205,7 @@ func recoverRun(ctx context.Context, p *Program, m Machine, cal *Calibration, pr
 		if schedOpts.PB > survivors {
 			schedOpts.PB = 0
 		}
-		s, err := sched.Run(resProg.G, cal.Model(), ar.P, survivors, schedOpts)
+		s, err := sched.Run(resProg.G, model, ar.P, survivors, schedOpts)
 		if err != nil {
 			return nil, err
 		}
