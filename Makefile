@@ -6,9 +6,9 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: ci fmt-check vet build test test-race race fuzz-smoke bench-smoke bench-current bench-json bench-pr2 bench-pr3 bench-pr5 bench-pr6 smoke-paradigmd
+.PHONY: ci fmt-check vet build test test-race race fuzz-smoke bench-smoke bench-current bench-json bench-pr2 bench-pr3 bench-pr5 bench-pr6 bench-pr8 smoke-paradigmd smoke-paradigmd-chaos
 
-ci: fmt-check vet build test-race fuzz-smoke bench-smoke bench-pr2 bench-pr3 bench-pr5 bench-pr6 smoke-paradigmd
+ci: fmt-check vet build test-race fuzz-smoke bench-smoke bench-pr2 bench-pr3 bench-pr5 bench-pr6 bench-pr8 smoke-paradigmd smoke-paradigmd-chaos
 
 # gofmt gate: fails listing the offending files, mutating nothing.
 fmt-check:
@@ -37,6 +37,7 @@ fuzz-smoke:
 	$(GO) test ./internal/oracle/ -run '^$$' -fuzz '^FuzzPSA$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/oracle/ -run '^$$' -fuzz '^FuzzMDGParse$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/ckpt/ -run '^$$' -fuzz '^FuzzWALDecode$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/jobstore/ -run '^$$' -fuzz '^FuzzJobJournalDecode$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/machine/ -run '^$$' -fuzz '^FuzzMachineSpec$$' -fuzztime $(FUZZTIME)
 
 # One iteration of the calibration- and allocation-path benchmarks: fast,
@@ -85,8 +86,23 @@ bench-pr6:
 	$(GO) test -run '^$$' -bench 'BenchmarkAllocSolve' -benchtime=1x -benchmem . | tee bench_pr6.txt
 	$(GO) run ./cmd/benchjson -current bench_pr6.txt -label "PR 6: solver raw speed (racing multi-start, warm cache, consensus ADMM)" -o BENCH_PR6.json
 
+# PR 8 durability benchmarks: the submit path over live HTTP without vs
+# with the job journal's commit-before-acknowledge — the <5% overhead
+# budget of the durable accept path — folded into BENCH_PR8.json for
+# the trajectory harness.
+bench-pr8:
+	$(GO) test ./cmd/paradigmd/ -run '^$$' -bench 'BenchmarkSubmit' -benchtime=100x -benchmem | tee bench_pr8.txt
+	$(GO) run ./cmd/benchjson -current bench_pr8.txt -label "PR 8: durable job journal (submit path without vs with journal)" -o BENCH_PR8.json
+
 # Boot the scheduling service on an ephemeral port, submit a job, poll
 # it to completion, fetch its schedule and the metrics page, then drain:
 # the end-to-end smoke of cmd/paradigmd.
 smoke-paradigmd:
 	$(GO) run ./cmd/paradigmd -addr 127.0.0.1:0 -smoke
+
+# The service-level chaos gate: SIGKILL a paradigmd subprocess with
+# acknowledged jobs in flight, restart it on the same checkpoint
+# directory, and require every acknowledged job to finish byte-identical
+# (by result digest) to an oracle-validated crash-free run.
+smoke-paradigmd-chaos:
+	$(GO) test ./cmd/paradigmd/ -run '^TestChaosKillRestart$$' -count=1 -timeout 600s -v

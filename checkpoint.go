@@ -23,7 +23,11 @@
 package paradigm
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
 	"fmt"
+	"math"
 
 	"paradigm/internal/ckpt"
 	"paradigm/internal/obs"
@@ -105,6 +109,49 @@ func (cp *Checkpoint) Close() error { return cp.log.Close() }
 // obs.Resume event each) instead of recomputed. A nil cp is a no-op.
 func WithCheckpoint(cp *Checkpoint) Option {
 	return func(c *config) { c.ckpt = cp }
+}
+
+// Digest returns a stable hex fingerprint of the result's deterministic
+// content: the allocation vector and its objective decomposition, both
+// makespans, the full schedule snapshot, the simulated traffic
+// accounting, and the recovery trajectory. Every covered field is
+// bit-exact under checkpoint resume, so a resumed run's digest equals
+// the crash-free run's — the equality the service journals on job
+// completion and the chaos suite checks across a SIGKILL/restart cycle.
+// Wall-clock quantities and solver diagnostics are deliberately
+// excluded.
+func (r *Result) Digest() string {
+	h := sha256.New()
+	var buf [8]byte
+	wf := func(v float64) {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		h.Write(buf[:])
+	}
+	wi := func(v int) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(int64(v)))
+		h.Write(buf[:])
+	}
+	wi(len(r.Alloc.P))
+	for _, p := range r.Alloc.P {
+		wf(p)
+	}
+	wf(r.Alloc.Phi)
+	wf(r.Predicted)
+	wf(r.Actual)
+	if r.Sched != nil {
+		if payload, err := ckpt.EncodeSchedule(r.Sched); err == nil {
+			h.Write(payload)
+		}
+	}
+	if r.Sim != nil {
+		wi(r.Sim.Messages)
+		wi(r.Sim.NetworkBytes)
+	}
+	wi(r.RecoveryAttempts)
+	for _, p := range r.FailedProcs {
+		wi(p)
+	}
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // ckptActive reports whether a usable checkpoint is attached.

@@ -85,6 +85,9 @@ func requireIdenticalRuns(t *testing.T, name string, procs int, p *Program, ref,
 		t.Fatalf("traffic differs: %d/%d messages, %d/%d bytes",
 			ref.Sim.Messages, got.Sim.Messages, ref.Sim.NetworkBytes, got.Sim.NetworkBytes)
 	}
+	if a, b := ref.Digest(), got.Digest(); a != b {
+		t.Fatalf("result digests differ: %s vs %s", a, b)
+	}
 	refArrays, gotArrays := gatherAll(t, p, ref), gatherAll(t, p, got)
 	for name, rm := range refArrays {
 		gm := gotArrays[name]

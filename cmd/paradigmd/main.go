@@ -6,19 +6,33 @@
 // circuit breaker around the convex solve, and panic containment at
 // every boundary).
 //
+// With a -checkpoint-dir the service itself is crash-safe: every
+// accepted submit and every status transition is committed to a durable
+// job journal (jobs.journal, same CRC/commit-pointer discipline as the
+// per-job WALs) before it is acknowledged. On restart the journal is
+// replayed: finished jobs are reloaded with their result digests,
+// unfinished ones are re-enqueued and resume from their committed
+// per-job WAL stages, and a corrupt journal is refused with a typed
+// error rather than silently dropping accepted work. Completed jobs'
+// WALs are garbage-collected on committed completion (-wal-retain keeps
+// failed jobs' WALs for postmortem by default).
+//
 // Endpoints:
 //
 //	POST /jobs               {"program":"cmm","size":32,"procs":8}  -> 202 {"id":...}
+//	                         optional: "recover", "retries", "fault_seed"
 //	GET  /jobs               job summaries, submission order
-//	GET  /jobs/{id}          one job's status and result summary
+//	GET  /jobs/{id}          one job's status, result summary, digest
 //	GET  /jobs/{id}/schedule the finished schedule (text table)
 //	GET  /metrics            metrics registry, deterministic text form
-//	GET  /healthz            "ok" (200) or "draining" (503)
+//	GET  /healthz            JSON health: ok (200) | degraded (200) | draining (503)
+//	                         with queue depth, journal lag, breaker state
 //
 // Admission control: the submit queue is bounded; a full queue sheds
-// load with 429, a draining server refuses with 503. SIGTERM/SIGINT
-// starts a graceful drain — accepted jobs finish, new ones are refused,
-// then the listener shuts down.
+// load with 429, an oversized body is refused with 413, a draining
+// server refuses with 503. SIGTERM/SIGINT starts a graceful drain —
+// accepted jobs finish, new ones are refused, then the listener shuts
+// down.
 //
 //	paradigmd -addr :8080 -workers 2 -queue 16 -checkpoint-dir /var/lib/paradigm
 //	paradigmd -smoke   # self-contained start/submit/poll/drain cycle
@@ -37,6 +51,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -44,6 +59,20 @@ import (
 	"time"
 
 	"paradigm"
+	"paradigm/internal/jobstore"
+)
+
+// Submit-path limits and WAL retention policies.
+const (
+	// maxSubmitBytes bounds the submit body; larger requests are refused
+	// with 413 instead of silently truncated into JSON decode errors.
+	maxSubmitBytes = 1 << 16
+	// maxRetryBudget caps a job's requested allocation retry budget.
+	maxRetryBudget = 8
+
+	retainAll    = "all"
+	retainFailed = "failed"
+	retainNone   = "none"
 )
 
 func main() {
@@ -51,21 +80,28 @@ func main() {
 		addr    = flag.String("addr", "127.0.0.1:8080", "listen address")
 		workers = flag.Int("workers", 2, "concurrent pipeline workers")
 		queue   = flag.Int("queue", 16, "bounded submit queue size (full: 429)")
-		ckptDir = flag.String("checkpoint-dir", "", "directory for per-job write-ahead checkpoint logs (empty: no checkpointing)")
+		ckptDir = flag.String("checkpoint-dir", "", "directory for the durable job journal and per-job write-ahead checkpoint logs (empty: no durability)")
 		machine = flag.String("machine", "cm5", "machine: a builtin name (cm5, paragon, cm5-hetero8, paragon-memcap8) or a path to a machine-spec JSON file")
 		budget  = flag.Duration("stage-budget", 0, "per-stage deadline applied to every pipeline stage (0: unbounded)")
+		retain  = flag.String("wal-retain", retainFailed, "per-job WALs kept after a terminal state: all, failed (postmortem default), or none")
+		retries = flag.Int("retries", 2, "default per-job allocation retry budget (a job's retries field overrides, capped at 8)")
 		smoke   = flag.Bool("smoke", false, "start, run one job end to end, drain, and exit (CI smoke mode)")
 	)
 	flag.Parse()
-	if err := run(*addr, *machine, *ckptDir, *workers, *queue, *budget, *smoke); err != nil {
+	if err := run(*addr, *machine, *ckptDir, *workers, *queue, *budget, *retain, *retries, *smoke); err != nil {
 		fmt.Fprintln(os.Stderr, "paradigmd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, machine, ckptDir string, workers, queue int, budget time.Duration, smoke bool) error {
+func run(addr, machine, ckptDir string, workers, queue int, budget time.Duration, walRetain string, retries int, smoke bool) error {
 	if workers < 1 || queue < 1 {
 		return fmt.Errorf("need at least one worker and a positive queue size")
+	}
+	switch walRetain {
+	case retainAll, retainFailed, retainNone:
+	default:
+		return fmt.Errorf("-wal-retain %q: want all, failed, or none", walRetain)
 	}
 	// Machine resolution: the two classic profiles keep the historical
 	// trained (training-sets) path; any other builtin name or spec file
@@ -98,7 +134,10 @@ func run(addr, machine, ckptDir string, workers, queue int, budget time.Duration
 			name:    mb.Name(), kind: mb.Kind(),
 		}
 	}
-	srv := newServer(mach, ckptDir, queue, budget)
+	srv, err := newServer(mach, ckptDir, queue, budget, walRetain, retries)
+	if err != nil {
+		return err
+	}
 	srv.start(workers)
 
 	ln, err := net.Listen("tcp", addr)
@@ -108,7 +147,8 @@ func run(addr, machine, ckptDir string, workers, queue int, budget time.Duration
 	hs := &http.Server{Handler: srv.handler()}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()
-	log.Printf("paradigmd listening on %s (%d workers, queue %d)", ln.Addr(), workers, queue)
+	log.Printf("paradigmd listening on %s (%d workers, queue %d, %d jobs recovered)",
+		ln.Addr(), workers, cap(srv.queue), srv.backlog.Load())
 
 	if smoke {
 		machInfo := fmt.Sprintf("paradigmd_machine_info{name=%q,kind=%q} 1", mach.name, mach.kind)
@@ -145,10 +185,12 @@ func shutdownHTTP(hs *http.Server) {
 
 // jobRequest is the submit payload.
 type jobRequest struct {
-	Program string `json:"program"`           // cmm | strassen
-	Size    int    `json:"size"`              // matrix size
-	Procs   int    `json:"procs"`             // system size p
-	Recover int    `json:"recover,omitempty"` // max recovery attempts
+	Program   string `json:"program"`              // cmm | strassen
+	Size      int    `json:"size"`                 // matrix size
+	Procs     int    `json:"procs"`                // system size p
+	Recover   int    `json:"recover,omitempty"`    // max recovery attempts
+	Retries   int    `json:"retries,omitempty"`    // per-job alloc retry budget (0: server default)
+	FaultSeed uint64 `json:"fault_seed,omitempty"` // deterministic fault schedule seed (0: none)
 }
 
 // jobView is the status representation returned by the API.
@@ -161,6 +203,19 @@ type jobView struct {
 	Error   string  `json:"error,omitempty"`
 	Phi     float64 `json:"phi,omitempty"`
 	Actual  float64 `json:"actual,omitempty"`
+	// Digest fingerprints the deterministic result content; it survives
+	// restarts through the job journal.
+	Digest string `json:"digest,omitempty"`
+}
+
+// healthView is the /healthz body.
+type healthView struct {
+	State            string `json:"state"` // ok | degraded | draining
+	QueueDepth       int    `json:"queue_depth"`
+	QueueCap         int    `json:"queue_cap"`
+	JournalLag       int    `json:"journal_lag"`
+	Breaker          string `json:"breaker"`
+	RecoveredPending int    `json:"recovered_pending"`
 }
 
 type job struct {
@@ -168,6 +223,9 @@ type job struct {
 	req jobRequest
 	res *paradigm.Result
 	p   *paradigm.Program
+	// recovered marks a job re-enqueued from the journal at boot; the
+	// service reports degraded until this backlog clears.
+	recovered bool
 }
 
 // machineModel bundles the service's resolved machine: a loop-pricing
@@ -186,11 +244,14 @@ type machineModel struct {
 type server struct {
 	mach       machineModel
 	ckptDir    string
+	walRetain  string
+	retries    int
 	budgets    paradigm.StageBudgets
 	breaker    *paradigm.Breaker
 	reg        *paradigm.Metrics
 	obs        paradigm.Observer
 	allocCache *paradigm.AllocCache
+	journal    *jobstore.Journal
 
 	mu    sync.Mutex
 	jobs  map[string]*job
@@ -202,33 +263,111 @@ type server struct {
 	draining atomic.Bool
 	wg       sync.WaitGroup
 	done     atomic.Uint64
+	// backlog counts boot-recovered jobs not yet terminal.
+	backlog atomic.Int64
 }
 
-func newServer(mach machineModel, ckptDir string, queue int, budget time.Duration) *server {
+func newServer(mach machineModel, ckptDir string, queueCap int, budget time.Duration, walRetain string, retries int) (*server, error) {
 	reg := paradigm.NewMetrics()
 	// An info-style gauge surfaces the resolved machine on /metrics.
 	reg.Gauge(fmt.Sprintf("paradigmd_machine_info{name=%q,kind=%q}", mach.name, mach.kind)).Set(1)
-	return &server{
-		mach:    mach,
-		ckptDir: ckptDir,
+	s := &server{
+		mach:      mach,
+		ckptDir:   ckptDir,
+		walRetain: walRetain,
+		retries:   retries,
 		budgets: paradigm.StageBudgets{
 			Calibrate: budget, Allocate: budget, Schedule: budget, Codegen: budget, Execute: budget,
 		},
 		breaker: paradigm.NewBreaker(paradigm.BreakerOptions{}),
 		reg:     reg,
-		// The canonical fold contributes the deterministic counters
-		// (alloc_cache_*, alloc_solve_*); the latency observer adds the
-		// wall-clock per-backend solve histograms, which only a service —
-		// not the deterministic library fold — is allowed to record.
-		obs: paradigm.MultiObserver(paradigm.NewMetricsObserver(reg), allocLatencyObserver{reg}),
 		// One shared warm-start cache across jobs: resubmitting the same
 		// program/size/procs replays the allocation instantly, and a new
 		// procs for a known program warm-starts the solve.
 		allocCache: paradigm.NewAllocCache(128),
 		jobs:       map[string]*job{},
-		queue:      make(chan *job, queue),
 		drainCh:    make(chan struct{}),
 	}
+	// The canonical fold contributes the deterministic counters
+	// (alloc_cache_*, job_journal_*); the latency observer adds the
+	// wall-clock per-backend solve histograms, which only a service —
+	// not the deterministic library fold — is allowed to record.
+	s.obs = paradigm.MultiObserver(paradigm.NewMetricsObserver(reg), allocLatencyObserver{reg})
+
+	// Restart recovery: replay the durable job journal, reload finished
+	// jobs, and re-enqueue unfinished ones so they resume from their
+	// committed per-job WAL stages. A corrupt journal refuses boot.
+	var pending []*job
+	if ckptDir != "" {
+		journal, states, err := jobstore.Open(filepath.Join(ckptDir, jobstore.FileName), s.obs)
+		if err != nil {
+			return nil, err
+		}
+		s.journal = journal
+		pending = s.reloadJournal(states)
+		if len(pending) > queueCap {
+			// The recovered backlog must be admissible regardless of the
+			// configured bound; new submits still shed at the larger cap.
+			queueCap = len(pending)
+		}
+	}
+	s.queue = make(chan *job, queueCap)
+	for _, j := range pending {
+		s.queue <- j
+		s.backlog.Add(1)
+		// Journal the re-queue so the journal reflects every transition,
+		// restarts included. At boot an append failure is fatal: the
+		// service must not accept work it cannot journal.
+		if err := s.journal.AppendState(jobstore.State{ID: j.ID, Status: jobstore.StatusQueued}); err != nil {
+			return nil, err
+		}
+	}
+	s.updateLag()
+	return s, nil
+}
+
+// reloadJournal registers every journaled job: terminal jobs are
+// reloaded with their journaled outcome (and their WALs GC'd per the
+// retention policy), open jobs are returned for re-enqueueing. The id
+// counter resumes past the highest journaled id.
+func (s *server) reloadJournal(states []jobstore.JobState) []*job {
+	var pending []*job
+	maxID := 0
+	for _, st := range states {
+		j := &job{
+			req: jobRequest{
+				Program: st.Program, Size: st.Size, Procs: st.Procs,
+				Recover: st.Recover, Retries: st.Retries, FaultSeed: st.FaultSeed,
+			},
+			jobView: jobView{ID: st.ID, Program: st.Program, Size: st.Size, Procs: st.Procs},
+		}
+		if id, err := strconv.Atoi(st.ID); err == nil && id > maxID {
+			maxID = id
+		}
+		switch st.Status {
+		case jobstore.StatusDone:
+			j.Status = "done"
+			j.Phi, j.Actual, j.Digest = st.Phi, st.Actual, st.Digest
+			s.reg.Counter("paradigmd_jobs_reloaded_total").Inc()
+			// A crash between the journaled completion and the WAL GC
+			// leaves an orphan WAL; collect it now.
+			s.gcWAL(st.ID, true)
+		case jobstore.StatusFailed:
+			j.Status = "failed"
+			j.Error = st.Error
+			s.reg.Counter("paradigmd_jobs_reloaded_total").Inc()
+			s.gcWAL(st.ID, false)
+		default:
+			j.Status = "queued"
+			j.recovered = true
+			pending = append(pending, j)
+			s.reg.Counter("paradigmd_jobs_recovered_total").Inc()
+		}
+		s.jobs[j.ID] = j
+		s.order = append(s.order, j.ID)
+	}
+	s.next = maxID
+	return pending
 }
 
 // allocLatencyObserver records wall-clock allocation solve latency per
@@ -255,12 +394,26 @@ func (s *server) start(workers int) {
 }
 
 // drain stops admission, lets the workers finish every accepted job,
-// and returns when the queue is empty.
+// and returns when the queue is empty. The draining flag flips under
+// the submit lock, so a racing submit either sees it (503) or has
+// already enqueued — and the post-wait sweep runs anything the exited
+// workers left behind, so an accepted job is never silently dropped.
 func (s *server) drain() {
-	if s.draining.CompareAndSwap(false, true) {
+	s.mu.Lock()
+	first := s.draining.CompareAndSwap(false, true)
+	s.mu.Unlock()
+	if first {
 		close(s.drainCh)
 	}
 	s.wg.Wait()
+	for {
+		select {
+		case j := <-s.queue:
+			s.runJob(j)
+		default:
+			return
+		}
+	}
 }
 
 func (s *server) completed() uint64 { return s.done.Load() }
@@ -285,23 +438,73 @@ func (s *server) worker() {
 	}
 }
 
+// journalState appends one status transition to the job journal. At
+// runtime an append failure degrades durability but must not fail a job
+// whose result is already correct: it is logged and counted instead.
+func (s *server) journalState(st jobstore.State) {
+	if s.journal == nil {
+		return
+	}
+	if err := s.journal.AppendState(st); err != nil {
+		log.Printf("journal: %v", err)
+		s.reg.Counter("paradigmd_journal_errors_total").Inc()
+	}
+	s.updateLag()
+}
+
+// updateLag publishes the journal backlog gauge.
+func (s *server) updateLag() {
+	if s.journal != nil {
+		s.reg.Gauge("paradigmd_journal_lag").Set(float64(s.journal.Lag()))
+	}
+}
+
+// gcWAL applies the retention policy to a terminal job's WAL: completed
+// jobs' WALs are deleted once the completion is journaled (fixing the
+// unbounded per-job WAL leak), failed jobs' WALs are kept for
+// postmortem under the default policy.
+func (s *server) gcWAL(id string, success bool) {
+	if s.ckptDir == "" || s.walRetain == retainAll || (!success && s.walRetain != retainNone) {
+		return
+	}
+	path := filepath.Join(s.ckptDir, "job-"+id+".wal")
+	if err := os.Remove(path); err == nil {
+		s.reg.Counter("paradigmd_wal_gc_total").Inc()
+	} else if !os.IsNotExist(err) {
+		log.Printf("wal-gc %s: %v", path, err)
+	}
+}
+
 func (s *server) runJob(j *job) {
 	s.mu.Lock()
 	j.Status = "running"
 	s.mu.Unlock()
+	s.journalState(jobstore.State{ID: j.ID, Status: jobstore.StatusRunning})
 
 	res, p, err := s.execute(j.req, j.ID)
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	var st jobstore.State
 	if err != nil {
 		j.Status = "failed"
 		j.Error = err.Error()
+		st = jobstore.State{ID: j.ID, Status: jobstore.StatusFailed, Error: j.Error}
 		s.reg.Counter("paradigmd_jobs_failed_total").Inc()
 	} else {
 		j.Status = "done"
 		j.res, j.p = res, p
 		j.Phi, j.Actual = res.Alloc.Phi, res.Actual
+		j.Digest = res.Digest()
+		st = jobstore.State{ID: j.ID, Status: jobstore.StatusDone, Phi: j.Phi, Actual: j.Actual, Digest: j.Digest}
 		s.reg.Counter("paradigmd_jobs_completed_total").Inc()
+	}
+	recovered := j.recovered
+	s.mu.Unlock()
+	// The terminal transition is journaled before the WAL becomes
+	// eligible for collection: GC happens on *committed* completion.
+	s.journalState(st)
+	s.gcWAL(j.ID, err == nil)
+	if recovered {
+		s.backlog.Add(-1)
 	}
 	s.done.Add(1)
 }
@@ -325,15 +528,31 @@ func (s *server) execute(req jobRequest, id string) (*paradigm.Result, *paradigm
 	if err != nil {
 		return nil, nil, err
 	}
+	// Per-job retry budget: the request field overrides the server
+	// default, capped so a hostile submit cannot park a worker.
+	attempts := s.retries
+	if req.Retries > 0 {
+		attempts = req.Retries
+	}
+	attempts = min(attempts, maxRetryBudget)
 	opts := []paradigm.Option{
 		paradigm.WithObserver(s.obs),
-		paradigm.WithAllocOptions(paradigm.AllocOptions{Cache: s.allocCache}),
+		// Exact-only: a journaled digest must be reproducible from the
+		// job spec alone, so the cache may replay but never seed.
+		paradigm.WithAllocOptions(paradigm.AllocOptions{Cache: s.allocCache, CacheExactOnly: true}),
 		paradigm.WithStageBudgets(s.budgets),
 		paradigm.WithBreaker(s.breaker),
-		paradigm.WithRetry(paradigm.RetryPolicy{MaxAttempts: 2}),
+		paradigm.WithRetry(paradigm.RetryPolicy{MaxAttempts: attempts}),
 	}
 	if s.mach.backend != nil {
 		opts = append(opts, paradigm.WithMachine(s.mach.backend))
+	}
+	if req.FaultSeed != 0 {
+		plan, perr := s.faultPlan(req, p)
+		if perr != nil {
+			return nil, nil, perr
+		}
+		opts = append(opts, paradigm.WithFaultPlan(plan))
 	}
 	if req.Recover > 0 {
 		opts = append(opts, paradigm.WithRecovery(req.Recover))
@@ -353,6 +572,28 @@ func (s *server) execute(req jobRequest, id string) (*paradigm.Result, *paradigm
 	return res, p, nil
 }
 
+// faultPlan derives a job's deterministic fault schedule from its seed:
+// a fault-free pre-run (warm-starting the shared allocation cache, so
+// the faulted run replays the identical allocation) supplies the
+// makespan hint that scales fail times. Jobs that asked for recovery
+// lose one processor mid-run; every seeded job sees one delayed
+// message.
+func (s *server) faultPlan(req jobRequest, p *paradigm.Program) (*paradigm.FaultPlan, error) {
+	pre := []paradigm.Option{paradigm.WithAllocOptions(paradigm.AllocOptions{Cache: s.allocCache, CacheExactOnly: true})}
+	if s.mach.backend != nil {
+		pre = append(pre, paradigm.WithMachine(s.mach.backend))
+	}
+	clean, err := paradigm.RunContext(context.Background(), p, s.mach.profile(req.Procs), s.mach.cal, req.Procs, pre...)
+	if err != nil {
+		return nil, fmt.Errorf("fault-plan pre-run: %w", err)
+	}
+	o := paradigm.FaultRandOptions{Procs: req.Procs, MakespanHint: clean.Actual, MsgDelays: 1}
+	if req.Recover > 0 {
+		o.ProcFails = 1
+	}
+	return paradigm.RandomFaultPlan(req.FaultSeed, o)
+}
+
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/jobs", s.handleJobs)
@@ -360,14 +601,31 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		io.WriteString(w, s.reg.Snapshot().Text())
 	})
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		if s.draining.Load() {
-			http.Error(w, "draining", http.StatusServiceUnavailable)
-			return
-		}
-		io.WriteString(w, "ok\n")
-	})
+	mux.HandleFunc("/healthz", s.handleHealthz)
 	return mux
+}
+
+// handleHealthz reports ok, degraded, or draining: degraded while the
+// shared breaker is not closed (the solver is being shed to the
+// heuristic) or while boot-recovered jobs are still replaying.
+func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	breakerState, _ := s.breaker.Stats()
+	backlog := int(s.backlog.Load())
+	state, code := "ok", http.StatusOK
+	switch {
+	case s.draining.Load():
+		state, code = "draining", http.StatusServiceUnavailable
+	case breakerState != "closed" || backlog > 0:
+		state = "degraded"
+	}
+	lag := 0
+	if s.journal != nil {
+		lag = s.journal.Lag()
+	}
+	writeJSON(w, code, healthView{
+		State: state, QueueDepth: len(s.queue), QueueCap: cap(s.queue),
+		JournalLag: lag, Breaker: breakerState, RecoveredPending: backlog,
+	})
 }
 
 func (s *server) handleJobs(w http.ResponseWriter, r *http.Request) {
@@ -393,36 +651,78 @@ func (s *server) submit(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "draining", http.StatusServiceUnavailable)
 		return
 	}
+	// MaxBytesReader turns an oversized body into a typed error (and a
+	// clear 413) instead of a truncated payload's JSON decode error.
+	r.Body = http.MaxBytesReader(w, r.Body, maxSubmitBytes)
 	var req jobRequest
-	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&req); err != nil {
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.reg.Counter("paradigmd_jobs_rejected_total").Inc()
+			http.Error(w, fmt.Sprintf("request body exceeds the %d-byte submit limit", tooBig.Limit),
+				http.StatusRequestEntityTooLarge)
+			return
+		}
 		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if req.Program == "" {
+		http.Error(w, "program is required", http.StatusBadRequest)
 		return
 	}
 	if req.Size <= 0 || req.Procs <= 0 {
 		http.Error(w, "size and procs must be positive", http.StatusBadRequest)
 		return
 	}
+	if req.Recover < 0 || req.Retries < 0 {
+		http.Error(w, "recover and retries must be non-negative", http.StatusBadRequest)
+		return
+	}
 	s.mu.Lock()
-	s.next++
-	j := &job{req: req, jobView: jobView{
-		ID: fmt.Sprintf("%d", s.next), Program: req.Program,
-		Size: req.Size, Procs: req.Procs, Status: "queued",
-	}}
-	// The enqueue attempt is non-blocking, so it can stay under the
-	// lock: a job is registered if and only if it was admitted.
-	select {
-	case s.queue <- j:
-		s.jobs[j.ID] = j
-		s.order = append(s.order, j.ID)
+	// Re-check under the lock: drain() flips the flag while holding it,
+	// so a submit past this point is enqueued before the workers' final
+	// sweep — the drain/submit race cannot drop an accepted job.
+	if s.draining.Load() {
 		s.mu.Unlock()
-		s.reg.Counter("paradigmd_jobs_submitted_total").Inc()
-		writeJSON(w, http.StatusAccepted, map[string]string{"id": j.ID})
-	default:
-		// Load shed: the bounded queue is full.
+		s.reg.Counter("paradigmd_jobs_rejected_total").Inc()
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	// Only submits (under this lock) and boot recovery (before serving)
+	// send on the queue, so the capacity check makes the send below
+	// non-blocking: a job is registered iff it was admitted.
+	if len(s.queue) == cap(s.queue) {
 		s.mu.Unlock()
 		s.reg.Counter("paradigmd_jobs_rejected_total").Inc()
 		http.Error(w, "queue full", http.StatusTooManyRequests)
+		return
 	}
+	id := strconv.Itoa(s.next + 1)
+	// Durability before acknowledgement: the accepted submit is
+	// committed to the journal before the job exists anywhere else.
+	if s.journal != nil {
+		if err := s.journal.AppendSubmit(jobstore.Submit{
+			ID: id, Program: req.Program, Size: req.Size, Procs: req.Procs,
+			Recover: req.Recover, Retries: req.Retries, FaultSeed: req.FaultSeed,
+		}); err != nil {
+			s.mu.Unlock()
+			s.reg.Counter("paradigmd_journal_errors_total").Inc()
+			http.Error(w, "journal append failed: "+err.Error(), http.StatusInternalServerError)
+			return
+		}
+	}
+	s.next++
+	j := &job{req: req, jobView: jobView{
+		ID: id, Program: req.Program,
+		Size: req.Size, Procs: req.Procs, Status: "queued",
+	}}
+	s.jobs[id] = j
+	s.order = append(s.order, id)
+	s.queue <- j
+	s.mu.Unlock()
+	s.updateLag()
+	s.reg.Counter("paradigmd_jobs_submitted_total").Inc()
+	writeJSON(w, http.StatusAccepted, map[string]string{"id": id})
 }
 
 func (s *server) handleJob(w http.ResponseWriter, r *http.Request) {
@@ -446,6 +746,13 @@ func (s *server) handleJob(w http.ResponseWriter, r *http.Request) {
 		res, p, status := j.res, j.p, j.Status
 		s.mu.Unlock()
 		if res == nil {
+			if status == "done" {
+				// Reloaded from the journal: the digest survived the
+				// restart, the rendered schedule did not.
+				http.Error(w, "schedule not retained across restart; resubmit the job to regenerate it",
+					http.StatusGone)
+				return
+			}
 			http.Error(w, "job not finished: "+status, http.StatusConflict)
 			return
 		}
@@ -477,7 +784,21 @@ func smokeCycle(addr, machInfo string) error {
 		return fmt.Errorf("resubmit: %w", err)
 	}
 
-	resp, err := http.Get(base + "/jobs/" + id1 + "/schedule")
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		return err
+	}
+	var health healthView
+	err = json.NewDecoder(resp.Body).Decode(&health)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if health.State != "ok" || health.Breaker != "closed" {
+		return fmt.Errorf("healthz = %+v, want ok/closed", health)
+	}
+
+	resp, err = http.Get(base + "/jobs/" + id1 + "/schedule")
 	if err != nil {
 		return err
 	}
@@ -545,6 +866,9 @@ func smokeSubmitAndWait(base string) (string, error) {
 		if view.Status == "done" {
 			if view.Actual <= 0 {
 				return "", fmt.Errorf("done job reports non-positive makespan %v", view.Actual)
+			}
+			if view.Digest == "" {
+				return "", errors.New("done job reports no result digest")
 			}
 			return accepted.ID, nil
 		}

@@ -84,6 +84,13 @@ type Options struct {
 	// size seeds the race with a rescaled warm start. Lookups and
 	// inserts are safe for concurrent solves sharing one cache.
 	Cache *alloccache.Cache
+	// CacheExactOnly restricts the cache to exact-hit replay: near hits
+	// never seed the race, so the solved allocation is a pure function
+	// of (graph, model, options, procs) regardless of what the cache
+	// happens to hold. Long-lived services that journal result digests
+	// and must reproduce them byte-identically across restarts (with a
+	// cold cache) set this; one-shot CLI runs keep the seeded speedup.
+	CacheExactOnly bool
 	// Observer, when non-nil, receives one obs.SolverStage event per
 	// annealed temperature stage (per start), one obs.AllocCache event
 	// per cache lookup, and one obs.AllocDone event per completed solve.
@@ -178,7 +185,7 @@ func SolveCtx(ctx context.Context, g *mdg.Graph, model costmodel.Model, procs in
 				}
 				return res, nil
 			}
-			if e, ok := opts.Cache.GetNear(nearKey); ok && e.Procs >= 1 && len(e.PCanon) == g.NumNodes() {
+			if e, ok := opts.Cache.GetNear(nearKey); ok && !opts.CacheExactOnly && e.Procs >= 1 && len(e.PCanon) == g.NumNodes() {
 				seed = seedFromEntry(e, perm, procs)
 				outcome = "seed"
 			} else {

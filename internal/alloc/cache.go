@@ -46,6 +46,12 @@ func cacheKeys(hash string, model costmodel.Model, procs int, opts Options) (exa
 	if opts.IgnoreTransfers {
 		b.WriteString("|nt")
 	}
+	// Exact-only and seeded solves never share entries: a seeded solve's
+	// stored allocation can embed the seed's basin, which an exact-only
+	// caller must not replay.
+	if opts.CacheExactOnly {
+		b.WriteString("|xo")
+	}
 	near = b.String()
 	exact = fmt.Sprintf("%s|p%d", near, procs)
 	return exact, near

@@ -139,6 +139,56 @@ func TestCacheSeededSolveDeterministicAcrossWidths(t *testing.T) {
 	}
 }
 
+// TestCacheExactOnlyIgnoresNearHits pins the purity contract behind
+// CacheExactOnly: a primed near entry must not seed the race, so the
+// solve returns the cold allocation bit-for-bit regardless of cache
+// history — the property long-lived services rely on to reproduce
+// journaled result digests across restarts with a cold cache.
+func TestCacheExactOnlyIgnoresNearHits(t *testing.T) {
+	g := forkJoin(0.9)
+	cold, err := Solve(g, cm5Fit, 32, Options{MultiStart: 3, CacheExactOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := alloccache.New(8)
+	opts := Options{MultiStart: 3, Cache: cache, CacheExactOnly: true}
+	if _, err := Solve(g, cm5Fit, 16, opts); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Solve(g, cm5Fit, 32, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CacheOutcome != "miss" {
+		t.Fatalf("exact-only near lookup: outcome %q, want miss", res.CacheOutcome)
+	}
+	if res.Phi != cold.Phi {
+		t.Fatalf("exact-only solve diverged from cold: Φ %v vs %v", res.Phi, cold.Phi)
+	}
+	for i := range cold.P {
+		if res.P[i] != cold.P[i] {
+			t.Fatalf("exact-only P[%d] = %v, want cold %v", i, res.P[i], cold.P[i])
+		}
+	}
+	// Exact replay still works within the mode.
+	hit, err := Solve(g, cm5Fit, 32, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit.CacheOutcome != "hit" || hit.Backend != BackendCache {
+		t.Fatalf("exact-only repeat: outcome %q backend %q, want hit/cache", hit.CacheOutcome, hit.Backend)
+	}
+	// And entries never cross the mode boundary: a seeded-mode solve
+	// must not replay an exact-only entry.
+	crossed, err := Solve(g, cm5Fit, 32, Options{MultiStart: 3, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if crossed.CacheOutcome == "hit" {
+		t.Fatal("seeded-mode solve replayed an exact-only entry")
+	}
+}
+
 func TestCacheKeySeparatesSolveShape(t *testing.T) {
 	g := forkJoin(0.9)
 	cache := alloccache.New(8)

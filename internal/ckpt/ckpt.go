@@ -196,6 +196,14 @@ func (l *Log) Stages() []string {
 	return out
 }
 
+// Records returns the committed records in commit order. The slice is a
+// copy; payloads are shared. Stage-keyed consumers use Lookup — Records
+// serves append-only journals (the service job journal) that replay
+// every record, duplicates included.
+func (l *Log) Records() []Record {
+	return append([]Record(nil), l.records...)
+}
+
 // Lookup returns the payload and sequence number of the latest record
 // committed for stage.
 func (l *Log) Lookup(stage string) (payload []byte, seq int, ok bool) {
@@ -241,11 +249,16 @@ func (l *Log) Commit(stage string, payload []byte) error {
 		return fmt.Errorf("ckpt: invalid stage name %q", stage)
 	}
 	rec := encodeRecord(stage, payload)
-	if err := l.appendRecord(rec); err != nil {
+	// The committed-region CRC extends incrementally over the new record
+	// — recomputing it from scratch (setPointer) would rescan the whole
+	// log and turn an append-only journal quadratic.
+	crc := crc32.Update(currentCRC(l.encoded), crc32.IEEETable, rec)
+	if err := l.appendRecord(rec, crc); err != nil {
 		return err
 	}
 	l.encoded = append(l.encoded, rec...)
-	setPointer(l.encoded)
+	binary.LittleEndian.PutUint32(l.encoded[ptrOffset:], uint32(len(l.encoded)-headerLen))
+	binary.LittleEndian.PutUint32(l.encoded[ptrOffset+4:], crc)
 	l.records = append(l.records, Record{Stage: stage, Seq: len(l.records), Payload: append([]byte(nil), payload...)})
 	l.byStage[stage] = len(l.records) - 1
 	if l.onCommit != nil {
@@ -264,10 +277,11 @@ func (l *Log) CommitJSON(stage string, v any) error {
 }
 
 // appendRecord writes rec after the committed region and publishes it
-// by rewriting the 8-byte commit pointer in place. A failure after the
-// record write truncates the torn tail (best-effort) and leaves the
-// pointer — and therefore every reload — at the previous commit.
-func (l *Log) appendRecord(rec []byte) error {
+// by rewriting the 8-byte commit pointer in place, with crc the
+// committed-region CRC extended over rec. A failure after the record
+// write truncates the torn tail (best-effort) and leaves the pointer —
+// and therefore every reload — at the previous commit.
+func (l *Log) appendRecord(rec []byte, crc uint32) error {
 	if l.f == nil {
 		f, err := os.OpenFile(l.path, os.O_RDWR, 0o644)
 		if err != nil {
@@ -294,7 +308,7 @@ func (l *Log) appendRecord(rec []byte) error {
 	}
 	var ptr [8]byte
 	binary.LittleEndian.PutUint32(ptr[:4], uint32(int(off)-headerLen+len(rec)))
-	binary.LittleEndian.PutUint32(ptr[4:], crc32.Update(currentCRC(l.encoded), crc32.IEEETable, rec))
+	binary.LittleEndian.PutUint32(ptr[4:], crc)
 	if _, err := l.f.WriteAt(ptr[:], ptrOffset); err != nil {
 		l.f.Truncate(off)
 		return fmt.Errorf("ckpt: %w", err)

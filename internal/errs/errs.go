@@ -52,4 +52,10 @@ var (
 	// validation on load: malformed JSON, unknown fields, non-finite or
 	// negative cost constants, or inconsistent per-processor tables.
 	ErrBadMachineSpec = errors.New("invalid machine spec")
+
+	// ErrJobJournalCorrupt marks a service job journal that failed
+	// structural, CRC, or record validation on load: the scheduling
+	// service refuses to boot over it rather than silently dropping or
+	// inventing accepted jobs.
+	ErrJobJournalCorrupt = errors.New("corrupt job journal")
 )

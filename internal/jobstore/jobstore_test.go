@@ -1,0 +1,211 @@
+package jobstore
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"paradigm/internal/ckpt"
+	"paradigm/internal/errs"
+	"paradigm/internal/obs"
+)
+
+func submitN(t *testing.T, j *Journal, id string) {
+	t.Helper()
+	if err := j.AppendSubmit(Submit{ID: id, Program: "cmm", Size: 16, Procs: 4}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func state(t *testing.T, j *Journal, s State) {
+	t.Helper()
+	if err := j.AppendState(s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A journal round-trips through a close/reopen cycle: submits with no
+// terminal record come back open (the restart backlog), finished jobs
+// come back with their digest, and the lag accounting matches.
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), FileName)
+	j, states, err := Open(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(states) != 0 {
+		t.Fatalf("fresh journal replayed %d jobs", len(states))
+	}
+	submitN(t, j, "1")
+	submitN(t, j, "2")
+	submitN(t, j, "3")
+	state(t, j, State{ID: "1", Status: StatusRunning})
+	state(t, j, State{ID: "1", Status: StatusDone, Phi: 2.5, Actual: 1.25, Digest: "abc123"})
+	state(t, j, State{ID: "2", Status: StatusRunning})
+	state(t, j, State{ID: "3", Status: StatusFailed, Error: "unknown program"})
+	if got := j.Lag(); got != 1 {
+		t.Fatalf("lag = %d, want 1 (job 2 still open)", got)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, states, err := Open(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(states) != 3 {
+		t.Fatalf("replayed %d jobs, want 3", len(states))
+	}
+	want := []struct {
+		id, status, digest, errMsg string
+	}{
+		{"1", StatusDone, "abc123", ""},
+		{"2", StatusRunning, "", ""},
+		{"3", StatusFailed, "", "unknown program"},
+	}
+	for i, w := range want {
+		got := states[i]
+		if got.ID != w.id || got.Status != w.status || got.Digest != w.digest || got.Error != w.errMsg {
+			t.Fatalf("job %d = %+v, want %+v", i, got, w)
+		}
+	}
+	if states[0].Phi != 2.5 || states[0].Actual != 1.25 {
+		t.Fatalf("done job lost its numbers: %+v", states[0])
+	}
+	if got := re.Lag(); got != 1 {
+		t.Fatalf("reopened lag = %d, want 1", got)
+	}
+}
+
+// Appends emit one JournalAppend event each, labeled submit or by the
+// landed status, only after the record is durable.
+func TestJournalObserverEvents(t *testing.T) {
+	rec := obs.NewRecorder()
+	j, _, err := Open(filepath.Join(t.TempDir(), FileName), rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	submitN(t, j, "1")
+	state(t, j, State{ID: "1", Status: StatusRunning})
+	state(t, j, State{ID: "1", Status: StatusDone, Digest: "d"})
+	var got []string
+	for _, e := range rec.Events() {
+		if ja, ok := e.(obs.JournalAppend); ok {
+			got = append(got, ja.Record)
+			if ja.Bytes <= 0 {
+				t.Fatalf("append %q has %d bytes", ja.Record, ja.Bytes)
+			}
+		}
+	}
+	want := []string{"submit", "running", "done"}
+	if len(got) != len(want) {
+		t.Fatalf("events = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("events = %v, want %v", got, want)
+		}
+	}
+}
+
+// Invalid records are refused before they hit the disk.
+func TestJournalRefusesInvalidAppends(t *testing.T) {
+	j, _, err := Open(filepath.Join(t.TempDir(), FileName), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []error{
+		j.AppendSubmit(Submit{ID: "", Program: "cmm", Size: 16, Procs: 4}),
+		j.AppendSubmit(Submit{ID: "1", Program: "", Size: 16, Procs: 4}),
+		j.AppendSubmit(Submit{ID: "1", Program: "cmm", Size: 0, Procs: 4}),
+		j.AppendSubmit(Submit{ID: "1", Program: "cmm", Size: 16, Procs: 4, Retries: -1}),
+		j.AppendState(State{ID: "", Status: StatusDone}),
+		j.AppendState(State{ID: "1", Status: "sideways"}),
+	}
+	for i, err := range bad {
+		if err == nil {
+			t.Fatalf("invalid append %d was journaled", i)
+		}
+	}
+	if got := j.Len(); got != 0 {
+		t.Fatalf("journal has %d records after refused appends", got)
+	}
+}
+
+// A damaged journal — truncated, bit-flipped, or written with garbage
+// payloads — is refused at open with the typed sentinel; a torn
+// uncommitted tail is not damage.
+func TestJournalCorruptionRefused(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, FileName)
+	j, _, err := Open(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	submitN(t, j, "1")
+	state(t, j, State{ID: "1", Status: StatusDone, Digest: "d"})
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	flipped := append([]byte(nil), data...)
+	flipped[len(flipped)-3] ^= 0x40
+	truncated := data[:len(data)-4]
+	// A semantically invalid stream behind a valid CRC: a transition for
+	// a job that was never submitted.
+	orphan := ckpt.Encode([]ckpt.Record{{Stage: "state", Payload: []byte(`{"id":"9","status":"done"}`)}})
+	// A record kind the journal never writes.
+	alien := ckpt.Encode([]ckpt.Record{{Stage: "meta", Payload: []byte(`{}`)}})
+	for name, img := range map[string][]byte{
+		"flipped": flipped, "truncated": truncated, "orphan-state": orphan, "alien-kind": alien,
+	} {
+		bad := filepath.Join(dir, name+".journal")
+		if err := os.WriteFile(bad, img, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := Open(bad, nil); !errors.Is(err, errs.ErrJobJournalCorrupt) {
+			t.Fatalf("Open(%s) = %v, want ErrJobJournalCorrupt", name, err)
+		}
+	}
+
+	// Uncommitted tail bytes past the commit pointer are ignored.
+	torn := append(append([]byte(nil), data...), 0xde, 0xad, 0xbe)
+	tornPath := filepath.Join(dir, "torn.journal")
+	if err := os.WriteFile(tornPath, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, states, err := Open(tornPath, nil); err != nil || len(states) != 1 {
+		t.Fatalf("torn tail: states=%d err=%v, want 1 job and no error", len(states), err)
+	}
+}
+
+// Replay enforces the append discipline: duplicate submits and
+// transitions out of terminal states are corruption.
+func TestReplayRejectsInconsistentStreams(t *testing.T) {
+	sub := func(id string) Event {
+		return Event{Submit: &Submit{ID: id, Program: "cmm", Size: 16, Procs: 4}}
+	}
+	st := func(id, status string) Event { return Event{State: &State{ID: id, Status: status}} }
+	cases := map[string][]Event{
+		"duplicate-submit": {sub("1"), sub("1")},
+		"post-terminal":    {sub("1"), st("1", StatusDone), st("1", StatusRunning)},
+		"empty-event":      {{}},
+	}
+	for name, events := range cases {
+		if _, err := Replay(events); !errors.Is(err, errs.ErrJobJournalCorrupt) {
+			t.Fatalf("Replay(%s) = %v, want ErrJobJournalCorrupt", name, err)
+		}
+	}
+	// Re-queueing an open job (the restart path) is legal.
+	ok := []Event{sub("1"), st("1", StatusRunning), st("1", StatusQueued)}
+	states, err := Replay(ok)
+	if err != nil || len(states) != 1 || states[0].Status != StatusQueued {
+		t.Fatalf("requeue replay = %+v, %v", states, err)
+	}
+}

@@ -101,6 +101,10 @@ func (m *metricsObserver) Observe(e Event) {
 	case AllocCache:
 		r.Counter("alloc_cache_requests_total").Inc()
 		r.Counter("alloc_cache_" + sanitizeMetricFragment(ev.Outcome) + "_total").Inc()
+	case JournalAppend:
+		r.Counter("job_journal_appends_total").Inc()
+		r.Counter("job_journal_append_" + sanitizeMetricFragment(ev.Record) + "_total").Inc()
+		r.Histogram("job_journal_record_bytes", byteBuckets).Observe(float64(ev.Bytes))
 	case AllocDone:
 		// Seconds is wall-clock and deliberately not folded: the registry
 		// snapshot stays byte-identical across worker widths and machines.

@@ -70,6 +70,8 @@ const (
 	KindAllocCache
 	// KindAllocDone: one completed allocation solve, any backend.
 	KindAllocDone
+	// KindJournal: one record made durable in the service job journal.
+	KindJournal
 )
 
 // Event is one structured pipeline event.
@@ -301,6 +303,19 @@ type AllocDone struct {
 
 // Kind implements Event.
 func (AllocDone) Kind() Kind { return KindAllocDone }
+
+// JournalAppend reports one record committed durably to the service job
+// journal: Record is "submit" for an accepted job or the status the
+// transition landed on ("queued", "running", "done", "failed"); Bytes is
+// the payload size. The append sequence for a given request sequence is
+// deterministic, so the metric fold preserves registry determinism.
+type JournalAppend struct {
+	Record string
+	Bytes  int
+}
+
+// Kind implements Event.
+func (JournalAppend) Kind() Kind { return KindJournal }
 
 // Multi fans every event out to each non-nil observer. A result of nil
 // (no observers) preserves the nil fast path at the emit sites.

@@ -257,10 +257,20 @@ func (b *Breaker) Failure() {
 
 // State returns the current state name ("closed", "open", "half-open").
 func (b *Breaker) State() string {
+	state, _ := b.Stats()
+	return state
+}
+
+// Stats reports the current state name and the consecutive
+// budget-failure count feeding the trip threshold — the health surface a
+// service exports (ok vs degraded) without reaching into breaker
+// internals.
+func (b *Breaker) Stats() (state string, consecutive int) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	state = b.state
 	if b.state == StateOpen && b.opts.Now().Sub(b.openedAt) >= b.opts.Cooldown {
-		return StateHalfOpen
+		state = StateHalfOpen
 	}
-	return b.state
+	return state, b.consecutive
 }

@@ -154,6 +154,38 @@ func TestBreakerStateMachine(t *testing.T) {
 	}
 }
 
+// Stats exposes the health surface services report: the effective state
+// (cooldown-aware, like State) plus the consecutive-failure count.
+func TestBreakerStats(t *testing.T) {
+	ck := &clock{now: time.Unix(0, 0)}
+	b := NewBreaker(BreakerOptions{Threshold: 2, Cooldown: time.Minute, Now: ck.Now})
+
+	if state, n := b.Stats(); state != StateClosed || n != 0 {
+		t.Fatalf("fresh Stats = %s/%d, want closed/0", state, n)
+	}
+	b.Failure()
+	if state, n := b.Stats(); state != StateClosed || n != 1 {
+		t.Fatalf("Stats after 1 failure = %s/%d, want closed/1", state, n)
+	}
+	b.Failure()
+	if state, n := b.Stats(); state != StateOpen || n != 2 {
+		t.Fatalf("Stats after trip = %s/%d, want open/2", state, n)
+	}
+	// Cooldown elapsed: Stats reports half-open without mutating the
+	// breaker (like State, unlike Allow).
+	ck.now = ck.now.Add(2 * time.Minute)
+	if state, _ := b.Stats(); state != StateHalfOpen {
+		t.Fatalf("Stats after cooldown = %s, want half-open", state)
+	}
+	if state, _ := b.Stats(); state != StateHalfOpen {
+		t.Fatal("Stats must be read-only: second read differed")
+	}
+	b.Success()
+	if state, n := b.Stats(); state != StateClosed || n != 0 {
+		t.Fatalf("Stats after close = %s/%d, want closed/0", state, n)
+	}
+}
+
 func TestBreakerSuccessResetsCount(t *testing.T) {
 	b := NewBreaker(BreakerOptions{Threshold: 2, Cooldown: time.Minute})
 	b.Failure()

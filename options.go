@@ -110,6 +110,10 @@ var (
 	// ErrMessageLost marks a run halted by a receiver waiting on a
 	// dropped message.
 	ErrMessageLost = errs.ErrMessageLost
+	// ErrJobJournalCorrupt marks a damaged service job journal
+	// (internal/jobstore): the scheduling service refuses to boot over
+	// one rather than silently dropping accepted jobs.
+	ErrJobJournalCorrupt = errs.ErrJobJournalCorrupt
 )
 
 // Option configures one pipeline call.
