@@ -6,9 +6,9 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: ci fmt-check vet build test test-race race fuzz-smoke bench-smoke bench-current bench-json bench-pr2 bench-pr3 bench-pr5 bench-pr6 bench-pr8 smoke-paradigmd smoke-paradigmd-chaos
+.PHONY: ci fmt-check vet build test test-race race fuzz-smoke bench-smoke bench-current bench-json bench-pr2 bench-pr3 bench-pr5 bench-pr6 bench-pr8 bench-pr9 smoke-paradigmd smoke-paradigmd-chaos smoke-paradigmd-tenants
 
-ci: fmt-check vet build test-race fuzz-smoke bench-smoke bench-pr2 bench-pr3 bench-pr5 bench-pr6 bench-pr8 smoke-paradigmd smoke-paradigmd-chaos
+ci: fmt-check vet build test-race fuzz-smoke bench-smoke bench-pr2 bench-pr3 bench-pr5 bench-pr6 bench-pr8 bench-pr9 smoke-paradigmd smoke-paradigmd-chaos smoke-paradigmd-tenants
 
 # gofmt gate: fails listing the offending files, mutating nothing.
 fmt-check:
@@ -39,6 +39,7 @@ fuzz-smoke:
 	$(GO) test ./internal/ckpt/ -run '^$$' -fuzz '^FuzzWALDecode$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/jobstore/ -run '^$$' -fuzz '^FuzzJobJournalDecode$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/machine/ -run '^$$' -fuzz '^FuzzMachineSpec$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/admission/ -run '^$$' -fuzz '^FuzzPolicyConfigDecode$$' -fuzztime $(FUZZTIME)
 
 # One iteration of the calibration- and allocation-path benchmarks: fast,
 # and enough to catch a benchmark that no longer compiles or errors out.
@@ -94,6 +95,15 @@ bench-pr8:
 	$(GO) test ./cmd/paradigmd/ -run '^$$' -bench 'BenchmarkSubmit' -benchtime=100x -benchmem | tee bench_pr8.txt
 	$(GO) run ./cmd/benchjson -current bench_pr8.txt -label "PR 8: durable job journal (submit path without vs with journal)" -o BENCH_PR8.json
 
+# PR 9 multi-tenant load benchmarks: the seeded Poisson/Gamma arrival
+# wave (internal/loadgen) from two tenants against a cold server (every
+# plan solved) vs a warm one (plans replayed from the schedule cache),
+# reporting jobs/sec and p99 submit→terminal latency — folded into
+# BENCH_PR9.json for the trajectory harness.
+bench-pr9:
+	$(GO) test ./cmd/paradigmd/ -run '^$$' -bench 'BenchmarkServiceLoad' -benchtime=1x | tee bench_pr9.txt
+	$(GO) run ./cmd/benchjson -current bench_pr9.txt -label "PR 9: multi-tenant service load (cold solve vs schedule-cache warm)" -o BENCH_PR9.json
+
 # Boot the scheduling service on an ephemeral port, submit a job, poll
 # it to completion, fetch its schedule and the metrics page, then drain:
 # the end-to-end smoke of cmd/paradigmd.
@@ -106,3 +116,11 @@ smoke-paradigmd:
 # (by result digest) to an oracle-validated crash-free run.
 smoke-paradigmd-chaos:
 	$(GO) test ./cmd/paradigmd/ -run '^TestChaosKillRestart$$' -count=1 -timeout 600s -v
+
+# The multi-tenant service gate: tiered admission (gold tenant ahead of
+# free, over-bucket tenant 429'd while others proceed), submit
+# coalescing (one solve for concurrent identical submits), per-tenant
+# isolation of job listings, and the fairness/cache counters on
+# /metrics.
+smoke-paradigmd-tenants:
+	$(GO) test ./cmd/paradigmd/ -run '^TestServiceTenantAdmission$$' -count=1 -v

@@ -24,7 +24,9 @@ func benchSubmit(b *testing.B, dir string) {
 		src: cal, cal: cal, profile: paradigm.NewCM5,
 		name: "CM5", kind: paradigm.MachineTrained,
 	}
-	srv, err := newServer(mach, dir, b.N+1, 0, retainFailed, 2)
+	srv, err := newServer(mach, serverConfig{
+		ckptDir: dir, queueCap: b.N + 1, walRetain: retainFailed, retries: 2,
+	})
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -28,7 +28,10 @@ func TestParadigmdChaosChild(t *testing.T) {
 		t.Skip("chaos re-exec target only")
 	}
 	dir := os.Getenv("PARADIGMD_CHAOS_DIR")
-	if err := run("127.0.0.1:0", "cm5", dir, 1, 16, 0, retainFailed, 2, false); err != nil {
+	if err := run(runOpts{
+		addr: "127.0.0.1:0", machine: "cm5", ckptDir: dir,
+		workers: 1, queueCap: 16, walRetain: retainFailed, retries: 2,
+	}); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -1,40 +1,53 @@
-// Command paradigmd is a long-running scheduling service over the
-// PARADIGM pipeline: submit an allocation-and-scheduling job, poll its
-// status, fetch the resulting schedule, and scrape the pipeline's
-// metrics registry — with the crash-safety surface of the library wired
-// through (per-job write-ahead checkpoints, per-stage budgets, a shared
-// circuit breaker around the convex solve, and panic containment at
-// every boundary).
+// Command paradigmd is a long-running, multi-tenant scheduling service
+// over the PARADIGM pipeline: submit an allocation-and-scheduling job,
+// poll its status, fetch the resulting schedule, and scrape the
+// pipeline's metrics registry — with the crash-safety surface of the
+// library wired through (per-job write-ahead checkpoints, per-stage
+// budgets, a shared circuit breaker around the convex solve, and panic
+// containment at every boundary).
 //
 // With a -checkpoint-dir the service itself is crash-safe: every
 // accepted submit and every status transition is committed to a durable
-// job journal (jobs.journal, same CRC/commit-pointer discipline as the
-// per-job WALs) before it is acknowledged. On restart the journal is
-// replayed: finished jobs are reloaded with their result digests,
-// unfinished ones are re-enqueued and resume from their committed
-// per-job WAL stages, and a corrupt journal is refused with a typed
-// error rather than silently dropping accepted work. Completed jobs'
-// WALs are garbage-collected on committed completion (-wal-retain keeps
-// failed jobs' WALs for postmortem by default).
+// tenant-sharded job journal (jobs-shard-NNN.journal files, same
+// CRC/commit-pointer discipline as the per-job WALs) before it is
+// acknowledged. On restart every shard is replayed: finished jobs are
+// reloaded with their result digests, unfinished ones are re-enqueued
+// and resume from their committed per-job WAL stages, and a corrupt
+// shard is refused with a typed error rather than silently dropping
+// accepted work. Completed jobs' WALs are garbage-collected on
+// committed completion (-wal-retain keeps failed jobs' WALs for
+// postmortem by default).
+//
+// Multi-tenancy (DESIGN.md §15): jobs carry a tenant name, admission is
+// governed by a strict JSON policy config (-policy) declaring SLO
+// classes, per-tenant token buckets, and the queue discipline (fcfs,
+// priority-fcfs, or sjf by predicted Φ). A tenant over its bucket is
+// refused with 429 while other tenants proceed. Identical concurrent
+// submissions from one tenant coalesce onto a single in-flight solve —
+// every acknowledged job is journaled and reaches the same
+// digest-verified result — and a pipeline-level schedule cache replays
+// repeated allocate→schedule plans byte-identically without solving.
+// /metrics reports per-tenant admission/queue/completion series and the
+// Jain fairness index over completed jobs.
 //
 // Endpoints:
 //
 //	POST /jobs               {"program":"cmm","size":32,"procs":8}  -> 202 {"id":...}
-//	                         optional: "recover", "retries", "fault_seed"
-//	GET  /jobs               job summaries, submission order
+//	                         optional: "tenant", "recover", "retries", "fault_seed"
+//	GET  /jobs               job summaries, submission order (X-Tenant scopes)
 //	GET  /jobs/{id}          one job's status, result summary, digest
 //	GET  /jobs/{id}/schedule the finished schedule (text table)
 //	GET  /metrics            metrics registry, deterministic text form
 //	GET  /healthz            JSON health: ok (200) | degraded (200) | draining (503)
 //	                         with queue depth, journal lag, breaker state
 //
-// Admission control: the submit queue is bounded; a full queue sheds
-// load with 429, an oversized body is refused with 413, a draining
-// server refuses with 503. SIGTERM/SIGINT starts a graceful drain —
-// accepted jobs finish, new ones are refused, then the listener shuts
-// down.
+// Admission control: per-tenant token buckets shed over-rate tenants
+// with 429; the submit queue is bounded and a full queue sheds load
+// with 429; an oversized body is refused with 413; a draining server
+// refuses with 503. SIGTERM/SIGINT starts a graceful drain — accepted
+// jobs finish, new ones are refused, then the listener shuts down.
 //
-//	paradigmd -addr :8080 -workers 2 -queue 16 -checkpoint-dir /var/lib/paradigm
+//	paradigmd -addr :8080 -workers 2 -queue 16 -checkpoint-dir /var/lib/paradigm -policy policy.json
 //	paradigmd -smoke   # self-contained start/submit/poll/drain cycle
 package main
 
@@ -59,6 +72,7 @@ import (
 	"time"
 
 	"paradigm"
+	"paradigm/internal/admission"
 	"paradigm/internal/jobstore"
 )
 
@@ -73,36 +87,63 @@ const (
 	retainAll    = "all"
 	retainFailed = "failed"
 	retainNone   = "none"
+
+	// defaultTenant scopes jobs submitted without a tenant name.
+	defaultTenant = "default"
 )
 
 func main() {
-	var (
-		addr    = flag.String("addr", "127.0.0.1:8080", "listen address")
-		workers = flag.Int("workers", 2, "concurrent pipeline workers")
-		queue   = flag.Int("queue", 16, "bounded submit queue size (full: 429)")
-		ckptDir = flag.String("checkpoint-dir", "", "directory for the durable job journal and per-job write-ahead checkpoint logs (empty: no durability)")
-		machine = flag.String("machine", "cm5", "machine: a builtin name (cm5, paragon, cm5-hetero8, paragon-memcap8) or a path to a machine-spec JSON file")
-		budget  = flag.Duration("stage-budget", 0, "per-stage deadline applied to every pipeline stage (0: unbounded)")
-		retain  = flag.String("wal-retain", retainFailed, "per-job WALs kept after a terminal state: all, failed (postmortem default), or none")
-		retries = flag.Int("retries", 2, "default per-job allocation retry budget (a job's retries field overrides, capped at 8)")
-		smoke   = flag.Bool("smoke", false, "start, run one job end to end, drain, and exit (CI smoke mode)")
-	)
+	var o runOpts
+	flag.StringVar(&o.addr, "addr", "127.0.0.1:8080", "listen address")
+	flag.IntVar(&o.workers, "workers", 2, "concurrent pipeline workers")
+	flag.IntVar(&o.queueCap, "queue", 16, "bounded submit queue size (full: 429)")
+	flag.StringVar(&o.ckptDir, "checkpoint-dir", "", "directory for the durable job journals and per-job write-ahead checkpoint logs (empty: no durability)")
+	flag.StringVar(&o.machine, "machine", "cm5", "machine: a builtin name (cm5, paragon, cm5-hetero8, paragon-memcap8) or a path to a machine-spec JSON file")
+	flag.DurationVar(&o.budget, "stage-budget", 0, "per-stage deadline applied to every pipeline stage (0: unbounded)")
+	flag.StringVar(&o.walRetain, "wal-retain", retainFailed, "per-job WALs kept after a terminal state: all, failed (postmortem default), or none")
+	flag.IntVar(&o.retries, "retries", 2, "default per-job allocation retry budget (a job's retries field overrides, capped at 8)")
+	flag.StringVar(&o.policyPath, "policy", "", "admission policy config JSON (tenants, SLO classes, queue discipline; empty: unlimited FCFS)")
+	flag.IntVar(&o.shards, "journal-shards", 4, "tenant-sharded job journal count (existing shards are always adopted)")
+	flag.IntVar(&o.schedCacheCap, "sched-cache", 256, "pipeline-level schedule cache capacity in entries (0: disabled)")
+	flag.BoolVar(&o.smoke, "smoke", false, "start, run one job end to end, drain, and exit (CI smoke mode)")
 	flag.Parse()
-	if err := run(*addr, *machine, *ckptDir, *workers, *queue, *budget, *retain, *retries, *smoke); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "paradigmd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, machine, ckptDir string, workers, queue int, budget time.Duration, walRetain string, retries int, smoke bool) error {
-	if workers < 1 || queue < 1 {
+// runOpts is the service's resolved command line.
+type runOpts struct {
+	addr, machine, ckptDir    string
+	policyPath, walRetain     string
+	workers, queueCap, shards int
+	schedCacheCap             int
+	budget                    time.Duration
+	retries                   int
+	smoke                     bool
+}
+
+func run(o runOpts) error {
+	if o.workers < 1 || o.queueCap < 1 {
 		return fmt.Errorf("need at least one worker and a positive queue size")
 	}
-	switch walRetain {
+	switch o.walRetain {
 	case retainAll, retainFailed, retainNone:
 	default:
-		return fmt.Errorf("-wal-retain %q: want all, failed, or none", walRetain)
+		return fmt.Errorf("-wal-retain %q: want all, failed, or none", o.walRetain)
 	}
+	var policy admission.Config
+	if o.policyPath != "" {
+		data, err := os.ReadFile(o.policyPath)
+		if err != nil {
+			return fmt.Errorf("-policy %s: %w", o.policyPath, err)
+		}
+		if policy, err = admission.Decode(data); err != nil {
+			return fmt.Errorf("-policy %s: %w", o.policyPath, err)
+		}
+	}
+	machine := o.machine
 	// Machine resolution: the two classic profiles keep the historical
 	// trained (training-sets) path; any other builtin name or spec file
 	// loads through the machine database as a file backend.
@@ -134,13 +175,23 @@ func run(addr, machine, ckptDir string, workers, queue int, budget time.Duration
 			name:    mb.Name(), kind: mb.Kind(),
 		}
 	}
-	srv, err := newServer(mach, ckptDir, queue, budget, walRetain, retries)
+	// The flag exposes "0: disabled"; internally 0 means "default" and a
+	// negative capacity disables.
+	schedCap := o.schedCacheCap
+	if schedCap <= 0 {
+		schedCap = -1
+	}
+	srv, err := newServer(mach, serverConfig{
+		ckptDir: o.ckptDir, queueCap: o.queueCap, shards: o.shards,
+		budget: o.budget, walRetain: o.walRetain, retries: o.retries,
+		policy: policy, schedCacheCap: schedCap,
+	})
 	if err != nil {
 		return err
 	}
-	srv.start(workers)
+	srv.start(o.workers)
 
-	ln, err := net.Listen("tcp", addr)
+	ln, err := net.Listen("tcp", o.addr)
 	if err != nil {
 		return err
 	}
@@ -148,9 +199,9 @@ func run(addr, machine, ckptDir string, workers, queue int, budget time.Duration
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()
 	log.Printf("paradigmd listening on %s (%d workers, queue %d, %d jobs recovered)",
-		ln.Addr(), workers, cap(srv.queue), srv.backlog.Load())
+		ln.Addr(), o.workers, srv.queueCap, srv.backlog.Load())
 
-	if smoke {
+	if o.smoke {
 		machInfo := fmt.Sprintf("paradigmd_machine_info{name=%q,kind=%q} 1", mach.name, mach.kind)
 		if err := smokeCycle(ln.Addr().String(), machInfo); err != nil {
 			return fmt.Errorf("smoke: %w", err)
@@ -188,9 +239,17 @@ type jobRequest struct {
 	Program   string `json:"program"`              // cmm | strassen
 	Size      int    `json:"size"`                 // matrix size
 	Procs     int    `json:"procs"`                // system size p
+	Tenant    string `json:"tenant,omitempty"`     // tenant scope (empty: "default")
 	Recover   int    `json:"recover,omitempty"`    // max recovery attempts
 	Retries   int    `json:"retries,omitempty"`    // per-job alloc retry budget (0: server default)
 	FaultSeed uint64 `json:"fault_seed,omitempty"` // deterministic fault schedule seed (0: none)
+}
+
+// specKey canonicalizes everything that determines the job's result,
+// excluding the tenant: two jobs with equal spec keys produce
+// byte-identical digests (the pipeline is deterministic).
+func (r jobRequest) specKey() string {
+	return fmt.Sprintf("%s|%d|%d|%d|%d|%d", r.Program, r.Size, r.Procs, r.Recover, r.Retries, r.FaultSeed)
 }
 
 // jobView is the status representation returned by the API.
@@ -199,6 +258,8 @@ type jobView struct {
 	Program string  `json:"program"`
 	Size    int     `json:"size"`
 	Procs   int     `json:"procs"`
+	Tenant  string  `json:"tenant,omitempty"`
+	Class   string  `json:"class,omitempty"`
 	Status  string  `json:"status"` // queued | running | done | failed
 	Error   string  `json:"error,omitempty"`
 	Phi     float64 `json:"phi,omitempty"`
@@ -206,6 +267,9 @@ type jobView struct {
 	// Digest fingerprints the deterministic result content; it survives
 	// restarts through the job journal.
 	Digest string `json:"digest,omitempty"`
+	// Coalesced marks a job that joined another job's in-flight solve
+	// instead of solving itself; its digest is the leader's.
+	Coalesced bool `json:"coalesced,omitempty"`
 }
 
 // healthView is the /healthz body.
@@ -226,6 +290,24 @@ type job struct {
 	// recovered marks a job re-enqueued from the journal at boot; the
 	// service reports degraded until this backlog clears.
 	recovered bool
+	// followers are same-tenant jobs coalesced onto this in-flight job;
+	// they receive this job's result when it completes (under s.mu).
+	followers []*job
+}
+
+// tenantState is one tenant's admission and accounting state (bucket is
+// internally locked; counters are guarded by s.mu).
+type tenantState struct {
+	name     string
+	class    string
+	priority int
+	bucket   *admission.Bucket
+	// queued counts this tenant's jobs not yet terminal (queue depth
+	// including coalesced followers); completed/rejected feed the
+	// fairness and admission series.
+	queued    int
+	completed uint64
+	rejected  uint64
 }
 
 // machineModel bundles the service's resolved machine: a loop-pricing
@@ -241,6 +323,18 @@ type machineModel struct {
 	kind    paradigm.MachineKind
 }
 
+// serverConfig bundles the server's construction knobs.
+type serverConfig struct {
+	ckptDir       string
+	queueCap      int
+	shards        int // journal shards (0: 4)
+	budget        time.Duration
+	walRetain     string
+	retries       int
+	policy        admission.Config
+	schedCacheCap int // schedule-cache entries (0: 256; < 0: disabled)
+}
+
 type server struct {
 	mach       machineModel
 	ckptDir    string
@@ -251,15 +345,23 @@ type server struct {
 	reg        *paradigm.Metrics
 	obs        paradigm.Observer
 	allocCache *paradigm.AllocCache
-	journal    *jobstore.Journal
+	schedCache *paradigm.ScheduleCache
+	journal    *jobstore.Sharded
+	policy     admission.Config
 
-	mu    sync.Mutex
-	jobs  map[string]*job
-	order []string
-	next  int
+	mu      sync.Mutex
+	jobs    map[string]*job
+	order   []string
+	next    int
+	tenants map[string]*tenantState
+	// inflight maps tenant+specKey to the queued-or-running job later
+	// identical submits coalesce onto.
+	inflight map[string]*job
+	// phiBySpec caches each spec's last solved Φ for SJF ordering.
+	phiBySpec map[string]float64
 
-	queue    chan *job
-	drainCh  chan struct{}
+	queue    *admission.Queue
+	queueCap int
 	draining atomic.Bool
 	wg       sync.WaitGroup
 	done     atomic.Uint64
@@ -267,39 +369,63 @@ type server struct {
 	backlog atomic.Int64
 }
 
-func newServer(mach machineModel, ckptDir string, queueCap int, budget time.Duration, walRetain string, retries int) (*server, error) {
+func newServer(mach machineModel, cfg serverConfig) (*server, error) {
 	reg := paradigm.NewMetrics()
 	// An info-style gauge surfaces the resolved machine on /metrics.
 	reg.Gauge(fmt.Sprintf("paradigmd_machine_info{name=%q,kind=%q}", mach.name, mach.kind)).Set(1)
+	if err := cfg.policy.Validate(); err != nil {
+		return nil, err
+	}
+	queuePol, err := admission.ParsePolicy(cfg.policy.QueuePolicy)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.shards <= 0 {
+		cfg.shards = 4
+	}
+	if cfg.schedCacheCap == 0 {
+		cfg.schedCacheCap = 256
+	}
 	s := &server{
 		mach:      mach,
-		ckptDir:   ckptDir,
-		walRetain: walRetain,
-		retries:   retries,
+		ckptDir:   cfg.ckptDir,
+		walRetain: cfg.walRetain,
+		retries:   cfg.retries,
 		budgets: paradigm.StageBudgets{
-			Calibrate: budget, Allocate: budget, Schedule: budget, Codegen: budget, Execute: budget,
+			Calibrate: cfg.budget, Allocate: cfg.budget, Schedule: cfg.budget, Codegen: cfg.budget, Execute: cfg.budget,
 		},
 		breaker: paradigm.NewBreaker(paradigm.BreakerOptions{}),
 		reg:     reg,
+		policy:  cfg.policy,
 		// One shared warm-start cache across jobs: resubmitting the same
 		// program/size/procs replays the allocation instantly, and a new
 		// procs for a known program warm-starts the solve.
 		allocCache: paradigm.NewAllocCache(128),
 		jobs:       map[string]*job{},
-		drainCh:    make(chan struct{}),
+		tenants:    map[string]*tenantState{},
+		inflight:   map[string]*job{},
+		phiBySpec:  map[string]float64{},
+	}
+	if cfg.schedCacheCap > 0 {
+		// The pipeline-level schedule cache memoizes whole
+		// allocate→schedule plans across jobs; exact-only replay keeps
+		// journaled digests pure functions of the spec.
+		s.schedCache = paradigm.NewScheduleCache(cfg.schedCacheCap, 8)
 	}
 	// The canonical fold contributes the deterministic counters
-	// (alloc_cache_*, job_journal_*); the latency observer adds the
-	// wall-clock per-backend solve histograms, which only a service —
-	// not the deterministic library fold — is allowed to record.
+	// (alloc_cache_*, sched_cache_*, job_journal_*); the latency observer
+	// adds the wall-clock per-backend solve histograms, which only a
+	// service — not the deterministic library fold — is allowed to record.
 	s.obs = paradigm.MultiObserver(paradigm.NewMetricsObserver(reg), allocLatencyObserver{reg})
 
-	// Restart recovery: replay the durable job journal, reload finished
-	// jobs, and re-enqueue unfinished ones so they resume from their
-	// committed per-job WAL stages. A corrupt journal refuses boot.
+	// Restart recovery: replay every shard of the durable job store,
+	// reload finished jobs, and re-enqueue unfinished ones so they resume
+	// from their committed per-job WAL stages. A corrupt shard refuses
+	// boot.
 	var pending []*job
-	if ckptDir != "" {
-		journal, states, err := jobstore.Open(filepath.Join(ckptDir, jobstore.FileName), s.obs)
+	queueCap := cfg.queueCap
+	if cfg.ckptDir != "" {
+		journal, states, err := jobstore.OpenSharded(cfg.ckptDir, cfg.shards, s.obs)
 		if err != nil {
 			return nil, err
 		}
@@ -311,9 +437,12 @@ func newServer(mach machineModel, ckptDir string, queueCap int, budget time.Dura
 			queueCap = len(pending)
 		}
 	}
-	s.queue = make(chan *job, queueCap)
+	s.queue = admission.NewQueue(queuePol, queueCap)
+	s.queueCap = queueCap
 	for _, j := range pending {
-		s.queue <- j
+		if !s.queue.Push(s.queueItem(j)) {
+			return nil, fmt.Errorf("recovered job %s did not fit the boot queue", j.ID)
+		}
 		s.backlog.Add(1)
 		// Journal the re-queue so the journal reflects every transition,
 		// restarts included. At boot an append failure is fatal: the
@@ -326,6 +455,50 @@ func newServer(mach machineModel, ckptDir string, queueCap int, budget time.Dura
 	return s, nil
 }
 
+// queueItem wraps a job for the admission queue with its class priority
+// and predicted Φ (SJF ordering).
+func (s *server) queueItem(j *job) admission.Item {
+	return admission.Item{Payload: j, Priority: s.tenantFor(j.Tenant).priority, Phi: s.predictPhi(j.req)}
+}
+
+// tenantFor lazily materializes a tenant's admission state from the
+// policy. Callers may hold s.mu; tenantFor takes no locks itself beyond
+// the map (which s.mu guards) — boot and submit both reach it with the
+// lock held or single-threaded.
+func (s *server) tenantFor(name string) *tenantState {
+	if name == "" {
+		name = defaultTenant
+	}
+	if ts, ok := s.tenants[name]; ok {
+		return ts
+	}
+	contract := s.policy.TenantContract(name)
+	ts := &tenantState{
+		name:     name,
+		class:    contract.Class,
+		priority: s.policy.PriorityOf(contract),
+		bucket:   admission.NewBucket(contract.Rate, contract.Burst, nil),
+	}
+	s.tenants[name] = ts
+	return ts
+}
+
+// predictPhi estimates a job's Φ for SJF ordering: the last solved Φ of
+// the identical spec when known, else a work-scaling proxy (n³ flops
+// spread over p processors; Strassen's seven-multiply recursion is
+// cheaper than the classic eight).
+func (s *server) predictPhi(req jobRequest) float64 {
+	if phi, ok := s.phiBySpec[req.specKey()]; ok {
+		return phi
+	}
+	n := float64(req.Size)
+	mult := 1.0
+	if req.Program == "strassen" {
+		mult = 7.0 / 8
+	}
+	return mult * n * n * n / float64(req.Procs)
+}
+
 // reloadJournal registers every journaled job: terminal jobs are
 // reloaded with their journaled outcome (and their WALs GC'd per the
 // retention policy), open jobs are returned for re-enqueueing. The id
@@ -336,11 +509,19 @@ func (s *server) reloadJournal(states []jobstore.JobState) []*job {
 	for _, st := range states {
 		j := &job{
 			req: jobRequest{
-				Program: st.Program, Size: st.Size, Procs: st.Procs,
+				Program: st.Program, Size: st.Size, Procs: st.Procs, Tenant: st.Tenant,
 				Recover: st.Recover, Retries: st.Retries, FaultSeed: st.FaultSeed,
 			},
-			jobView: jobView{ID: st.ID, Program: st.Program, Size: st.Size, Procs: st.Procs},
+			jobView: jobView{
+				ID: st.ID, Program: st.Program, Size: st.Size, Procs: st.Procs,
+				Tenant: st.Tenant, Class: st.Class,
+			},
 		}
+		if j.Tenant == "" {
+			// Pre-tenancy journal records scope to the default tenant.
+			j.Tenant = defaultTenant
+		}
+		ts := s.tenantFor(j.Tenant)
 		if id, err := strconv.Atoi(st.ID); err == nil && id > maxID {
 			maxID = id
 		}
@@ -348,6 +529,7 @@ func (s *server) reloadJournal(states []jobstore.JobState) []*job {
 		case jobstore.StatusDone:
 			j.Status = "done"
 			j.Phi, j.Actual, j.Digest = st.Phi, st.Actual, st.Digest
+			ts.completed++
 			s.reg.Counter("paradigmd_jobs_reloaded_total").Inc()
 			// A crash between the journaled completion and the WAL GC
 			// leaves an orphan WAL; collect it now.
@@ -360,6 +542,7 @@ func (s *server) reloadJournal(states []jobstore.JobState) []*job {
 		default:
 			j.Status = "queued"
 			j.recovered = true
+			ts.queued++
 			pending = append(pending, j)
 			s.reg.Counter("paradigmd_jobs_recovered_total").Inc()
 		}
@@ -382,7 +565,10 @@ var solveLatencyBuckets = []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1, 10}
 
 func (l allocLatencyObserver) Observe(e paradigm.Event) {
 	if done, ok := e.(paradigm.AllocDoneEvent); ok {
-		l.reg.Histogram("paradigmd_alloc_seconds_"+done.Backend, solveLatencyBuckets).Observe(done.Seconds)
+		// Backend labels like "sched-cache" must be sanitized into metric
+		// names the registry's identifier grammar accepts.
+		name := strings.ReplaceAll("paradigmd_alloc_seconds_"+done.Backend, "-", "_")
+		l.reg.Histogram(name, solveLatencyBuckets).Observe(done.Seconds)
 	}
 }
 
@@ -396,23 +582,24 @@ func (s *server) start(workers int) {
 // drain stops admission, lets the workers finish every accepted job,
 // and returns when the queue is empty. The draining flag flips under
 // the submit lock, so a racing submit either sees it (503) or has
-// already enqueued — and the post-wait sweep runs anything the exited
-// workers left behind, so an accepted job is never silently dropped.
+// already pushed — Close only refuses later pushes and releases the
+// workers once the backlog drains — and the post-wait sweep runs
+// anything the exiting workers left behind, so an accepted job is
+// never silently dropped.
 func (s *server) drain() {
 	s.mu.Lock()
 	first := s.draining.CompareAndSwap(false, true)
 	s.mu.Unlock()
 	if first {
-		close(s.drainCh)
+		s.queue.Close()
 	}
 	s.wg.Wait()
 	for {
-		select {
-		case j := <-s.queue:
-			s.runJob(j)
-		default:
+		it, ok := s.queue.TryPop()
+		if !ok {
 			return
 		}
+		s.runJob(it.Payload.(*job))
 	}
 }
 
@@ -421,20 +608,12 @@ func (s *server) completed() uint64 { return s.done.Load() }
 func (s *server) worker() {
 	defer s.wg.Done()
 	for {
-		select {
-		case j := <-s.queue:
-			s.runJob(j)
-		case <-s.drainCh:
-			// Draining: finish whatever was accepted, then exit.
-			for {
-				select {
-				case j := <-s.queue:
-					s.runJob(j)
-				default:
-					return
-				}
-			}
+		it, ok := s.queue.Pop()
+		if !ok {
+			// Closed and drained.
+			return
 		}
+		s.runJob(it.Payload.(*job))
 	}
 }
 
@@ -475,6 +654,13 @@ func (s *server) gcWAL(id string, success bool) {
 	}
 }
 
+// inflightKey scopes coalescing: only same-tenant, identical-spec
+// submits may share a solve, so one tenant's result is never handed to
+// another tenant's job.
+func inflightKey(tenant string, req jobRequest) string {
+	return tenant + "|" + req.specKey()
+}
+
 func (s *server) runJob(j *job) {
 	s.mu.Lock()
 	j.Status = "running"
@@ -496,17 +682,55 @@ func (s *server) runJob(j *job) {
 		j.Digest = res.Digest()
 		st = jobstore.State{ID: j.ID, Status: jobstore.StatusDone, Phi: j.Phi, Actual: j.Actual, Digest: j.Digest}
 		s.reg.Counter("paradigmd_jobs_completed_total").Inc()
+		// Remember the solved Φ for SJF ordering of future submits.
+		s.phiBySpec[j.req.specKey()] = j.Phi
+	}
+	// Resolve the coalesced followers under the same lock that set the
+	// leader terminal: each acknowledged follower receives the leader's
+	// outcome, and the in-flight slot closes so later identical submits
+	// start a fresh solve.
+	followers := j.followers
+	j.followers = nil
+	key := inflightKey(j.Tenant, j.req)
+	if s.inflight[key] == j {
+		delete(s.inflight, key)
+	}
+	terminal := append([]*job{j}, followers...)
+	states := []jobstore.State{st}
+	for _, f := range followers {
+		f.Status, f.Error = j.Status, j.Error
+		f.Phi, f.Actual, f.Digest = j.Phi, j.Actual, j.Digest
+		f.res, f.p = j.res, j.p
+		fst := st
+		fst.ID = f.ID
+		states = append(states, fst)
+		if err != nil {
+			s.reg.Counter("paradigmd_jobs_failed_total").Inc()
+		} else {
+			s.reg.Counter("paradigmd_jobs_completed_total").Inc()
+		}
+	}
+	for _, t := range terminal {
+		ts := s.tenantFor(t.Tenant)
+		if ts.queued > 0 {
+			ts.queued--
+		}
+		if err == nil {
+			ts.completed++
+		}
 	}
 	recovered := j.recovered
 	s.mu.Unlock()
-	// The terminal transition is journaled before the WAL becomes
+	// The terminal transitions are journaled before the WAL becomes
 	// eligible for collection: GC happens on *committed* completion.
-	s.journalState(st)
+	for _, fst := range states {
+		s.journalState(fst)
+	}
 	s.gcWAL(j.ID, err == nil)
 	if recovered {
 		s.backlog.Add(-1)
 	}
-	s.done.Add(1)
+	s.done.Add(uint64(len(terminal)))
 }
 
 // execute runs one job through the full governed pipeline. Panic
@@ -543,6 +767,11 @@ func (s *server) execute(req jobRequest, id string) (*paradigm.Result, *paradigm
 		paradigm.WithStageBudgets(s.budgets),
 		paradigm.WithBreaker(s.breaker),
 		paradigm.WithRetry(paradigm.RetryPolicy{MaxAttempts: attempts}),
+	}
+	if s.schedCache != nil {
+		// Pipeline-level memoization: a repeated spec replays the whole
+		// allocate→schedule plan without touching the solver.
+		opts = append(opts, paradigm.WithScheduleCache(s.schedCache))
 	}
 	if s.mach.backend != nil {
 		opts = append(opts, paradigm.WithMachine(s.mach.backend))
@@ -599,6 +828,7 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("/jobs", s.handleJobs)
 	mux.HandleFunc("/jobs/", s.handleJob)
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		s.renderTenantMetrics()
 		io.WriteString(w, s.reg.Snapshot().Text())
 	})
 	mux.HandleFunc("/healthz", s.handleHealthz)
@@ -623,7 +853,7 @@ func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		lag = s.journal.Lag()
 	}
 	writeJSON(w, code, healthView{
-		State: state, QueueDepth: len(s.queue), QueueCap: cap(s.queue),
+		State: state, QueueDepth: s.queue.Len(), QueueCap: s.queueCap,
 		JournalLag: lag, Breaker: breakerState, RecoveredPending: backlog,
 	})
 }
@@ -633,10 +863,14 @@ func (s *server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	case http.MethodPost:
 		s.submit(w, r)
 	case http.MethodGet:
+		// An X-Tenant header scopes the listing to one tenant's jobs.
+		scope := r.Header.Get("X-Tenant")
 		s.mu.Lock()
 		views := make([]jobView, 0, len(s.order))
 		for _, id := range s.order {
-			views = append(views, s.jobs[id].jobView)
+			if v := s.jobs[id].jobView; scope == "" || v.Tenant == scope {
+				views = append(views, v)
+			}
 		}
 		s.mu.Unlock()
 		writeJSON(w, http.StatusOK, views)
@@ -678,20 +912,40 @@ func (s *server) submit(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "recover and retries must be non-negative", http.StatusBadRequest)
 		return
 	}
+	if req.Tenant == "" {
+		req.Tenant = defaultTenant
+	}
 	s.mu.Lock()
 	// Re-check under the lock: drain() flips the flag while holding it,
-	// so a submit past this point is enqueued before the workers' final
-	// sweep — the drain/submit race cannot drop an accepted job.
+	// so a submit past this point is pushed before the queue closes —
+	// the drain/submit race cannot drop an accepted job.
 	if s.draining.Load() {
 		s.mu.Unlock()
 		s.reg.Counter("paradigmd_jobs_rejected_total").Inc()
 		http.Error(w, "draining", http.StatusServiceUnavailable)
 		return
 	}
+	// Tiered admission: the tenant's token bucket sheds its own
+	// over-rate traffic with 429 before the job consumes queue space —
+	// other tenants' admission is unaffected.
+	ts := s.tenantFor(req.Tenant)
+	if !ts.bucket.Allow() {
+		ts.rejected++
+		s.mu.Unlock()
+		s.reg.Counter("paradigmd_jobs_rejected_total").Inc()
+		http.Error(w, fmt.Sprintf("tenant %q over admission rate", req.Tenant), http.StatusTooManyRequests)
+		return
+	}
+	// Submit coalescing: an identical same-tenant spec already queued or
+	// running gets its own acknowledged-and-journaled job that joins the
+	// in-flight solve instead of consuming a queue slot and a worker.
+	key := inflightKey(req.Tenant, req)
+	leader := s.inflight[key]
 	// Only submits (under this lock) and boot recovery (before serving)
-	// send on the queue, so the capacity check makes the send below
-	// non-blocking: a job is registered iff it was admitted.
-	if len(s.queue) == cap(s.queue) {
+	// push on the queue, so the capacity check makes the push below
+	// infallible: a job is registered iff it was admitted.
+	if leader == nil && s.queue.Len() >= s.queueCap {
+		ts.rejected++
 		s.mu.Unlock()
 		s.reg.Counter("paradigmd_jobs_rejected_total").Inc()
 		http.Error(w, "queue full", http.StatusTooManyRequests)
@@ -700,10 +954,13 @@ func (s *server) submit(w http.ResponseWriter, r *http.Request) {
 	id := strconv.Itoa(s.next + 1)
 	// Durability before acknowledgement: the accepted submit is
 	// committed to the journal before the job exists anywhere else.
+	// Followers are journaled like any job — after a restart they replay
+	// independently and re-derive the identical digest.
 	if s.journal != nil {
 		if err := s.journal.AppendSubmit(jobstore.Submit{
 			ID: id, Program: req.Program, Size: req.Size, Procs: req.Procs,
 			Recover: req.Recover, Retries: req.Retries, FaultSeed: req.FaultSeed,
+			Tenant: req.Tenant, Class: ts.class,
 		}); err != nil {
 			s.mu.Unlock()
 			s.reg.Counter("paradigmd_journal_errors_total").Inc()
@@ -715,10 +972,23 @@ func (s *server) submit(w http.ResponseWriter, r *http.Request) {
 	j := &job{req: req, jobView: jobView{
 		ID: id, Program: req.Program,
 		Size: req.Size, Procs: req.Procs, Status: "queued",
+		Tenant: req.Tenant, Class: ts.class,
 	}}
 	s.jobs[id] = j
 	s.order = append(s.order, id)
-	s.queue <- j
+	ts.queued++
+	if leader != nil {
+		j.Coalesced = true
+		leader.followers = append(leader.followers, j)
+		s.reg.Counter("paradigmd_jobs_coalesced_total").Inc()
+	} else {
+		if !s.queue.Push(s.queueItem(j)) {
+			// Unreachable by construction (capacity checked above, close
+			// implies draining): surface loudly rather than lose the job.
+			panic("paradigmd: admitted job refused by queue")
+		}
+		s.inflight[key] = j
+	}
 	s.mu.Unlock()
 	s.updateLag()
 	s.reg.Counter("paradigmd_jobs_submitted_total").Inc()
@@ -731,7 +1001,9 @@ func (s *server) handleJob(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	j, ok := s.jobs[id]
 	s.mu.Unlock()
-	if !ok {
+	// An X-Tenant header scopes the lookup: another tenant's job id is
+	// indistinguishable from a nonexistent one.
+	if !ok || (r.Header.Get("X-Tenant") != "" && j.Tenant != r.Header.Get("X-Tenant")) {
 		http.Error(w, "no such job", http.StatusNotFound)
 		return
 	}
@@ -762,6 +1034,33 @@ func (s *server) handleJob(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// renderTenantMetrics publishes the per-tenant admission series and the
+// Jain fairness index J = (Σx)² / (n·Σx²) over per-tenant completed-job
+// counts (1 when every tenant completed equally, →1/n under monopoly,
+// 1 when there is nothing to be unfair about yet). Gauges are set at
+// scrape time from the authoritative counters under s.mu.
+func (s *server) renderTenantMetrics() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var sum, sumSq float64
+	n := 0
+	for _, ts := range s.tenants {
+		label := fmt.Sprintf("{tenant=%q}", ts.name)
+		s.reg.Gauge("paradigmd_tenant_queue_depth" + label).Set(float64(ts.queued))
+		s.reg.Gauge("paradigmd_tenant_completed_total" + label).Set(float64(ts.completed))
+		s.reg.Gauge("paradigmd_tenant_rejected_total" + label).Set(float64(ts.rejected))
+		x := float64(ts.completed)
+		sum += x
+		sumSq += x * x
+		n++
+	}
+	jain := 1.0
+	if sumSq > 0 {
+		jain = sum * sum / (float64(n) * sumSq)
+	}
+	s.reg.Gauge("paradigmd_tenant_fairness_jain").Set(jain)
+}
+
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
@@ -770,16 +1069,15 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 
 // smokeCycle drives two identical jobs through a live server over real
 // HTTP: the self-contained CI gate that the service starts, schedules,
-// answers, memoizes the repeated allocation in the warm-start cache, and
-// drains.
+// answers, memoizes the repeated plan in the schedule cache, and drains.
 func smokeCycle(addr, machInfo string) error {
 	base := "http://" + addr
 	id1, err := smokeSubmitAndWait(base)
 	if err != nil {
 		return err
 	}
-	// The identical resubmission must replay the allocate stage from the
-	// warm-start cache.
+	// The identical resubmission must replay the whole allocate→schedule
+	// plan from the pipeline-level schedule cache without re-solving.
 	if _, err := smokeSubmitAndWait(base); err != nil {
 		return fmt.Errorf("resubmit: %w", err)
 	}
@@ -816,8 +1114,10 @@ func smokeCycle(addr, machInfo string) error {
 	for _, want := range []string{
 		"paradigmd_jobs_completed_total 2",
 		"alloc_cache_miss_total 1",
-		"alloc_cache_hit_total 1",
-		"paradigmd_alloc_seconds_cache",
+		"sched_cache_miss_total 1",
+		"sched_cache_hit_total 1",
+		"paradigmd_alloc_seconds_sched_cache",
+		"paradigmd_tenant_fairness_jain 1",
 		machInfo,
 	} {
 		if !strings.Contains(string(metrics), want) {

@@ -15,7 +15,6 @@ import (
 	"time"
 
 	"paradigm"
-	"paradigm/internal/jobstore"
 )
 
 func testMachine(t *testing.T) machineModel {
@@ -37,7 +36,9 @@ func testMachine(t *testing.T) machineModel {
 // (reused across restarts by the recovery tests).
 func testServerDir(t *testing.T, dir string, queue, workers int) (*server, *httptest.Server) {
 	t.Helper()
-	srv, err := newServer(testMachine(t), dir, queue, 0, retainFailed, 2)
+	srv, err := newServer(testMachine(t), serverConfig{
+		ckptDir: dir, queueCap: queue, walRetain: retainFailed, retries: 2,
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,7 +167,9 @@ func TestServiceLoadShedding(t *testing.T) {
 	if resp := submitJob(t, hs.URL, `{"program":"cmm","size":16,"procs":4}`); resp.StatusCode != http.StatusAccepted {
 		t.Fatalf("first submit = %s", resp.Status)
 	}
-	resp := submitJob(t, hs.URL, `{"program":"cmm","size":16,"procs":4}`)
+	// A distinct spec cannot coalesce onto the queued job, so it needs a
+	// queue slot of its own and is shed.
+	resp := submitJob(t, hs.URL, `{"program":"cmm","size":32,"procs":4}`)
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("overflow submit = %s, want 429", resp.Status)
 	}
@@ -409,7 +412,11 @@ func TestServiceRestartRecovery(t *testing.T) {
 	}
 	// Run exactly one job to completion, then abandon the server — the
 	// moral equivalent of a crash with two jobs still queued.
-	srv1.runJob(<-srv1.queue)
+	it, ok := srv1.queue.TryPop()
+	if !ok {
+		t.Fatal("no queued job to run")
+	}
+	srv1.runJob(it.Payload.(*job))
 	doneDigest := func() string {
 		srv1.mu.Lock()
 		defer srv1.mu.Unlock()
@@ -423,7 +430,9 @@ func TestServiceRestartRecovery(t *testing.T) {
 	}
 
 	// "Restart": a second server over the same directory.
-	srv2, err := newServer(testMachine(t), dir, 4, 0, retainFailed, 2)
+	srv2, err := newServer(testMachine(t), serverConfig{
+		ckptDir: dir, queueCap: 4, walRetain: retainFailed, retries: 2,
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -518,7 +527,18 @@ func TestServiceCorruptJournalRefused(t *testing.T) {
 	waitForStatus(t, hs1.URL, acc.ID)
 	srv1.drain()
 
-	path := filepath.Join(dir, jobstore.FileName)
+	// Submits land on the default tenant's shard: corrupt the shard file
+	// that actually holds records (the only one with more than a header).
+	shards, err := filepath.Glob(filepath.Join(dir, "jobs-shard-*.journal"))
+	if err != nil || len(shards) == 0 {
+		t.Fatalf("no shard files: %v (%v)", shards, err)
+	}
+	path, best := "", int64(0)
+	for _, p := range shards {
+		if fi, err := os.Stat(p); err == nil && fi.Size() > best {
+			path, best = p, fi.Size()
+		}
+	}
 	data, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)
@@ -527,7 +547,9 @@ func TestServiceCorruptJournalRefused(t *testing.T) {
 	if err := os.WriteFile(path, data, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	_, err = newServer(testMachine(t), dir, 4, 0, retainFailed, 2)
+	_, err = newServer(testMachine(t), serverConfig{
+		ckptDir: dir, queueCap: 4, walRetain: retainFailed, retries: 2,
+	})
 	if !errors.Is(err, paradigm.ErrJobJournalCorrupt) {
 		t.Fatalf("boot over corrupt journal = %v, want ErrJobJournalCorrupt", err)
 	}

@@ -1,0 +1,77 @@
+package admission
+
+import (
+	"errors"
+	"testing"
+
+	"paradigm/internal/errs"
+)
+
+// policySeeds are representative config images: valid, empty, and each
+// rejection class the strict decoder enforces.
+var policySeeds = []string{
+	goodConfig,
+	`{}`,
+	`{"queue_policy": "sjf"}`,
+	`{"queue_policy": "lifo"}`,
+	`{"queue_policy": "fcfs", "bogus": true}`,
+	`{"tenants": {"a": {"rate": -1}}}`,
+	`{"tenants": {"a": {"class": "missing"}}}`,
+	`{"tenants": {"a": {"rate": 1e308, "burst": 1e308}}}`,
+	`{"default": {"class": "free", "rate": 2}, "classes": {"free": {"priority": -3}}}`,
+	`{`,
+	`[1]`,
+	`null`,
+	`{"queue_policy": "fcfs"} garbage`,
+}
+
+// FuzzPolicyConfigDecode asserts the strict policy decoder is total over
+// arbitrary bytes: it never panics, every rejection is typed
+// errs.ErrBadPolicy, and every accepted config re-validates and resolves
+// tenant contracts without panicking (the invariants the service relies
+// on at boot).
+func FuzzPolicyConfigDecode(f *testing.F) {
+	for _, seed := range policySeeds {
+		f.Add([]byte(seed))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := Decode(data)
+		if err != nil {
+			if !errors.Is(err, errs.ErrBadPolicy) {
+				t.Fatalf("untyped decode error: %v", err)
+			}
+			return
+		}
+		// Accepted configs are internally consistent: validation is
+		// idempotent, the policy parses, and contract resolution is
+		// total (including for tenants the config never names).
+		if verr := c.Validate(); verr != nil {
+			t.Fatalf("accepted config failed re-validation: %v", verr)
+		}
+		if _, perr := ParsePolicy(c.QueuePolicy); perr != nil {
+			t.Fatalf("accepted config has unparseable policy: %v", perr)
+		}
+		for name := range c.Tenants {
+			ct := c.TenantContract(name)
+			_ = c.PriorityOf(ct)
+		}
+		_ = c.PriorityOf(c.TenantContract("never-named-tenant"))
+	})
+}
+
+// TestFuzzSeedsDecode runs the committed seed shapes as a plain subtest
+// so `go test` exercises them without the fuzz engine.
+func TestFuzzSeedsDecode(t *testing.T) {
+	for i, seed := range policySeeds {
+		c, err := Decode([]byte(seed))
+		if err != nil {
+			if !errors.Is(err, errs.ErrBadPolicy) {
+				t.Fatalf("seed %d: untyped error: %v", i, err)
+			}
+			continue
+		}
+		if verr := c.Validate(); verr != nil {
+			t.Fatalf("seed %d: accepted config failed re-validation: %v", i, verr)
+		}
+	}
+}

@@ -58,4 +58,11 @@ var (
 	// service refuses to boot over it rather than silently dropping or
 	// inventing accepted jobs.
 	ErrJobJournalCorrupt = errors.New("corrupt job journal")
+
+	// ErrBadPolicy marks an admission policy configuration that failed
+	// strict decoding or validation: malformed JSON, unknown fields, an
+	// unknown queue policy, non-finite or negative rates, or a tenant
+	// naming an undeclared SLO class. The service refuses to start over
+	// one rather than admitting traffic under a policy it cannot honor.
+	ErrBadPolicy = errors.New("invalid admission policy")
 )

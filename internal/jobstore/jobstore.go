@@ -62,6 +62,11 @@ type Submit struct {
 	Recover   int    `json:"recover,omitempty"`
 	Retries   int    `json:"retries,omitempty"`
 	FaultSeed uint64 `json:"fault_seed,omitempty"`
+	// Tenant and Class scope the job under the multi-tenant admission
+	// policy; both empty on journals written before tenancy existed, so
+	// old journals decode unchanged.
+	Tenant string `json:"tenant,omitempty"`
+	Class  string `json:"class,omitempty"`
 }
 
 // State is one status transition. Done records carry the result digest

@@ -1,0 +1,194 @@
+// The tenant-sharded job store: N independent journals, each with the
+// full WAL durability model of jobstore.Journal, with submits routed by
+// a stable hash of the tenant name. Sharding bounds append contention
+// (tenants on different shards never serialize on one mutex or one
+// fsync stream) and bounds the blast radius of file damage to the
+// tenants of one shard — though any damaged shard still refuses the
+// whole store, per the journal's no-silent-loss contract.
+//
+// Resize safety: OpenSharded discovers existing shard files by glob and
+// opens max(requested, discovered), so shrinking the configured count
+// never orphans committed records. A job's status transitions always
+// append to the shard holding its submit (tracked in an id→shard map
+// built at replay), so rerouting caused by a resize affects only new
+// submits. A legacy single-file "jobs.journal" from a pre-tenancy
+// service is adopted read/append as an extra shard: its jobs recover and
+// finish normally, but no new submit routes to it.
+
+package jobstore
+
+import (
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"sync"
+
+	"paradigm/internal/obs"
+)
+
+// ShardPath returns the journal path of shard i inside dir.
+func ShardPath(dir string, i int) string {
+	return filepath.Join(dir, fmt.Sprintf("jobs-shard-%03d.journal", i))
+}
+
+// Sharded is a tenant-sharded job store. All methods are safe for
+// concurrent use.
+type Sharded struct {
+	mu sync.Mutex
+	// shards[0:routable] receive new submits; any adopted legacy journal
+	// sits past routable and only ever receives state transitions.
+	shards   []*Journal
+	routable int
+	// byID maps every known job id to the shard index holding its
+	// submit record.
+	byID map[string]int
+}
+
+// OpenSharded opens (or creates) a store of at least n shards inside
+// dir, adopting any extra shard files a previously larger configuration
+// left behind and any legacy single-file journal. It returns the merged
+// replay of every shard in job-id order (numeric ids numerically, others
+// lexically). Any damaged shard refuses the whole store with
+// errs.ErrJobJournalCorrupt; a duplicate job id across shards is the
+// same refusal — it cannot result from the append discipline.
+func OpenSharded(dir string, n int, observer obs.Observer) (*Sharded, []JobState, error) {
+	if n < 1 {
+		n = 1
+	}
+	found, err := filepath.Glob(filepath.Join(dir, "jobs-shard-*.journal"))
+	if err != nil {
+		return nil, nil, fmt.Errorf("jobstore: scan shards in %s: %w", dir, err)
+	}
+	for _, path := range found {
+		var i int
+		if _, serr := fmt.Sscanf(filepath.Base(path), "jobs-shard-%d.journal", &i); serr == nil && i+1 > n {
+			n = i + 1
+		}
+	}
+	s := &Sharded{routable: n, byID: map[string]int{}}
+	paths := make([]string, 0, n+1)
+	for i := 0; i < n; i++ {
+		paths = append(paths, ShardPath(dir, i))
+	}
+	if legacy := filepath.Join(dir, FileName); fileExists(legacy) {
+		paths = append(paths, legacy)
+	}
+
+	var merged []JobState
+	for idx, path := range paths {
+		j, states, err := Open(path, observer)
+		if err != nil {
+			s.Close()
+			return nil, nil, err
+		}
+		s.shards = append(s.shards, j)
+		for _, st := range states {
+			if prev, dup := s.byID[st.ID]; dup {
+				s.Close()
+				return nil, nil, corrupt("job %s submitted in both %s and %s",
+					st.ID, paths[prev], path)
+			}
+			s.byID[st.ID] = idx
+			merged = append(merged, st)
+		}
+	}
+	sort.Slice(merged, func(a, b int) bool { return jobIDLess(merged[a].ID, merged[b].ID) })
+	return s, merged, nil
+}
+
+// jobIDLess orders ids numerically when both are integers (the service
+// assigns dense integer ids) and lexically otherwise.
+func jobIDLess(a, b string) bool {
+	na, ea := strconv.Atoi(a)
+	nb, eb := strconv.Atoi(b)
+	if ea == nil && eb == nil {
+		return na < nb
+	}
+	if (ea == nil) != (eb == nil) {
+		return ea == nil
+	}
+	return a < b
+}
+
+func fileExists(path string) bool {
+	_, err := os.Stat(path)
+	return err == nil
+}
+
+// ShardFor returns the shard index new submits for the tenant route to.
+func (s *Sharded) ShardFor(tenant string) int {
+	h := fnv.New32a()
+	h.Write([]byte(tenant))
+	return int(h.Sum32()) % s.routable
+}
+
+// Shards reports the number of open shards (including an adopted legacy
+// journal).
+func (s *Sharded) Shards() int { return len(s.shards) }
+
+// AppendSubmit journals an accepted job on its tenant's shard,
+// committed before return exactly as Journal.AppendSubmit.
+func (s *Sharded) AppendSubmit(sub Submit) error {
+	if err := validateSubmit(sub); err != nil {
+		return fmt.Errorf("jobstore: refusing to journal invalid %v", err)
+	}
+	idx := s.ShardFor(sub.Tenant)
+	s.mu.Lock()
+	if _, dup := s.byID[sub.ID]; dup {
+		s.mu.Unlock()
+		return fmt.Errorf("jobstore: duplicate submit for job %s", sub.ID)
+	}
+	s.byID[sub.ID] = idx
+	s.mu.Unlock()
+	if err := s.shards[idx].AppendSubmit(sub); err != nil {
+		s.mu.Lock()
+		delete(s.byID, sub.ID)
+		s.mu.Unlock()
+		return err
+	}
+	return nil
+}
+
+// AppendState journals one status transition on the shard holding the
+// job's submit.
+func (s *Sharded) AppendState(st State) error {
+	s.mu.Lock()
+	idx, ok := s.byID[st.ID]
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("jobstore: state for unknown job %s", st.ID)
+	}
+	return s.shards[idx].AppendState(st)
+}
+
+// Lag sums the per-shard journal lag: accepted jobs not yet terminal.
+func (s *Sharded) Lag() int {
+	n := 0
+	for _, j := range s.shards {
+		n += j.Lag()
+	}
+	return n
+}
+
+// Len sums the committed record counts of every shard.
+func (s *Sharded) Len() int {
+	n := 0
+	for _, j := range s.shards {
+		n += j.Len()
+	}
+	return n
+}
+
+// Close releases every shard's write handle, returning the first error.
+func (s *Sharded) Close() error {
+	var first error
+	for _, j := range s.shards {
+		if err := j.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,178 @@
+package jobstore
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"testing"
+
+	"paradigm/internal/errs"
+)
+
+func submit(id, tenant string) Submit {
+	return Submit{ID: id, Program: "cmm", Size: 32, Procs: 8, Tenant: tenant}
+}
+
+func TestShardedRoutingAndReplay(t *testing.T) {
+	dir := t.TempDir()
+	s, states, err := OpenSharded(dir, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(states) != 0 || s.Shards() != 4 {
+		t.Fatalf("fresh store: %d states, %d shards", len(states), s.Shards())
+	}
+	tenants := []string{"acme", "hobby", "acme", "zeta"}
+	for i, tn := range tenants {
+		if err := s.AppendSubmit(submit(fmt.Sprint(i+1), tn)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Same tenant always routes to the same shard.
+	if s.ShardFor("acme") != s.ShardFor("acme") {
+		t.Fatal("unstable tenant routing")
+	}
+	if err := s.AppendState(State{ID: "2", Status: StatusDone, Digest: "d2"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Lag(); got != 3 {
+		t.Fatalf("lag = %d, want 3", got)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: merged replay in numeric id order, transitions intact.
+	s2, states, err := OpenSharded(dir, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if len(states) != 4 {
+		t.Fatalf("replayed %d states, want 4", len(states))
+	}
+	for i, st := range states {
+		if st.ID != fmt.Sprint(i+1) {
+			t.Fatalf("state %d has id %s: not in id order", i, st.ID)
+		}
+		if st.Tenant != tenants[i] {
+			t.Fatalf("job %s lost tenant: %q", st.ID, st.Tenant)
+		}
+	}
+	if states[1].Status != StatusDone || states[1].Digest != "d2" {
+		t.Fatalf("job 2 state %+v", states[1])
+	}
+	// A recovered job's transition still lands on the original shard.
+	if err := s2.AppendState(State{ID: "1", Status: StatusFailed, Error: "x"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Shrinking the configured shard count never orphans committed records.
+func TestShardedResizeSafe(t *testing.T) {
+	dir := t.TempDir()
+	s, _, err := OpenSharded(dir, 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if err := s.AppendSubmit(submit(fmt.Sprint(i), fmt.Sprintf("t%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+
+	small, states, err := OpenSharded(dir, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer small.Close()
+	if len(states) != 8 {
+		t.Fatalf("resize lost records: %d/8", len(states))
+	}
+	if small.Shards() < 8 {
+		t.Fatalf("discovered %d shards, want >= 8", small.Shards())
+	}
+}
+
+// A pre-tenancy single-file journal is adopted: its jobs replay and can
+// finish, but new submits route to the sharded files.
+func TestShardedAdoptsLegacyJournal(t *testing.T) {
+	dir := t.TempDir()
+	legacy, _, err := Open(dir+"/"+FileName, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := legacy.AppendSubmit(Submit{ID: "1", Program: "strassen", Size: 64, Procs: 16}); err != nil {
+		t.Fatal(err)
+	}
+	legacy.Close()
+
+	s, states, err := OpenSharded(dir, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if len(states) != 1 || states[0].ID != "1" {
+		t.Fatalf("legacy job not adopted: %+v", states)
+	}
+	if err := s.AppendState(State{ID: "1", Status: StatusDone, Digest: "d"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendSubmit(submit("2", "acme")); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// The legacy file holds job 1's terminal state; job 2 lives in a
+	// shard file.
+	j, jstates, err := Open(dir+"/"+FileName, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if len(jstates) != 1 || jstates[0].Status != StatusDone {
+		t.Fatalf("legacy journal: %+v", jstates)
+	}
+}
+
+func TestShardedRefusesCorruptShard(t *testing.T) {
+	dir := t.TempDir()
+	s, _, err := OpenSharded(dir, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendSubmit(submit("1", "acme")); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	path := ShardPath(dir, s.ShardFor("acme"))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := OpenSharded(dir, 2, nil); !errors.Is(err, errs.ErrJobJournalCorrupt) {
+		t.Fatalf("corrupt shard opened: %v", err)
+	}
+}
+
+func TestShardedRefusesCrossShardDuplicate(t *testing.T) {
+	dir := t.TempDir()
+	for i := 0; i < 2; i++ {
+		j, _, err := Open(ShardPath(dir, i), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := j.AppendSubmit(submit("7", fmt.Sprintf("t%d", i))); err != nil {
+			t.Fatal(err)
+		}
+		j.Close()
+	}
+	if _, _, err := OpenSharded(dir, 2, nil); !errors.Is(err, errs.ErrJobJournalCorrupt) {
+		t.Fatalf("cross-shard duplicate accepted: %v", err)
+	}
+}

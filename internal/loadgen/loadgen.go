@@ -1,0 +1,100 @@
+// Package loadgen is a deterministic arrival-process generator for the
+// scheduling service's load harness: a seeded splitmix64 stream feeding
+// exponential interarrival times (a Poisson arrival process) and
+// Gamma-distributed job weights (Marsaglia–Tsang), so a load test's
+// offered traffic is a pure function of its seed — replayable across
+// runs and machines, with no dependence on math/rand's global state.
+package loadgen
+
+import "math"
+
+// Rand is a deterministic splitmix64 stream. The zero value is a valid
+// generator (seed 0); it is not safe for concurrent use.
+type Rand struct{ state uint64 }
+
+// New returns a generator seeded with seed.
+func New(seed uint64) *Rand { return &Rand{state: seed} }
+
+// Uint64 advances the splitmix64 state.
+func (r *Rand) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform draw in [0, 1) with 53 random bits.
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Exp returns an exponential draw with the given rate (mean 1/rate) —
+// the interarrival time of a Poisson process at that rate.
+func (r *Rand) Exp(rate float64) float64 {
+	// 1-u lies in (0, 1], so the log is finite.
+	return -math.Log(1-r.Float64()) / rate
+}
+
+// Normal returns a standard normal draw via Box–Muller. One value per
+// call (the paired draw is discarded), so the stream position is a fixed
+// function of the call count.
+func (r *Rand) Normal() float64 {
+	u1 := 1 - r.Float64() // (0, 1]
+	u2 := r.Float64()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// Gamma returns a Gamma(shape, scale) draw by Marsaglia–Tsang squeeze
+// rejection (shape >= 1), with the standard boost for shape < 1.
+// Non-positive parameters return 0.
+func (r *Rand) Gamma(shape, scale float64) float64 {
+	if shape <= 0 || scale <= 0 {
+		return 0
+	}
+	if shape < 1 {
+		// Gamma(a) = Gamma(a+1) * U^{1/a}.
+		u := 1 - r.Float64()
+		return r.Gamma(shape+1, scale) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := r.Normal()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := 1 - r.Float64() // (0, 1]
+		if u < 1-0.0331*x*x*x*x {
+			return d * v * scale
+		}
+		if math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v * scale
+		}
+	}
+}
+
+// Arrival is one offered job: its arrival offset from the start of the
+// run and its Gamma-distributed weight (used to pick a spec or size).
+type Arrival struct {
+	// Offset is the arrival time in seconds since the run start.
+	Offset float64
+	// Weight is a Gamma(shape, scale) draw.
+	Weight float64
+}
+
+// Poisson generates n arrivals of a Poisson process at rate jobs/second,
+// each carrying a Gamma(shape, scale) weight. The sequence is a pure
+// function of (seed, n, rate, shape, scale).
+func Poisson(seed uint64, n int, rate, shape, scale float64) []Arrival {
+	r := New(seed)
+	out := make([]Arrival, n)
+	t := 0.0
+	for i := range out {
+		t += r.Exp(rate)
+		out[i] = Arrival{Offset: t, Weight: r.Gamma(shape, scale)}
+	}
+	return out
+}

@@ -1,0 +1,98 @@
+package loadgen
+
+import (
+	"math"
+	"testing"
+)
+
+// Same seed, same stream: the generator is a pure function of its seed.
+func TestDeterministicReplay(t *testing.T) {
+	a := Poisson(42, 100, 50, 2, 1)
+	b := Poisson(42, 100, 50, 2, 1)
+	if len(a) != 100 {
+		t.Fatalf("generated %d arrivals", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("arrival %d diverged: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	if c := Poisson(43, 100, 50, 2, 1); c[0] == a[0] && c[1] == a[1] {
+		t.Fatal("different seeds produced the same stream")
+	}
+}
+
+// Arrivals are strictly increasing (exponential gaps are positive) and
+// the mean interarrival matches 1/rate within sampling tolerance.
+func TestPoissonProcessShape(t *testing.T) {
+	const n, rate = 20000, 50.0
+	arr := Poisson(7, n, rate, 1, 1)
+	prev := 0.0
+	for i, a := range arr {
+		if a.Offset <= prev {
+			t.Fatalf("arrival %d not increasing: %v after %v", i, a.Offset, prev)
+		}
+		prev = a.Offset
+	}
+	mean := arr[n-1].Offset / n
+	if math.Abs(mean-1/rate) > 0.1/rate {
+		t.Fatalf("mean interarrival %v, want ~%v", mean, 1/rate)
+	}
+}
+
+// Gamma(k, θ) has mean kθ and variance kθ²; check both within sampling
+// tolerance for a shape above and below 1.
+func TestGammaMoments(t *testing.T) {
+	for _, tc := range []struct{ shape, scale float64 }{{2.5, 2}, {0.5, 3}} {
+		r := New(11)
+		const n = 50000
+		sum, sumSq := 0.0, 0.0
+		for i := 0; i < n; i++ {
+			x := r.Gamma(tc.shape, tc.scale)
+			if x < 0 || math.IsNaN(x) || math.IsInf(x, 0) {
+				t.Fatalf("Gamma(%v,%v) draw %v", tc.shape, tc.scale, x)
+			}
+			sum += x
+			sumSq += x * x
+		}
+		mean := sum / n
+		variance := sumSq/n - mean*mean
+		wantMean := tc.shape * tc.scale
+		wantVar := tc.shape * tc.scale * tc.scale
+		if math.Abs(mean-wantMean) > 0.05*wantMean {
+			t.Fatalf("Gamma(%v,%v) mean %v, want ~%v", tc.shape, tc.scale, mean, wantMean)
+		}
+		if math.Abs(variance-wantVar) > 0.15*wantVar {
+			t.Fatalf("Gamma(%v,%v) variance %v, want ~%v", tc.shape, tc.scale, variance, wantVar)
+		}
+	}
+}
+
+// Degenerate parameters are total, not panics.
+func TestGammaDegenerate(t *testing.T) {
+	r := New(1)
+	for _, v := range []float64{r.Gamma(0, 1), r.Gamma(-1, 1), r.Gamma(1, 0)} {
+		if v != 0 {
+			t.Fatalf("degenerate Gamma = %v, want 0", v)
+		}
+	}
+}
+
+// Normal draws have mean ~0 and variance ~1.
+func TestNormalMoments(t *testing.T) {
+	r := New(3)
+	const n = 50000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		x := r.Normal()
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / n
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("normal mean %v", mean)
+	}
+	if v := sumSq/n - mean*mean; math.Abs(v-1) > 0.05 {
+		t.Fatalf("normal variance %v", v)
+	}
+}

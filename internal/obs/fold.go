@@ -101,6 +101,9 @@ func (m *metricsObserver) Observe(e Event) {
 	case AllocCache:
 		r.Counter("alloc_cache_requests_total").Inc()
 		r.Counter("alloc_cache_" + sanitizeMetricFragment(ev.Outcome) + "_total").Inc()
+	case SchedCache:
+		r.Counter("sched_cache_requests_total").Inc()
+		r.Counter("sched_cache_" + sanitizeMetricFragment(ev.Outcome) + "_total").Inc()
 	case JournalAppend:
 		r.Counter("job_journal_appends_total").Inc()
 		r.Counter("job_journal_append_" + sanitizeMetricFragment(ev.Record) + "_total").Inc()

@@ -72,6 +72,8 @@ const (
 	KindAllocDone
 	// KindJournal: one record made durable in the service job journal.
 	KindJournal
+	// KindSchedCache: one pipeline-level schedule-cache lookup.
+	KindSchedCache
 )
 
 // Event is one structured pipeline event.
@@ -316,6 +318,19 @@ type JournalAppend struct {
 
 // Kind implements Event.
 func (JournalAppend) Kind() Kind { return KindJournal }
+
+// SchedCache reports one pipeline-level schedule-cache lookup: Outcome
+// is "hit" (a memoized allocate→schedule pair replayed without touching
+// the solver or the PSA) or "miss". The cache never seeds a solve —
+// exact replay or nothing — so the outcome sequence is deterministic
+// for a given request sequence and folding it preserves registry
+// determinism.
+type SchedCache struct {
+	Outcome string
+}
+
+// Kind implements Event.
+func (SchedCache) Kind() Kind { return KindSchedCache }
 
 // Multi fans every event out to each non-nil observer. A result of nil
 // (no observers) preserves the nil fast path at the emit sites.

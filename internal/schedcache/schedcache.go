@@ -1,0 +1,178 @@
+// Package schedcache is a bounded, sharded LRU of memoized
+// allocate→schedule pipeline results, keyed by the relabel-invariant
+// canonical MDG hash plus the cost model, solve-shaping options, and
+// processor count (the key is derived in the paradigm package; this
+// package stores plain data so it depends on nothing above the standard
+// library).
+//
+// Where internal/alloccache memoizes only the convex allocation, an
+// entry here carries the whole planning half of the pipeline: the
+// continuous allocation with its objective decomposition AND the rounded
+// PSA schedule (per-node start/finish windows and concrete processor
+// sets). An exact hit replays both byte-identically without compiling,
+// solving, or list-scheduling — the downstream codegen and simulation
+// stages are deterministic functions of (program, schedule), so a
+// service front end amortizes the entire solver cost across repeated
+// graphs. Unlike the allocation cache there is no near-hit seeding:
+// exact replay or nothing, which is what keeps cached results pure
+// functions of the request (the CacheExactOnly argument of DESIGN.md
+// §14 extends to whole schedules — §15).
+//
+// Entries live in canonical node order, so graphs that differ only by
+// node relabeling share one entry: allocations and schedules are
+// permuted into canonical order on insert and permuted back through the
+// querying graph's own canonicalizing permutation on replay.
+//
+// The cache is sharded: keys hash onto independently locked LRU shards,
+// so concurrent service workers hitting different graphs never contend
+// on one mutex. Capacity is divided evenly across shards (each shard
+// holds at least one entry). All methods are safe for concurrent use.
+package schedcache
+
+import (
+	"container/list"
+	"hash/fnv"
+	"sync"
+)
+
+// NodeSched is one node's scheduled window in canonical node order.
+type NodeSched struct {
+	Start, Finish float64
+	// Procs are the concrete processor ids running the node, ascending.
+	Procs []int
+}
+
+// Entry is one memoized allocate→schedule result in canonical node
+// order.
+type Entry struct {
+	// PCanon holds the continuous per-node allocation permuted into
+	// canonical order: PCanon[perm[i]] = P[i] for the canonicalizing
+	// perm of the solved graph.
+	PCanon []float64
+	// Phi, Ap, Cp are the exact objective values of the stored solve.
+	Phi, Ap, Cp float64
+	// AllocCanon is the rounded-and-bounded per-node allocation in
+	// canonical order.
+	AllocCanon []int
+	// Nodes are the scheduled windows in canonical order.
+	Nodes []NodeSched
+	// ProcsTotal, PB, Makespan and Policy mirror the schedule header.
+	ProcsTotal, PB int
+	Makespan       float64
+	Policy         uint8
+}
+
+// clone deep-copies the entry so cached state and caller state can never
+// alias each other in either direction.
+func (e Entry) clone() Entry {
+	e.PCanon = append([]float64(nil), e.PCanon...)
+	e.AllocCanon = append([]int(nil), e.AllocCanon...)
+	nodes := make([]NodeSched, len(e.Nodes))
+	for i, n := range e.Nodes {
+		n.Procs = append([]int(nil), n.Procs...)
+		nodes[i] = n
+	}
+	e.Nodes = nodes
+	return e
+}
+
+// Cache is a sharded, bounded LRU over exact keys.
+type Cache struct {
+	shards []*shard
+}
+
+type shard struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List               // front = most recent
+	m   map[string]*list.Element // exact key -> element
+}
+
+type cacheItem struct {
+	key   string
+	entry Entry
+}
+
+// New creates a cache holding at most capacity entries spread over the
+// given number of shards (minimums 1 and 1; each shard holds at least
+// one entry, so the effective capacity is max(capacity, shards)).
+func New(capacity, shards int) *Cache {
+	if shards < 1 {
+		shards = 1
+	}
+	if capacity < shards {
+		capacity = shards
+	}
+	c := &Cache{shards: make([]*shard, shards)}
+	per := capacity / shards
+	extra := capacity % shards
+	for i := range c.shards {
+		n := per
+		if i < extra {
+			n++
+		}
+		c.shards[i] = &shard{
+			cap: max(1, n),
+			ll:  list.New(),
+			m:   make(map[string]*list.Element),
+		}
+	}
+	return c
+}
+
+// shardFor routes a key to its shard by FNV-1a.
+func (c *Cache) shardFor(key string) *shard {
+	if len(c.shards) == 1 {
+		return c.shards[0]
+	}
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return c.shards[int(h.Sum32())%len(c.shards)]
+}
+
+// Len reports the number of stored entries across all shards.
+func (c *Cache) Len() int {
+	n := 0
+	for _, s := range c.shards {
+		s.mu.Lock()
+		n += s.ll.Len()
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Shards reports the shard count.
+func (c *Cache) Shards() int { return len(c.shards) }
+
+// Get returns the entry stored under the exact key, marking it most
+// recently used in its shard.
+func (c *Cache) Get(key string) (Entry, bool) {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.m[key]
+	if !ok {
+		return Entry{}, false
+	}
+	s.ll.MoveToFront(el)
+	return el.Value.(*cacheItem).entry.clone(), true
+}
+
+// Put stores the entry under the exact key, evicting the least recently
+// used entry of the key's shard past its capacity.
+func (c *Cache) Put(key string, e Entry) {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.m[key]; ok {
+		el.Value.(*cacheItem).entry = e.clone()
+		s.ll.MoveToFront(el)
+		return
+	}
+	s.m[key] = s.ll.PushFront(&cacheItem{key: key, entry: e.clone()})
+	for s.ll.Len() > s.cap {
+		oldest := s.ll.Back()
+		s.ll.Remove(oldest)
+		delete(s.m, oldest.Value.(*cacheItem).key)
+	}
+}

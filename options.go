@@ -140,6 +140,9 @@ type config struct {
 	retry RetryPolicy
 	// breaker, when non-nil, gates the allocation solve.
 	breaker *Breaker
+	// schedCache, when non-nil, memoizes whole allocate→schedule plans
+	// (WithScheduleCache).
+	schedCache *ScheduleCache
 }
 
 // WithObserver attaches an observer to every instrumented stage of the
@@ -341,11 +344,7 @@ func RunContext(ctx context.Context, p *Program, m Machine, cal *Calibration, pr
 	if err := c.ckptBindRun(p, mp.WithProcs(procs), procs); err != nil {
 		return nil, err
 	}
-	ar, err := c.allocStage(ctx, p.G, model, procs)
-	if err != nil {
-		return nil, err
-	}
-	s, err := c.schedStage(ctx, p.G, model, ar.P, procs)
+	ar, s, err := c.planStages(ctx, p.G, model, procs)
 	if err != nil {
 		return nil, err
 	}

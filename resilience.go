@@ -218,14 +218,21 @@ func (c *config) schedStage(ctx context.Context, g *Graph, model Model, allocati
 	if err != nil {
 		return nil, budgetErr(ctx, "schedule", c.budgets.Schedule, err)
 	}
-	if c.ckptActive() {
-		payload, perr := ckpt.EncodeSchedule(s)
-		if perr != nil {
-			return nil, fmt.Errorf("paradigm: encode schedule checkpoint: %w", perr)
-		}
-		if cerr := c.ckptCommit(ckpt.StageSched, payload); cerr != nil {
-			return nil, cerr
-		}
+	if cerr := c.schedCommit(s); cerr != nil {
+		return nil, cerr
 	}
 	return s, nil
+}
+
+// schedCommit checkpoints a completed schedule (no-op without an active
+// checkpoint). Shared by schedStage and the schedule-cache replay path.
+func (c *config) schedCommit(s *Schedule) error {
+	if !c.ckptActive() {
+		return nil
+	}
+	payload, perr := ckpt.EncodeSchedule(s)
+	if perr != nil {
+		return fmt.Errorf("paradigm: encode schedule checkpoint: %w", perr)
+	}
+	return c.ckptCommit(ckpt.StageSched, payload)
 }
