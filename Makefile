@@ -6,9 +6,9 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: ci fmt-check vet build test test-race race fuzz-smoke bench-smoke bench-current bench-json bench-pr2 bench-pr3 bench-pr5 bench-pr6 bench-pr8 bench-pr9 smoke-paradigmd smoke-paradigmd-chaos smoke-paradigmd-tenants
+.PHONY: ci fmt-check vet build test test-race race fuzz-smoke bench-smoke bench-current bench-json bench-pr2 bench-pr3 bench-pr5 bench-pr6 bench-pr8 bench-pr9 bench-pr10 smoke-paradigmd smoke-paradigmd-chaos smoke-paradigmd-tenants smoke-paradigmd-cluster
 
-ci: fmt-check vet build test-race fuzz-smoke bench-smoke bench-pr2 bench-pr3 bench-pr5 bench-pr6 bench-pr8 bench-pr9 smoke-paradigmd smoke-paradigmd-chaos smoke-paradigmd-tenants
+ci: fmt-check vet build test-race fuzz-smoke bench-smoke bench-pr2 bench-pr3 bench-pr5 bench-pr6 bench-pr8 bench-pr9 bench-pr10 smoke-paradigmd smoke-paradigmd-chaos smoke-paradigmd-tenants smoke-paradigmd-cluster
 
 # gofmt gate: fails listing the offending files, mutating nothing.
 fmt-check:
@@ -40,6 +40,7 @@ fuzz-smoke:
 	$(GO) test ./internal/jobstore/ -run '^$$' -fuzz '^FuzzJobJournalDecode$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/machine/ -run '^$$' -fuzz '^FuzzMachineSpec$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/admission/ -run '^$$' -fuzz '^FuzzPolicyConfigDecode$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/fault/ -run '^$$' -fuzz '^FuzzFaultPlan$$' -fuzztime $(FUZZTIME)
 
 # One iteration of the calibration- and allocation-path benchmarks: fast,
 # and enough to catch a benchmark that no longer compiles or errors out.
@@ -104,6 +105,15 @@ bench-pr9:
 	$(GO) test ./cmd/paradigmd/ -run '^$$' -bench 'BenchmarkServiceLoad' -benchtime=1x | tee bench_pr9.txt
 	$(GO) run ./cmd/benchjson -current bench_pr9.txt -label "PR 9: multi-tenant service load (cold solve vs schedule-cache warm)" -o BENCH_PR9.json
 
+# PR 10 cluster-mode load benchmarks: the seeded arrival wave against a
+# cluster-mode paradigmd (shared processor pool, least-loaded router),
+# with and without a partition death every 8th placement, cold vs warm
+# schedule cache — jobs/sec and p99 folded into BENCH_PR10.json for the
+# trajectory harness.
+bench-pr10:
+	$(GO) test ./cmd/paradigmd/ -run '^$$' -bench 'BenchmarkClusterLoad' -benchtime=1x | tee bench_pr10.txt
+	$(GO) run ./cmd/benchjson -current bench_pr10.txt -label "PR 10: cluster-mode load (pool faults vs fault-free, cold vs warm)" -o BENCH_PR10.json
+
 # Boot the scheduling service on an ephemeral port, submit a job, poll
 # it to completion, fetch its schedule and the metrics page, then drain:
 # the end-to-end smoke of cmd/paradigmd.
@@ -124,3 +134,14 @@ smoke-paradigmd-chaos:
 # /metrics.
 smoke-paradigmd-tenants:
 	$(GO) test ./cmd/paradigmd/ -run '^TestServiceTenantAdmission$$' -count=1 -v
+
+# The cluster chaos gate, both faces: the library-level shared-clock
+# simulation under -race (seeded pool deaths mid-stream across 12
+# concurrent jobs, every completed job's data digest byte-identical to
+# its fault-free run, deterministic SLO-class shedding, byte-exact
+# counterfactual replay) and the service-level cluster mode (partition
+# deaths every 3rd placement, zero acknowledged jobs lost, oversized
+# request degraded onto the shrunken pool instead of refused).
+smoke-paradigmd-cluster:
+	$(GO) test . -race -run '^TestCluster' -count=1 -timeout 600s
+	$(GO) test ./cmd/paradigmd/ -run '^TestServiceCluster' -count=1 -v

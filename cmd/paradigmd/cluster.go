@@ -1,0 +1,224 @@
+// Cluster mode: paradigmd runs its accepted jobs on one shared
+// wall-clock processor pool instead of conjuring a dedicated machine per
+// job. A job waits for a partition (placed by the same pluggable routers
+// as the virtual-time simulator in internal/cluster), runs the pipeline
+// on exactly the processors it was granted, and releases them on
+// completion. The robustness surface carries over from the simulator:
+//
+//   - Shrink before reject: when live capacity drops below a job's
+//     request, the job is granted min(request, alive) processors and
+//     marked degraded rather than refused — an acknowledged job is never
+//     lost to pool shrinkage.
+//   - Deterministic fault injection (-cluster-faults N): every Nth
+//     placement loses one partition processor mid-run. The pipeline's
+//     PR 3 recovery driver salvages and re-places onto the partition's
+//     survivors, and the dead processor retires from the pool, so the
+//     service degrades the way a real cluster does. Injection stops once
+//     the pool is nearly exhausted (alive <= minAlivePool) — degrade,
+//     don't collapse.
+//
+// The pool publishes its health as gauges (alive/free/dead) and its
+// decisions as counters (placements, degraded grants, injected faults,
+// retirements) on /metrics.
+package main
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"paradigm"
+	"paradigm/internal/cluster"
+)
+
+// minAlivePool is the degradation floor: fault injection stops rather
+// than retire the pool below this many live processors.
+const minAlivePool = 2
+
+// clusterConfig is the resolved cluster-mode command line.
+type clusterConfig struct {
+	procs      int    // pool size (0: cluster mode off)
+	router     string // partition router name
+	faultEvery int    // kill one partition proc every Nth placement (0: none)
+}
+
+func (c clusterConfig) enabled() bool { return c.procs > 0 }
+
+// grant is one placement: the pool processors a job holds, whether the
+// grant was shrunk below the request, and which partition-local
+// processor (if any) is fated to die mid-run and retire.
+type grant struct {
+	procs      []int // pool processor ids, ascending
+	degraded   bool
+	faultLocal int // partition-local index to kill, -1 for none
+}
+
+// clusterPool is the wall-clock shared pool. All state is guarded by mu;
+// acquire blocks on cond until a partition is available.
+type clusterPool struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	router     cluster.Router
+	total      int
+	faultEvery int
+
+	free map[int]bool
+	dead map[int]bool
+	busy map[int]float64 // cumulative committed wall-seconds per proc
+
+	placements uint64
+	reg        *paradigm.Metrics
+}
+
+func newClusterPool(cfg clusterConfig, reg *paradigm.Metrics) (*clusterPool, error) {
+	if cfg.procs < 1 {
+		return nil, fmt.Errorf("cluster mode needs a positive -cluster-procs, got %d", cfg.procs)
+	}
+	if cfg.faultEvery < 0 {
+		return nil, fmt.Errorf("-cluster-faults %d: want a non-negative placement period", cfg.faultEvery)
+	}
+	name := cfg.router
+	if name == "" {
+		name = cluster.RouterRoundRobin
+	}
+	r, err := cluster.NewNamedRouter(name)
+	if err != nil {
+		return nil, err
+	}
+	p := &clusterPool{
+		router: r, total: cfg.procs, faultEvery: cfg.faultEvery,
+		free: make(map[int]bool, cfg.procs),
+		dead: map[int]bool{},
+		busy: map[int]float64{},
+		reg:  reg,
+	}
+	p.cond = sync.NewCond(&p.mu)
+	for i := 0; i < cfg.procs; i++ {
+		p.free[i] = true
+	}
+	p.publishLocked()
+	return p, nil
+}
+
+// publishLocked refreshes the pool health gauges; callers hold mu.
+func (p *clusterPool) publishLocked() {
+	alive := p.total - len(p.dead)
+	p.reg.Gauge("paradigmd_cluster_pool_alive").Set(float64(alive))
+	p.reg.Gauge("paradigmd_cluster_pool_free").Set(float64(len(p.free)))
+	p.reg.Gauge("paradigmd_cluster_pool_dead").Set(float64(len(p.dead)))
+}
+
+// freeListLocked returns the free processors ascending; callers hold mu.
+func (p *clusterPool) freeListLocked() []int {
+	list := make([]int, 0, len(p.free))
+	for q := range p.free {
+		list = append(list, q)
+	}
+	sort.Ints(list)
+	return list
+}
+
+// acquire blocks until the pool can host the job, then places it via the
+// router. Shrink-before-reject: when live capacity is below the request
+// the job is granted every live processor instead of being refused; only
+// a fully dead pool errors. predict estimates the job's Φ at a partition
+// size for the best-fit policy (NaN = unknown).
+func (p *clusterPool) acquire(spec cluster.Spec, predict func(procs int) float64) (grant, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for {
+		alive := p.total - len(p.dead)
+		if alive < 1 {
+			return grant{}, fmt.Errorf("cluster pool exhausted: all %d processors dead", p.total)
+		}
+		want := spec.Procs
+		if want > alive {
+			want = alive
+		}
+		freeList := p.freeListLocked()
+		if len(freeList) >= want {
+			procs := p.placeLocked(spec, freeList, want, predict)
+			g := grant{procs: procs, degraded: want < spec.Procs, faultLocal: -1}
+			p.placements++
+			p.reg.Counter("paradigmd_cluster_placements_total").Inc()
+			if g.degraded {
+				p.reg.Counter("paradigmd_cluster_degraded_total").Inc()
+			}
+			// Deterministic fault injection: every Nth placement loses its
+			// highest-ranked partition processor — but never a singleton
+			// partition (nothing to recover onto) and never below the pool
+			// floor (degrade, don't collapse).
+			if p.faultEvery > 0 && p.placements%uint64(p.faultEvery) == 0 &&
+				len(procs) >= 2 && alive > minAlivePool {
+				g.faultLocal = len(procs) - 1
+				p.reg.Counter("paradigmd_cluster_faults_injected_total").Inc()
+			}
+			p.publishLocked()
+			return g, nil
+		}
+		p.cond.Wait()
+	}
+}
+
+// placeLocked routes the job onto want free processors, validating the
+// router's answer the same way the virtual-time loop does: an invalid
+// partition (wrong size, non-free or duplicate processors) falls back to
+// the first-free prefix. Callers hold mu.
+func (p *clusterPool) placeLocked(spec cluster.Spec, freeList []int, want int, predict func(int) float64) []int {
+	rc := cluster.RouteContext{
+		Free:    freeList,
+		Grant:   want,
+		Min:     want,
+		Busy:    func(q int) float64 { return p.busy[q] },
+		Predict: predict,
+	}
+	picked := p.router.Route(spec, rc)
+	if !validPartition(picked, p.free, want) {
+		picked = freeList[:want]
+	}
+	procs := append([]int(nil), picked...)
+	sort.Ints(procs)
+	for _, q := range procs {
+		delete(p.free, q)
+	}
+	return procs
+}
+
+// validPartition reports whether a routed partition is exactly want
+// distinct free processors. The wall-clock pool fixes the partition size
+// before routing (capacity is committed on grant), so unlike the
+// simulator's [Min, Grant] window the size here is exact.
+func validPartition(picked []int, free map[int]bool, want int) bool {
+	if len(picked) != want {
+		return false
+	}
+	seen := make(map[int]bool, len(picked))
+	for _, q := range picked {
+		if !free[q] || seen[q] {
+			return false
+		}
+		seen[q] = true
+	}
+	return true
+}
+
+// release returns a grant's processors to the pool, charging each with
+// the job's wall-clock seconds. The processor fated to die (faultLocal)
+// retires to the dead set instead of the free list — the pool shrinks
+// exactly when the simulated partition did.
+func (p *clusterPool) release(g grant, seconds float64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i, q := range g.procs {
+		p.busy[q] += seconds
+		if i == g.faultLocal {
+			p.dead[q] = true
+			p.reg.Counter("paradigmd_cluster_retired_total").Inc()
+			continue
+		}
+		p.free[q] = true
+	}
+	p.publishLocked()
+	p.cond.Broadcast()
+}

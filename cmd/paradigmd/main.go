@@ -73,6 +73,7 @@ import (
 
 	"paradigm"
 	"paradigm/internal/admission"
+	"paradigm/internal/cluster"
 	"paradigm/internal/jobstore"
 )
 
@@ -105,6 +106,9 @@ func main() {
 	flag.StringVar(&o.policyPath, "policy", "", "admission policy config JSON (tenants, SLO classes, queue discipline; empty: unlimited FCFS)")
 	flag.IntVar(&o.shards, "journal-shards", 4, "tenant-sharded job journal count (existing shards are always adopted)")
 	flag.IntVar(&o.schedCacheCap, "sched-cache", 256, "pipeline-level schedule cache capacity in entries (0: disabled)")
+	flag.IntVar(&o.clusterProcs, "cluster-procs", 0, "cluster mode: run jobs on partitions of one shared processor pool of this size (0: off)")
+	flag.StringVar(&o.router, "router", "round-robin", "cluster mode partition router: round-robin, least-loaded, or best-fit")
+	flag.IntVar(&o.clusterFaults, "cluster-faults", 0, "cluster mode: kill one partition processor on every Nth placement; the job recovers onto survivors and the processor retires from the pool (0: none)")
 	flag.BoolVar(&o.smoke, "smoke", false, "start, run one job end to end, drain, and exit (CI smoke mode)")
 	flag.Parse()
 	if err := run(o); err != nil {
@@ -121,6 +125,9 @@ type runOpts struct {
 	schedCacheCap             int
 	budget                    time.Duration
 	retries                   int
+	clusterProcs              int
+	router                    string
+	clusterFaults             int
 	smoke                     bool
 }
 
@@ -185,9 +192,14 @@ func run(o runOpts) error {
 		ckptDir: o.ckptDir, queueCap: o.queueCap, shards: o.shards,
 		budget: o.budget, walRetain: o.walRetain, retries: o.retries,
 		policy: policy, schedCacheCap: schedCap,
+		cluster: clusterConfig{procs: o.clusterProcs, router: o.router, faultEvery: o.clusterFaults},
 	})
 	if err != nil {
 		return err
+	}
+	if srv.pool != nil {
+		log.Printf("cluster mode: %d-processor pool, %s router, fault every %d placements",
+			o.clusterProcs, o.router, o.clusterFaults)
 	}
 	srv.start(o.workers)
 
@@ -270,6 +282,11 @@ type jobView struct {
 	// Coalesced marks a job that joined another job's in-flight solve
 	// instead of solving itself; its digest is the leader's.
 	Coalesced bool `json:"coalesced,omitempty"`
+	// Granted is the partition size the cluster pool actually granted
+	// (cluster mode only); Degraded marks a grant shrunk below the
+	// request because live capacity had dropped.
+	Granted  int  `json:"granted,omitempty"`
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // healthView is the /healthz body.
@@ -332,7 +349,8 @@ type serverConfig struct {
 	walRetain     string
 	retries       int
 	policy        admission.Config
-	schedCacheCap int // schedule-cache entries (0: 256; < 0: disabled)
+	schedCacheCap int           // schedule-cache entries (0: 256; < 0: disabled)
+	cluster       clusterConfig // cluster mode (procs 0: off)
 }
 
 type server struct {
@@ -348,6 +366,9 @@ type server struct {
 	schedCache *paradigm.ScheduleCache
 	journal    *jobstore.Sharded
 	policy     admission.Config
+	// pool is the shared wall-clock processor pool; non-nil iff the
+	// service runs in cluster mode.
+	pool *clusterPool
 
 	mu      sync.Mutex
 	jobs    map[string]*job
@@ -411,6 +432,13 @@ func newServer(mach machineModel, cfg serverConfig) (*server, error) {
 		// allocate→schedule plans across jobs; exact-only replay keeps
 		// journaled digests pure functions of the spec.
 		s.schedCache = paradigm.NewScheduleCache(cfg.schedCacheCap, 8)
+	}
+	if cfg.cluster.enabled() {
+		pool, err := newClusterPool(cfg.cluster, reg)
+		if err != nil {
+			return nil, err
+		}
+		s.pool = pool
 	}
 	// The canonical fold contributes the deterministic counters
 	// (alloc_cache_*, sched_cache_*, job_journal_*); the latency observer
@@ -667,8 +695,9 @@ func (s *server) runJob(j *job) {
 	s.mu.Unlock()
 	s.journalState(jobstore.State{ID: j.ID, Status: jobstore.StatusRunning})
 
-	res, p, err := s.execute(j.req, j.ID)
+	res, p, pl, err := s.execute(j.req, j.ID)
 	s.mu.Lock()
+	j.Granted, j.Degraded = pl.granted, pl.degraded
 	var st jobstore.State
 	if err != nil {
 		j.Status = "failed"
@@ -733,12 +762,24 @@ func (s *server) runJob(j *job) {
 	s.done.Add(uint64(len(terminal)))
 }
 
+// placement is the cluster-mode outcome of one job's grant: zero-valued
+// when the service runs without a pool.
+type placement struct {
+	granted  int
+	degraded bool
+	faulted  bool
+}
+
 // execute runs one job through the full governed pipeline. Panic
 // containment lives in the library: a malformed job comes back as a
-// typed error, never as a worker crash.
-func (s *server) execute(req jobRequest, id string) (*paradigm.Result, *paradigm.Program, error) {
+// typed error, never as a worker crash. In cluster mode the job first
+// acquires a partition from the shared pool (blocking until capacity
+// frees, shrinking the grant when live capacity dropped below the
+// request) and runs on exactly the processors granted.
+func (s *server) execute(req jobRequest, id string) (*paradigm.Result, *paradigm.Program, placement, error) {
 	var (
 		p   *paradigm.Program
+		pl  placement
 		err error
 	)
 	switch req.Program {
@@ -747,10 +788,31 @@ func (s *server) execute(req jobRequest, id string) (*paradigm.Result, *paradigm
 	case "strassen":
 		p, err = paradigm.Strassen(req.Size, s.mach.src)
 	default:
-		return nil, nil, fmt.Errorf("unknown program %q (want cmm or strassen)", req.Program)
+		return nil, nil, pl, fmt.Errorf("unknown program %q (want cmm or strassen)", req.Program)
 	}
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, pl, err
+	}
+	procs := req.Procs
+	var g grant
+	if s.pool != nil {
+		// predictPhi reads state under s.mu; the pool calls it from under
+		// its own lock (pool.mu → s.mu only, never the reverse).
+		predict := func(k int) float64 {
+			kreq := req
+			kreq.Procs = k
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return s.predictPhi(kreq)
+		}
+		g, err = s.pool.acquire(cluster.Spec{ID: id, Procs: req.Procs, MinProcs: 1}, predict)
+		if err != nil {
+			return nil, nil, pl, err
+		}
+		procs = len(g.procs)
+		pl = placement{granted: procs, degraded: g.degraded, faulted: g.faultLocal >= 0}
+		start := time.Now()
+		defer func() { s.pool.release(g, time.Since(start).Seconds()) }()
 	}
 	// Per-job retry budget: the request field overrides the server
 	// default, capped so a hostile submit cannot park a worker.
@@ -776,29 +838,63 @@ func (s *server) execute(req jobRequest, id string) (*paradigm.Result, *paradigm
 	if s.mach.backend != nil {
 		opts = append(opts, paradigm.WithMachine(s.mach.backend))
 	}
-	if req.FaultSeed != 0 {
-		plan, perr := s.faultPlan(req, p)
+	// Fault schedule: a cluster-injected partition death takes precedence
+	// over the request's own seeded plan for this run (the two cannot be
+	// merged without risking duplicate ProcFail entries on one processor).
+	runReq := req
+	runReq.Procs = procs
+	recoverMax := req.Recover
+	switch {
+	case pl.faulted:
+		plan, perr := s.clusterFaultPlan(runReq, p, g.faultLocal)
 		if perr != nil {
-			return nil, nil, perr
+			return nil, nil, pl, perr
+		}
+		opts = append(opts, paradigm.WithFaultPlan(plan))
+		if recoverMax < 1 {
+			// The death is certain; recovery is not optional.
+			recoverMax = 2
+		}
+	case req.FaultSeed != 0:
+		plan, perr := s.faultPlan(runReq, p)
+		if perr != nil {
+			return nil, nil, pl, perr
 		}
 		opts = append(opts, paradigm.WithFaultPlan(plan))
 	}
-	if req.Recover > 0 {
-		opts = append(opts, paradigm.WithRecovery(req.Recover))
+	if recoverMax > 0 {
+		opts = append(opts, paradigm.WithRecovery(recoverMax))
 	}
 	if s.ckptDir != "" {
 		cp, err := paradigm.OpenCheckpoint(filepath.Join(s.ckptDir, "job-"+id+".wal"))
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, pl, err
 		}
 		defer cp.Close()
 		opts = append(opts, paradigm.WithCheckpoint(cp))
 	}
-	res, err := paradigm.RunContext(context.Background(), p, s.mach.profile(req.Procs), s.mach.cal, req.Procs, opts...)
+	res, err := paradigm.RunContext(context.Background(), p, s.mach.profile(procs), s.mach.cal, procs, opts...)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, pl, err
 	}
-	return res, p, nil
+	return res, p, pl, nil
+}
+
+// clusterFaultPlan builds the deterministic partition-death plan for a
+// cluster-injected fault: the partition-local processor dies halfway
+// through the job's fault-free makespan (a pre-run supplies the hint,
+// warm-starting the shared allocation cache so the faulted run replays
+// the identical allocation).
+func (s *server) clusterFaultPlan(req jobRequest, p *paradigm.Program, local int) (*paradigm.FaultPlan, error) {
+	pre := []paradigm.Option{paradigm.WithAllocOptions(paradigm.AllocOptions{Cache: s.allocCache, CacheExactOnly: true})}
+	if s.mach.backend != nil {
+		pre = append(pre, paradigm.WithMachine(s.mach.backend))
+	}
+	clean, err := paradigm.RunContext(context.Background(), p, s.mach.profile(req.Procs), s.mach.cal, req.Procs, pre...)
+	if err != nil {
+		return nil, fmt.Errorf("cluster fault-plan pre-run: %w", err)
+	}
+	return &paradigm.FaultPlan{ProcFails: []paradigm.ProcFail{{Proc: local, At: clean.Actual / 2}}}, nil
 }
 
 // faultPlan derives a job's deterministic fault schedule from its seed:
@@ -939,8 +1035,14 @@ func (s *server) submit(w http.ResponseWriter, r *http.Request) {
 	// Submit coalescing: an identical same-tenant spec already queued or
 	// running gets its own acknowledged-and-journaled job that joins the
 	// in-flight solve instead of consuming a queue slot and a worker.
+	// Cluster mode disables coalescing: a job's outcome there depends on
+	// the pool's state at placement time (granted partition size, fault
+	// injection), so identical specs are no longer interchangeable.
 	key := inflightKey(req.Tenant, req)
-	leader := s.inflight[key]
+	var leader *job
+	if s.pool == nil {
+		leader = s.inflight[key]
+	}
 	// Only submits (under this lock) and boot recovery (before serving)
 	// push on the queue, so the capacity check makes the push below
 	// infallible: a job is registered iff it was admitted.
@@ -987,7 +1089,9 @@ func (s *server) submit(w http.ResponseWriter, r *http.Request) {
 			// implies draining): surface loudly rather than lose the job.
 			panic("paradigmd: admitted job refused by queue")
 		}
-		s.inflight[key] = j
+		if s.pool == nil {
+			s.inflight[key] = j
+		}
 	}
 	s.mu.Unlock()
 	s.updateLag()

@@ -1,0 +1,406 @@
+// Unit tests for the shared-clock cluster loop with a fake runner: the
+// router policies, the health model and its detection latency, the
+// degradation/eviction/shedding ladder, the fault translation at
+// placement, and replay byte-determinism are all pinned here without
+// touching the real pipeline.
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"paradigm/internal/fault"
+	"paradigm/internal/obs"
+)
+
+// fakeRunner returns a fixed duration per job and records every call.
+type fakeRunner struct {
+	mu    sync.Mutex
+	dur   func(spec Spec, procs int) float64
+	phi   func(spec Spec, procs int) float64
+	calls []fakeCall
+}
+
+type fakeCall struct {
+	id    string
+	procs int
+	plan  *fault.Plan
+}
+
+func (f *fakeRunner) Run(spec Spec, procs int, plan *fault.Plan) (RunOutcome, error) {
+	f.mu.Lock()
+	f.calls = append(f.calls, fakeCall{id: spec.ID, procs: procs, plan: plan})
+	f.mu.Unlock()
+	d := 10.0
+	if f.dur != nil {
+		d = f.dur(spec, procs)
+	}
+	recovered := plan != nil && len(plan.ProcFails) > 0
+	attempts := 0
+	if recovered {
+		attempts = len(plan.ProcFails)
+	}
+	return RunOutcome{
+		Duration: d, Digest: spec.ID + "-data",
+		Recovered: recovered, Attempts: attempts,
+	}, nil
+}
+
+func (f *fakeRunner) Predict(spec Spec, procs int) float64 {
+	if f.phi != nil {
+		return f.phi(spec, procs)
+	}
+	return math.NaN()
+}
+
+func (f *fakeRunner) call(t *testing.T, id string) fakeCall {
+	t.Helper()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, c := range f.calls {
+		if c.id == id {
+			return c
+		}
+	}
+	t.Fatalf("job %q never reached the runner", id)
+	return fakeCall{}
+}
+
+func job(id string, arrive float64, procs int) Spec {
+	return Spec{ID: id, Class: "silver", Priority: 1, Arrive: arrive, Procs: procs}
+}
+
+func mustRun(t *testing.T, specs []Spec, o Options) *Outcome {
+	t.Helper()
+	out, err := Run(specs, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestRoundRobinSpreadsPartitions(t *testing.T) {
+	r := &fakeRunner{}
+	out := mustRun(t, []Spec{job("a", 0, 2), job("b", 0, 2)},
+		Options{Procs: 8, Runner: r})
+	a, _ := out.Job("a")
+	b, _ := out.Job("b")
+	used := map[int]bool{}
+	for _, q := range append(append([]int{}, a.Procs...), b.Procs...) {
+		if used[q] {
+			t.Fatalf("jobs share processor %d: a=%v b=%v", q, a.Procs, b.Procs)
+		}
+		used[q] = true
+	}
+	if a.Start != 0 || b.Start != 0 {
+		t.Fatalf("both jobs fit the pool but did not start together: %v, %v", a.Start, b.Start)
+	}
+}
+
+func TestLeastLoadedPrefersIdleProcs(t *testing.T) {
+	r := &fakeRunner{dur: func(s Spec, _ int) float64 {
+		if s.ID == "long" {
+			return 100
+		}
+		return 10
+	}}
+	// "long" occupies its partition for 100s; "late" arrives after
+	// "short" finished, so procs that ran "short" have 10s of wear and
+	// the never-used procs none — least-loaded must pick the fresh ones.
+	out := mustRun(t, []Spec{job("long", 0, 2), job("short", 0, 2), job("late", 50, 2)},
+		Options{Procs: 8, Router: RouterLeastLoaded, Runner: r})
+	late, _ := out.Job("late")
+	short, _ := out.Job("short")
+	shortSet := map[int]bool{}
+	for _, q := range short.Procs {
+		shortSet[q] = true
+	}
+	for _, q := range late.Procs {
+		if shortSet[q] {
+			t.Fatalf("least-loaded reused worn processor %d (short=%v late=%v)",
+				q, short.Procs, late.Procs)
+		}
+	}
+}
+
+func TestBestFitSizesByPredictedCost(t *testing.T) {
+	// Φ(k) = 1: processor-seconds k·Φ grow with k, so the cheapest legal
+	// size is the smallest candidate ≥ MinProcs.
+	r := &fakeRunner{phi: func(_ Spec, _ int) float64 { return 1 }}
+	spec := job("a", 0, 8)
+	spec.MinProcs = 2
+	out := mustRun(t, []Spec{spec}, Options{Procs: 8, Router: RouterBestFit, Runner: r})
+	a, _ := out.Job("a")
+	if a.Granted != 2 {
+		t.Fatalf("best-fit granted %d procs under flat Φ, want the 2-proc minimum", a.Granted)
+	}
+	// Perfect speedup Φ(k) = 1/k: every size costs the same
+	// processor-seconds and the tie breaks toward the full grant.
+	r2 := &fakeRunner{phi: func(_ Spec, k int) float64 { return 1 / float64(k) }}
+	out2 := mustRun(t, []Spec{spec}, Options{Procs: 8, Router: RouterBestFit, Runner: r2})
+	a2, _ := out2.Job("a")
+	if a2.Granted != 8 {
+		t.Fatalf("best-fit granted %d procs under perfect speedup, want the full 8", a2.Granted)
+	}
+	// Unknown Φ falls back to the full grant.
+	r3 := &fakeRunner{}
+	out3 := mustRun(t, []Spec{spec}, Options{Procs: 8, Router: RouterBestFit, Runner: r3})
+	a3, _ := out3.Job("a")
+	if a3.Granted != 8 {
+		t.Fatalf("best-fit granted %d procs with unknown Φ, want the full grant", a3.Granted)
+	}
+}
+
+func TestFaultTranslationAtPlacement(t *testing.T) {
+	r := &fakeRunner{}
+	// Pool processor 2 dies at t=3; the job holds the whole pool from
+	// t=0, so its partition-relative plan says local proc 2 dies at 3.
+	out := mustRun(t, []Spec{job("a", 0, 4)}, Options{
+		Procs:  4,
+		Faults: &fault.Plan{ProcFails: []fault.ProcFail{{Proc: 2, At: 3}}},
+		Runner: r, DetectLatency: 1})
+	c := r.call(t, "a")
+	if c.plan == nil || len(c.plan.ProcFails) != 1 {
+		t.Fatalf("job plan = %+v, want one translated ProcFail", c.plan)
+	}
+	if pf := c.plan.ProcFails[0]; pf.Proc != 2 || pf.At != 3 {
+		t.Fatalf("translated fault = %+v, want {Proc:2 At:3}", pf)
+	}
+	a, _ := out.Job("a")
+	if !a.Recovered {
+		t.Fatal("job holding a dying processor did not report recovery")
+	}
+}
+
+func TestSuspectWindowPlacesWithImmediateFault(t *testing.T) {
+	r := &fakeRunner{dur: func(Spec, int) float64 { return 4 }}
+	rec := obs.NewRecorder()
+	// Processor 1 fails in fact at t=2 and is detected at t=2+10. A job
+	// arriving at t=5 (inside the suspect window) still gets the full
+	// pool — including the suspect processor, carried as a
+	// relative-time-0 death it must absorb internally.
+	out := mustRun(t, []Spec{job("early", 0, 2), job("mid", 5, 4)}, Options{
+		Procs: 4, DetectLatency: 10,
+		Faults:   &fault.Plan{ProcFails: []fault.ProcFail{{Proc: 1, At: 2}}},
+		Runner:   r,
+		Observer: rec,
+	})
+	// The early 2-proc job on procs {0,1} sees the fault at relative 2.
+	c := r.call(t, "early")
+	if c.plan == nil || c.plan.ProcFails[0].At != 2 {
+		t.Fatalf("early plan = %+v, want fault at relative t=2", c.plan)
+	}
+	cm := r.call(t, "mid")
+	if cm.procs != 4 {
+		t.Fatalf("mid granted %d procs, want all 4 during the suspect window", cm.procs)
+	}
+	var zero bool
+	for _, pf := range cm.plan.ProcFails {
+		if pf.At == 0 {
+			zero = true
+		}
+	}
+	if !zero {
+		t.Fatalf("mid plan = %+v, want a relative-time-0 death for the suspect proc", cm.plan)
+	}
+	// Health trace: suspect at 2, dead at 12.
+	var states []string
+	for _, e := range rec.Events() {
+		if ph, ok := e.(obs.PoolHealth); ok {
+			states = append(states, fmt.Sprintf("%s@%g", ph.State, ph.Time))
+		}
+	}
+	want := "suspect@2,dead@12"
+	if got := strings.Join(states, ","); got != want {
+		t.Fatalf("health transitions = %s, want %s", got, want)
+	}
+	if out.Procs != 4 {
+		t.Fatalf("outcome procs = %d", out.Procs)
+	}
+}
+
+func TestDegradedPlacementAfterPoolShrink(t *testing.T) {
+	r := &fakeRunner{}
+	// Four of eight processors die and are detected before the big job
+	// arrives: the pool can never grant 8 again, so the job is placed
+	// degraded on the 4 survivors.
+	spec := job("big", 20, 8)
+	spec.MinProcs = 2
+	out := mustRun(t, []Spec{spec}, Options{
+		Procs: 8, DetectLatency: 1,
+		Faults: &fault.Plan{ProcFails: []fault.ProcFail{
+			{Proc: 0, At: 1}, {Proc: 2, At: 1}, {Proc: 4, At: 2}, {Proc: 6, At: 2},
+		}},
+		Runner: r,
+	})
+	b, ok := out.Job("big")
+	if !ok {
+		t.Fatal("big job lost")
+	}
+	if !b.Degraded || b.Granted != 4 || b.Requested != 8 {
+		t.Fatalf("big: degraded=%t granted=%d requested=%d, want degraded 4/8",
+			b.Degraded, b.Granted, b.Requested)
+	}
+	for _, q := range b.Procs {
+		if q%2 == 0 {
+			t.Fatalf("degraded partition %v contains dead processor %d", b.Procs, q)
+		}
+	}
+	found := false
+	for _, d := range out.Decisions {
+		if d.Decision == "degrade" && d.Job == "big" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no degrade decision traced")
+	}
+}
+
+func TestEvictionBelowMinProcs(t *testing.T) {
+	r := &fakeRunner{}
+	spec := job("doomed", 10, 4)
+	spec.MinProcs = 3
+	out := mustRun(t, []Spec{spec}, Options{
+		Procs: 4, DetectLatency: 0,
+		Faults: &fault.Plan{ProcFails: []fault.ProcFail{
+			{Proc: 0, At: 1}, {Proc: 1, At: 1},
+		}},
+		Runner: r,
+	})
+	if len(out.Evicted) != 1 || out.Evicted[0] != "doomed" {
+		t.Fatalf("Evicted = %v, want [doomed]", out.Evicted)
+	}
+	if _, ok := out.Job("doomed"); ok {
+		t.Fatal("evicted job also reported as completed")
+	}
+}
+
+func TestShedByClassPriority(t *testing.T) {
+	r := &fakeRunner{dur: func(Spec, int) float64 { return 100 }}
+	hog := job("hog", 0, 4) // occupies the whole pool, forcing a queue
+	gold := Spec{ID: "gold", Class: "gold", Priority: 3, Arrive: 1, Procs: 2}
+	silver := Spec{ID: "silver", Class: "silver", Priority: 2, Arrive: 2, Procs: 2}
+	bronze1 := Spec{ID: "bronze1", Class: "bronze", Priority: 1, Arrive: 3, Procs: 2}
+	bronze2 := Spec{ID: "bronze2", Class: "bronze", Priority: 1, Arrive: 4, Procs: 2}
+	out := mustRun(t, []Spec{hog, gold, silver, bronze1, bronze2},
+		Options{Procs: 4, MaxPending: 3, Runner: r})
+	// The fourth pending arrival overflows MaxPending=3: the victim must
+	// be the lowest class, latest arrival — bronze2.
+	if len(out.Shed) != 1 || out.Shed[0] != "bronze2" {
+		t.Fatalf("Shed = %v, want [bronze2] (lowest priority, latest arrival)", out.Shed)
+	}
+	for _, id := range []string{"hog", "gold", "silver", "bronze1"} {
+		if _, ok := out.Job(id); !ok {
+			t.Fatalf("job %s lost (completed: %d, shed: %v)", id, len(out.Jobs), out.Shed)
+		}
+	}
+}
+
+func TestPriorityOrdersAdmission(t *testing.T) {
+	r := &fakeRunner{dur: func(Spec, int) float64 { return 10 }}
+	hog := job("hog", 0, 4)
+	low := Spec{ID: "low", Class: "bronze", Priority: 0, Arrive: 1, Procs: 4}
+	high := Spec{ID: "high", Class: "gold", Priority: 5, Arrive: 2, Procs: 4}
+	out := mustRun(t, []Spec{hog, low, high}, Options{Procs: 4, Runner: r})
+	l, _ := out.Job("low")
+	h, _ := out.Job("high")
+	if !(h.Start < l.Start) {
+		t.Fatalf("high-priority job started at %g, low at %g — want gold first", h.Start, l.Start)
+	}
+}
+
+func TestReplayByteDeterminism(t *testing.T) {
+	mk := func() ([]Spec, Options) {
+		plan, err := fault.Rand(7, fault.RandOptions{Procs: 8, MakespanHint: 40, ProcFails: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		specs := []Spec{
+			job("a", 0, 4), job("b", 1, 4), job("c", 2, 2),
+			{ID: "d", Class: "gold", Priority: 3, Arrive: 3, Procs: 8, MinProcs: 2},
+		}
+		return specs, Options{
+			Procs: 8, Router: RouterLeastLoaded, DetectLatency: 2,
+			Faults: plan,
+			Runner: &fakeRunner{dur: func(s Spec, k int) float64 { return 8 / float64(k) * 16 }},
+		}
+	}
+	s1, o1 := mk()
+	s2, o2 := mk()
+	a := mustRun(t, s1, o1)
+	b := mustRun(t, s2, o2)
+	if a.String() != b.String() {
+		t.Fatalf("same inputs, different outcomes:\n--- a\n%s--- b\n%s", a, b)
+	}
+	// Counterfactual: force job a to 2 procs. Byte-deterministic too,
+	// and visibly different from the base run.
+	s3, o3 := mk()
+	s4, o4 := mk()
+	c1, err := Replay(s3, o3, map[string]int{"a": 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Replay(s4, o4, map[string]int{"a": 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1.String() != c2.String() {
+		t.Fatal("counterfactual replay is not byte-deterministic")
+	}
+	ja, _ := c1.Job("a")
+	if ja.Granted != 2 {
+		t.Fatalf("override granted %d procs, want 2", ja.Granted)
+	}
+	if c1.String() == a.String() {
+		t.Fatal("counterfactual with a different grant produced the identical outcome")
+	}
+}
+
+func TestUtilizationAndDecisionTrace(t *testing.T) {
+	r := &fakeRunner{dur: func(Spec, int) float64 { return 10 }}
+	reg := obs.NewRegistry()
+	out := mustRun(t, []Spec{job("a", 0, 4)}, Options{
+		Procs: 8, Runner: r, Observer: obs.MetricsObserver(reg),
+	})
+	// One 4-proc job for 10s on an 8-proc pool that ends at t=10.
+	if math.Abs(out.Utilization-0.5) > 1e-12 {
+		t.Fatalf("utilization = %v, want 0.5", out.Utilization)
+	}
+	text := reg.Snapshot().Text()
+	for _, m := range []string{"cluster_decisions_total", "cluster_place_total", "cluster_finish_total"} {
+		if !strings.Contains(text, m) {
+			t.Fatalf("metrics snapshot missing %q:\n%s", m, text)
+		}
+	}
+}
+
+func TestOptionValidation(t *testing.T) {
+	r := &fakeRunner{}
+	cases := []struct {
+		name  string
+		specs []Spec
+		o     Options
+	}{
+		{"no-runner", []Spec{job("a", 0, 1)}, Options{Procs: 4}},
+		{"zero-procs", []Spec{job("a", 0, 1)}, Options{Runner: r}},
+		{"dup-id", []Spec{job("a", 0, 1), job("a", 0, 1)}, Options{Procs: 4, Runner: r}},
+		{"no-id", []Spec{{Procs: 1}}, Options{Procs: 4, Runner: r}},
+		{"bad-req", []Spec{{ID: "a", Procs: 0}}, Options{Procs: 4, Runner: r}},
+		{"min-gt-req", []Spec{{ID: "a", Procs: 2, MinProcs: 4}}, Options{Procs: 4, Runner: r}},
+		{"nan-arrive", []Spec{{ID: "a", Procs: 1, Arrive: math.NaN()}}, Options{Procs: 4, Runner: r}},
+		{"bad-router", []Spec{job("a", 0, 1)}, Options{Procs: 4, Runner: r, Router: "mystery"}},
+		{"msg-fault-pool", []Spec{job("a", 0, 1)}, Options{Procs: 4, Runner: r,
+			Faults: &fault.Plan{MsgFaults: []fault.MsgFault{{Kind: fault.Drop, Seq: 1}}}}},
+		{"invalid-pool-plan", []Spec{job("a", 0, 1)}, Options{Procs: 4, Runner: r,
+			Faults: &fault.Plan{ProcFails: []fault.ProcFail{{Proc: 9, At: 1}}}}},
+	}
+	for _, tc := range cases {
+		if _, err := Run(tc.specs, tc.o); err == nil {
+			t.Errorf("%s: Run accepted invalid input", tc.name)
+		}
+	}
+}

@@ -95,25 +95,36 @@ func (p *Plan) Empty() bool {
 	return p == nil || (len(p.ProcFails) == 0 && len(p.MsgFaults) == 0 && len(p.Stragglers) == 0)
 }
 
-// Validate checks the plan against a system size.
+// Validate checks the plan against a system size. Plans are validated
+// both at full machine scope and partition-relative (the cluster layer
+// rebases pool faults onto partition-local indices), so every bound is
+// strict: out-of-range processors, negative/NaN/Inf times, and duplicate
+// ProcFail entries for one processor are all rejected — a processor dies
+// fail-stop exactly once, and a duplicate means the plan was assembled
+// from two sources that disagree.
 func (p *Plan) Validate(procs int) error {
 	if p == nil {
 		return nil
 	}
+	seen := make(map[int]bool, len(p.ProcFails))
 	for _, f := range p.ProcFails {
 		if f.Proc < 0 || f.Proc >= procs {
 			return fmt.Errorf("fault: ProcFail.Proc = %d outside [0, %d)", f.Proc, procs)
 		}
-		if f.At < 0 || math.IsNaN(f.At) {
-			return fmt.Errorf("fault: ProcFail.At = %v, want >= 0", f.At)
+		if f.At < 0 || math.IsNaN(f.At) || math.IsInf(f.At, 0) {
+			return fmt.Errorf("fault: ProcFail.At = %v, want finite and >= 0", f.At)
 		}
+		if seen[f.Proc] {
+			return fmt.Errorf("fault: duplicate ProcFail for processor %d", f.Proc)
+		}
+		seen[f.Proc] = true
 	}
 	for _, f := range p.MsgFaults {
 		if f.Tag == "" && f.Seq < 0 {
 			return fmt.Errorf("fault: MsgFault needs a Tag or a Seq >= 0, got Seq = %d", f.Seq)
 		}
-		if f.Kind == Delay && (f.Extra <= 0 || math.IsNaN(f.Extra)) {
-			return fmt.Errorf("fault: Delay needs Extra > 0, got %v", f.Extra)
+		if f.Kind == Delay && !(f.Extra > 0 && !math.IsInf(f.Extra, 0)) {
+			return fmt.Errorf("fault: Delay needs finite Extra > 0, got %v", f.Extra)
 		}
 		if f.Kind > Delay {
 			return fmt.Errorf("fault: unknown message fault kind %d", f.Kind)
@@ -131,6 +142,54 @@ func (p *Plan) Validate(procs int) error {
 		}
 	}
 	return nil
+}
+
+// Residual returns the fault schedule that survives a halt-and-replan
+// cycle: the plan that applies to a recovery re-run after the processors
+// in failed (ascending, all < procs) died and the run was rebased to a
+// fresh virtual clock.
+//
+// ProcFail entries for already-failed processors are dropped (they
+// fired), the rest are remapped onto the compacted survivor indexing
+// (survivor k is the k-th non-failed processor, preserving order — the
+// recovery driver replans on procs-len(failed) processors numbered from
+// zero) and their fail times shifted by rebase (clamped at zero: a
+// fault that was already due fires the moment the re-run starts).
+// Message faults and stragglers are dropped: their coordinates — global
+// send sequence numbers and MDG node ids — do not survive replanning on
+// a residual program.
+//
+// A nil receiver, or a plan with nothing left, returns nil, which the
+// simulator treats as fault-free.
+func (p *Plan) Residual(procs int, failed []int, rebase float64) *Plan {
+	if p == nil || len(p.ProcFails) == 0 {
+		return nil
+	}
+	gone := make(map[int]bool, len(failed))
+	for _, pr := range failed {
+		gone[pr] = true
+	}
+	// newIdx[q] is q's partition-relative index among the survivors.
+	newIdx := make(map[int]int, procs)
+	next := 0
+	for q := 0; q < procs; q++ {
+		if !gone[q] {
+			newIdx[q] = next
+			next++
+		}
+	}
+	var out *Plan
+	for _, f := range p.ProcFails {
+		idx, alive := newIdx[f.Proc]
+		if !alive {
+			continue
+		}
+		if out == nil {
+			out = &Plan{}
+		}
+		out.ProcFails = append(out.ProcFails, ProcFail{Proc: idx, At: math.Max(0, f.At-rebase)})
+	}
+	return out
 }
 
 // FailAt returns the earliest fail time for a processor, if any.

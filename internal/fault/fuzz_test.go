@@ -1,0 +1,184 @@
+// FuzzFaultPlan drives Validate and the partition-relative helpers with
+// adversarial plans: whatever the bytes decode to, Validate must never
+// panic, must reject every malformed plan the hardening covers
+// (out-of-range processors, negative/NaN/Inf times, duplicate ProcFail
+// entries), and every plan it accepts must survive the helper surface —
+// FailAt/MsgFaultFor/SlowdownFor lookups and a Residual rebase whose
+// output re-validates at the survivor count.
+package fault
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// planFromBytes deterministically decodes a fuzzed byte string into a
+// plan plus the system size to validate it against. The decoder is
+// intentionally loose: it produces plenty of invalid plans (indices and
+// times are raw draws), which is the point — Validate has to catch them.
+func planFromBytes(data []byte) (*Plan, int) {
+	read := func() uint64 {
+		if len(data) == 0 {
+			return 0
+		}
+		n := min(len(data), 8)
+		var buf [8]byte
+		copy(buf[:], data[:n])
+		data = data[n:]
+		return binary.LittleEndian.Uint64(buf[:])
+	}
+	f64 := func() float64 {
+		bits := read()
+		v := math.Float64frombits(bits)
+		if bits%7 == 0 {
+			// Keep a healthy share of plausible finite times in range.
+			v = float64(bits%1024) / 16
+		}
+		return v
+	}
+	procs := int(read()%16) + 1
+	p := &Plan{}
+	for n := read() % 5; n > 0; n-- {
+		p.ProcFails = append(p.ProcFails, ProcFail{Proc: int(read()%24) - 4, At: f64()})
+	}
+	for n := read() % 4; n > 0; n-- {
+		p.MsgFaults = append(p.MsgFaults, MsgFault{
+			Kind: MsgFaultKind(read() % 5), Seq: int(read()%64) - 8, Extra: f64(),
+		})
+	}
+	for n := read() % 4; n > 0; n-- {
+		p.Stragglers = append(p.Stragglers, Straggler{
+			Node: int(read()%32) - 4, Proc: int(read()%24) - 4, Factor: f64(),
+		})
+	}
+	return p, procs
+}
+
+func FuzzFaultPlan(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 0, 0, 0, 0, 0, 0, 0, 3})
+	f.Add(func() []byte {
+		// A valid two-fault plan at procs=8 as a structured seed.
+		var b []byte
+		app := func(v uint64) { b = binary.LittleEndian.AppendUint64(b, v) }
+		app(7)  // procs = 8
+		app(2)  // two ProcFails
+		app(1)  // proc 1
+		app(14) // bits%7==0 → in-range time
+		app(3)  // proc 3
+		app(21)
+		app(0) // no msg faults
+		app(0) // no stragglers
+		return b
+	}())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, procs := planFromBytes(data)
+		err := p.Validate(procs)
+		if err != nil {
+			return
+		}
+		// Accepted plans must be internally consistent and survive every
+		// helper the simulator and the cluster layer lean on.
+		seen := map[int]bool{}
+		for _, pf := range p.ProcFails {
+			if pf.Proc < 0 || pf.Proc >= procs || seen[pf.Proc] {
+				t.Fatalf("Validate accepted ProcFails %+v at procs=%d", p.ProcFails, procs)
+			}
+			seen[pf.Proc] = true
+			at, ok := p.FailAt(pf.Proc)
+			if !ok || at != pf.At {
+				t.Fatalf("FailAt(%d) = %v,%v, want %v,true", pf.Proc, at, ok, pf.At)
+			}
+		}
+		for pr := 0; pr < procs; pr++ {
+			p.SlowdownFor(0, pr)
+			p.MsgFaultFor(pr, "")
+		}
+		// Residual of a valid plan must re-validate at the survivor count
+		// for any failed subset drawn from the plan's own fail entries.
+		for k := 0; k <= len(p.ProcFails); k++ {
+			failed := make([]int, 0, k)
+			for _, pf := range p.ProcFails[:k] {
+				failed = append(failed, pf.Proc)
+			}
+			res := p.Residual(procs, failed, 1.5)
+			if res == nil {
+				continue
+			}
+			if rerr := res.Validate(procs - len(failed)); rerr != nil {
+				t.Fatalf("Residual(%v) of a valid plan fails Validate(%d): %v",
+					failed, procs-len(failed), rerr)
+			}
+			if len(res.MsgFaults) != 0 || len(res.Stragglers) != 0 {
+				t.Fatalf("Residual carried non-ProcFail entries: %+v", res)
+			}
+		}
+	})
+}
+
+// TestValidateHardened pins the partition-relative hardening: duplicate
+// deaths, infinite times, and boundary indices are all refused.
+func TestValidateHardened(t *testing.T) {
+	cases := []struct {
+		name string
+		plan Plan
+		ok   bool
+	}{
+		{"duplicate-procfail", Plan{ProcFails: []ProcFail{{Proc: 2, At: 1}, {Proc: 2, At: 3}}}, false},
+		{"inf-time", Plan{ProcFails: []ProcFail{{Proc: 0, At: math.Inf(1)}}}, false},
+		{"nan-time", Plan{ProcFails: []ProcFail{{Proc: 0, At: math.NaN()}}}, false},
+		{"negative-time", Plan{ProcFails: []ProcFail{{Proc: 0, At: -1}}}, false},
+		{"proc-at-bound", Plan{ProcFails: []ProcFail{{Proc: 4, At: 1}}}, false},
+		{"negative-proc", Plan{ProcFails: []ProcFail{{Proc: -1, At: 1}}}, false},
+		{"inf-delay", Plan{MsgFaults: []MsgFault{{Kind: Delay, Seq: 0, Extra: math.Inf(1)}}}, false},
+		{"nan-delay", Plan{MsgFaults: []MsgFault{{Kind: Delay, Seq: 0, Extra: math.NaN()}}}, false},
+		{"distinct-procs", Plan{ProcFails: []ProcFail{{Proc: 0, At: 1}, {Proc: 3, At: 1}}}, true},
+	}
+	for _, tc := range cases {
+		err := tc.plan.Validate(4)
+		if tc.ok && err != nil {
+			t.Errorf("%s: Validate = %v, want nil", tc.name, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("%s: Validate accepted an invalid plan", tc.name)
+		}
+	}
+}
+
+// TestResidualRemap pins the survivor remapping and rebase semantics the
+// recovery driver and the cluster layer rely on.
+func TestResidualRemap(t *testing.T) {
+	p := &Plan{
+		ProcFails: []ProcFail{{Proc: 1, At: 2}, {Proc: 3, At: 5}, {Proc: 6, At: 1}},
+		MsgFaults: []MsgFault{{Kind: Drop, Seq: 0}},
+	}
+	// Processor 1 died at t=2: survivors of an 8-proc run are
+	// 0,2,3,4,5,6,7 → proc 3 becomes 2, proc 6 becomes 5.
+	res := p.Residual(8, []int{1}, 2)
+	if res == nil {
+		t.Fatal("Residual = nil, want the two surviving fails")
+	}
+	want := []ProcFail{{Proc: 2, At: 3}, {Proc: 5, At: 0}}
+	if len(res.ProcFails) != len(want) {
+		t.Fatalf("Residual ProcFails = %+v, want %+v", res.ProcFails, want)
+	}
+	for i, pf := range res.ProcFails {
+		if pf != want[i] {
+			t.Fatalf("Residual ProcFails[%d] = %+v, want %+v", i, pf, want[i])
+		}
+	}
+	if len(res.MsgFaults) != 0 {
+		t.Fatal("Residual kept message faults across a replan")
+	}
+	if err := res.Validate(7); err != nil {
+		t.Fatalf("residual plan invalid at survivor count: %v", err)
+	}
+	// Every fail consumed → nil.
+	if got := p.Residual(8, []int{1, 3, 6}, 9); got != nil {
+		t.Fatalf("fully-consumed Residual = %+v, want nil", got)
+	}
+	if got := (*Plan)(nil).Residual(8, nil, 0); got != nil {
+		t.Fatalf("nil Residual = %+v, want nil", got)
+	}
+}

@@ -1,0 +1,207 @@
+// Half-open breaker behavior under concurrent probes. The half-open
+// state admits exactly one probe at a time — a thundering herd arriving
+// the instant the cooldown elapses must collapse to a single call — and
+// the probe's report decides the next state: success closes, failure
+// re-opens. These tests run under -race; the barriers are real
+// goroutines hammering Allow concurrently.
+package resil
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeClock is a mutex-guarded manual clock for BreakerOptions.Now.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Unix(1_000_000, 0)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}
+
+// trip drives a closed breaker to open with threshold consecutive
+// budget failures.
+func trip(t *testing.T, b *Breaker, threshold int) {
+	t.Helper()
+	for i := 0; i < threshold; i++ {
+		if !b.Allow() {
+			t.Fatalf("closed breaker refused call %d before the threshold", i)
+		}
+		b.Failure()
+	}
+	if state, _ := b.Stats(); state != StateOpen {
+		t.Fatalf("state after %d failures = %q, want open", threshold, state)
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted a call inside the cooldown")
+	}
+}
+
+// TestBreakerSingleProbeAdmission: when the cooldown elapses, N
+// goroutines racing Allow get exactly one true — the single half-open
+// probe — and everyone else is refused until that probe reports.
+func TestBreakerSingleProbeAdmission(t *testing.T) {
+	clock := newFakeClock()
+	b := NewBreaker(BreakerOptions{Threshold: 3, Cooldown: time.Minute, Now: clock.Now})
+	trip(t, b, 3)
+	clock.Advance(time.Minute)
+
+	const workers = 32
+	var admitted atomic.Int64
+	var start, done sync.WaitGroup
+	start.Add(1)
+	done.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer done.Done()
+			start.Wait()
+			if b.Allow() {
+				admitted.Add(1)
+			}
+		}()
+	}
+	start.Done()
+	done.Wait()
+	if got := admitted.Load(); got != 1 {
+		t.Fatalf("half-open admitted %d concurrent probes, want exactly 1", got)
+	}
+	if state, _ := b.Stats(); state != StateHalfOpen {
+		t.Fatalf("state during probe = %q, want half-open", state)
+	}
+	// While the probe is in flight, every further call is refused.
+	for i := 0; i < 8; i++ {
+		if b.Allow() {
+			t.Fatal("breaker admitted a second probe while one is in flight")
+		}
+	}
+}
+
+// TestBreakerProbeSuccessCloses: the half-open probe reporting success
+// closes the breaker and restores full admission, with the consecutive
+// failure count reset.
+func TestBreakerProbeSuccessCloses(t *testing.T) {
+	clock := newFakeClock()
+	b := NewBreaker(BreakerOptions{Threshold: 2, Cooldown: time.Second, Now: clock.Now})
+	trip(t, b, 2)
+	clock.Advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("cooldown elapsed but no probe admitted")
+	}
+	b.Success()
+	state, consecutive := b.Stats()
+	if state != StateClosed || consecutive != 0 {
+		t.Fatalf("after probe success: state %q, consecutive %d, want closed/0", state, consecutive)
+	}
+	// Closed again: concurrent calls all flow.
+	var refused atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if !b.Allow() {
+				refused.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if n := refused.Load(); n != 0 {
+		t.Fatalf("closed breaker refused %d of 16 concurrent calls", n)
+	}
+}
+
+// TestBreakerProbeFailureReopens: a failed probe re-opens the breaker
+// for a fresh cooldown, and the next cooldown expiry admits exactly one
+// new probe — the full open→half-open→open→half-open cycle.
+func TestBreakerProbeFailureReopens(t *testing.T) {
+	clock := newFakeClock()
+	b := NewBreaker(BreakerOptions{Threshold: 3, Cooldown: time.Minute, Now: clock.Now})
+	trip(t, b, 3)
+	clock.Advance(time.Minute)
+	if !b.Allow() {
+		t.Fatal("cooldown elapsed but no probe admitted")
+	}
+	b.Failure()
+	if state, _ := b.Stats(); state != StateOpen {
+		t.Fatalf("state after failed probe = %q, want open", state)
+	}
+	if b.Allow() {
+		t.Fatal("re-opened breaker admitted a call inside the fresh cooldown")
+	}
+	// Half the cooldown is not enough — the window restarted at the
+	// probe failure.
+	clock.Advance(30 * time.Second)
+	if b.Allow() {
+		t.Fatal("re-opened breaker admitted a call at half the fresh cooldown")
+	}
+	clock.Advance(30 * time.Second)
+	var admitted atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if b.Allow() {
+				admitted.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := admitted.Load(); got != 1 {
+		t.Fatalf("second half-open window admitted %d probes, want exactly 1", got)
+	}
+	b.Success()
+	if state, _ := b.Stats(); state != StateClosed {
+		t.Fatalf("state after second probe success = %q, want closed", state)
+	}
+}
+
+// TestBreakerConcurrentChurn stress-mixes Allow/Success/Failure across
+// goroutines while the clock advances — no invariant assertions beyond
+// the race detector and the terminal states being legal.
+func TestBreakerConcurrentChurn(t *testing.T) {
+	clock := newFakeClock()
+	b := NewBreaker(BreakerOptions{Threshold: 3, Cooldown: time.Millisecond, Now: clock.Now})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				if b.Allow() {
+					if (worker+j)%3 == 0 {
+						b.Failure()
+					} else {
+						b.Success()
+					}
+				}
+				if j%17 == 0 {
+					clock.Advance(time.Millisecond)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	state, _ := b.Stats()
+	switch state {
+	case StateClosed, StateOpen, StateHalfOpen:
+	default:
+		t.Fatalf("terminal state %q is not a breaker state", state)
+	}
+}

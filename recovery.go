@@ -97,11 +97,17 @@ func WithVirtualDeadline(d float64) Option {
 
 // recoverRun drives failure-aware rescheduling after a halted
 // simulation: salvage, residual-program construction, replanning on the
-// survivors, and re-execution. The re-run is fault-free (the fail-stop
-// burst already happened; the paper's single-fault-window model), so
-// further halts can only come from genuine planning errors.
+// survivors, and re-execution. The re-run carries the *residual* fault
+// plan — processor deaths from the original schedule that had not yet
+// fired, remapped onto the compacted survivor indexing and rebased to
+// the re-run's fresh clock — so a second fault wave landing during or
+// after salvage→replan halts the re-run and re-enters this loop
+// (bounded by the retry budget) instead of being silently dropped or
+// surfacing as a raw halt. Message faults and stragglers do not survive
+// a replan: their coordinates (send sequence numbers, node ids) belong
+// to the schedule that died with the first wave.
 func recoverRun(ctx context.Context, p *Program, m Machine, model Model, src LoopSource, procs int, halt *sim.HaltError, c *config) (*Result, error) {
-	curP, curProcs := p, procs
+	curP, curProcs, curPlan := p, procs, c.faults
 	for attempt := 1; ; attempt++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -213,13 +219,23 @@ func recoverRun(ctx context.Context, p *Program, m Machine, model Model, src Loo
 		if err != nil {
 			return nil, err
 		}
+		// The residual schedule rebases to the latest death that fired:
+		// the halt is diagnosed no earlier than the last fail-stop, and
+		// pending deaths keep their spacing relative to it.
+		rebase := 0.0
+		for _, pr := range halt.Failed {
+			if at, ok := curPlan.FailAt(pr); ok && at > rebase {
+				rebase = at
+			}
+		}
+		resPlan := curPlan.Residual(curProcs, halt.Failed, rebase)
 		simRes, err := sim.RunCtx(ctx, resProg, streams, m.WithProcs(survivors), sim.Options{
-			Observer: c.observer, VirtualDeadline: c.deadline,
+			Observer: c.observer, Faults: resPlan, VirtualDeadline: c.deadline,
 		})
 		if err != nil {
 			var h2 *sim.HaltError
 			if attempt < c.recoverMax && errors.As(err, &h2) {
-				halt, curP, curProcs = h2, resProg, survivors
+				halt, curP, curProcs, curPlan = h2, resProg, survivors, resPlan
 				continue
 			}
 			return nil, err

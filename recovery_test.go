@@ -139,6 +139,57 @@ func TestEveryProcFailureRecovers(t *testing.T) {
 	}
 }
 
+// TestTwoWaveFaultRecovers is the second-wave regression gate: a fault
+// plan whose second processor death lands *after* the first halt — i.e.
+// during or after the salvage→replan cycle — must re-enter recovery
+// (bounded by the retry budget) instead of being silently dropped or
+// surfacing as a raw halt. The recovered result must still be
+// bit-identical to the sequential reference, and a budget of one must
+// surface the second wave as the classified halt it is.
+func TestTwoWaveFaultRecovers(t *testing.T) {
+	cal := testCal(t)
+	p, err := Strassen(32, cal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewCM5(8)
+	hint := cleanMakespan(t, p, m, cal, 8)
+
+	var confirmed *FaultPlan
+	for _, frac2 := range []float64{0.35, 0.5, 0.7, 0.9} {
+		plan := &FaultPlan{ProcFails: []ProcFail{
+			{Proc: 2, At: hint * 0.2},
+			{Proc: 5, At: hint * frac2},
+		}}
+		res, err := RunContext(context.Background(), p, m, cal, 8,
+			WithFaultPlan(plan), WithRecovery(3))
+		if err != nil {
+			t.Fatalf("second wave at %.0f%%: %v", frac2*100, err)
+		}
+		mustVerifyExact(t, p, res)
+		if res.RecoveryAttempts >= 2 {
+			confirmed = plan
+			if !res.Recovered {
+				t.Fatalf("two-wave run with %d attempts not marked recovered", res.RecoveryAttempts)
+			}
+		}
+	}
+	if confirmed == nil {
+		t.Fatal("no second-wave timing re-entered recovery — the residual plan never reached the re-run")
+	}
+
+	// The same confirmed two-wave plan under a budget of one must surface
+	// the second wave's halt instead of exceeding the budget silently.
+	_, err = RunContext(context.Background(), p, m, cal, 8,
+		WithFaultPlan(confirmed), WithRecovery(1))
+	if err == nil {
+		t.Fatal("budget 1 absorbed a two-wave plan that needs two recoveries")
+	}
+	if !errors.Is(err, ErrProcessorLost) {
+		t.Fatalf("budget-exhausted error = %v, want ErrProcessorLost", err)
+	}
+}
+
 // TestMessageLossRecovers drops early messages by sequence number: the
 // watchdog classifies the halt as message loss (no processor died) and
 // recovery replans on the full system size.
